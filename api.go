@@ -1,0 +1,278 @@
+// Package uaqetp (Uncertainty-Aware Query Execution Time Prediction) is
+// the public API of this reproduction of Wu, Wu, Hacıgümüş and
+// Naughton's VLDB 2014 paper. It assembles the internal subsystems —
+// synthetic database generation, catalog statistics, simulated hardware,
+// cost-unit calibration, sampling-based selectivity estimation, logical
+// cost-function fitting, and the variance-propagating predictor — behind
+// a single System type.
+//
+// A typical session:
+//
+//	sys, err := uaqetp.Open(uaqetp.DefaultConfig())
+//	pred, err := sys.Predict(&uaqetp.Query{
+//	    Name:   "my-query",
+//	    Tables: []string{"orders", "lineitem"},
+//	    Joins: []uaqetp.JoinCond{{
+//	        LeftTable: "orders", LeftCol: "o_orderkey",
+//	        RightTable: "lineitem", RightCol: "l_orderkey",
+//	    }},
+//	})
+//	lo, hi := pred.Interval(0.95)   // 95% confidence interval in seconds
+//	actual, err := sys.Execute(...) // run it on the simulated hardware
+package uaqetp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/calibrate"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/hardware"
+	"repro/internal/plan"
+	"repro/internal/sample"
+)
+
+// Re-exported types: queries and predicates are declared against the
+// plan and engine packages; predictions come from core.
+type (
+	// Query is a declarative selection-join(+aggregate) query.
+	Query = plan.Query
+	// JoinCond is an equijoin condition.
+	JoinCond = plan.JoinCond
+	// AggSpec requests an aggregate on top of the join tree.
+	AggSpec = plan.AggSpec
+	// Predicate is a single-column comparison.
+	Predicate = engine.Predicate
+	// Prediction is the distribution of likely running times.
+	Prediction = core.Prediction
+	// OpPrediction is the per-operator share of a prediction.
+	OpPrediction = core.OpPrediction
+	// Variant selects a predictor ablation (Section 6.3.3).
+	Variant = core.Variant
+	// DBKind names one of the four evaluation databases.
+	DBKind = datagen.DBKind
+)
+
+// Comparison operators for predicates.
+const (
+	Lt      = engine.Lt
+	Le      = engine.Le
+	Eq      = engine.Eq
+	Ge      = engine.Ge
+	Gt      = engine.Gt
+	Between = engine.Between
+)
+
+// Predictor variants.
+const (
+	All    = core.All
+	NoVarC = core.NoVarC
+	NoVarX = core.NoVarX
+	NoCov  = core.NoCov
+)
+
+// Evaluation databases.
+const (
+	Uniform1G  = datagen.Uniform1G
+	Skewed1G   = datagen.Skewed1G
+	Uniform10G = datagen.Uniform10G
+	Skewed10G  = datagen.Skewed10G
+)
+
+// Config describes how to assemble a System.
+type Config struct {
+	// DB selects the synthetic database (size and skew).
+	DB DBKind
+	// Machine is "PC1" or "PC2".
+	Machine string
+	// SamplingRatio is the offline sample size as a fraction of each
+	// table (the paper's SR).
+	SamplingRatio float64
+	// Variant configures the predictor.
+	Variant Variant
+	// Seed drives all randomness deterministically.
+	Seed int64
+}
+
+// DefaultConfig returns a uniform "1 GB" database on PC1 with a 5%
+// sampling ratio and the complete predictor.
+func DefaultConfig() Config {
+	return Config{
+		DB:            Uniform1G,
+		Machine:       "PC1",
+		SamplingRatio: 0.05,
+		Variant:       All,
+		Seed:          1,
+	}
+}
+
+// System is an assembled prediction stack over a synthetic database and
+// simulated hardware.
+type System struct {
+	cfg     Config
+	db      *engine.DB
+	cat     *catalog.Catalog
+	profile *hardware.Profile
+	cal     *calibrate.Result
+	samples *sample.DB
+	pred    *core.Predictor
+	rng     *rand.Rand
+}
+
+// Open generates the database, builds statistics, calibrates the cost
+// units against the simulated machine, and draws the offline samples.
+func Open(cfg Config) (*System, error) {
+	if cfg.Machine == "" {
+		cfg.Machine = "PC1"
+	}
+	if cfg.SamplingRatio <= 0 {
+		cfg.SamplingRatio = 0.05
+	}
+	profile, err := hardware.ProfileByName(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	db := datagen.Generate(datagen.ConfigFor(cfg.DB, cfg.Seed))
+	cat := catalog.Build(db)
+	cal, err := calibrate.Run(profile, calibrate.DefaultConfig(cfg.Seed+1))
+	if err != nil {
+		return nil, err
+	}
+	samples, err := sample.Build(db, cfg.SamplingRatio, sample.DefaultCopies, cfg.Seed+2)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		cfg:     cfg,
+		db:      db,
+		cat:     cat,
+		profile: profile,
+		cal:     cal,
+		samples: samples,
+		pred:    core.New(cat, cal.Units, core.Config{Variant: cfg.Variant}),
+		rng:     rand.New(rand.NewSource(cfg.Seed + 3)),
+	}, nil
+}
+
+// Plan compiles a query into a physical plan and renders it.
+func (s *System) Plan(q *Query) (string, error) {
+	p, err := plan.Build(q, s.cat)
+	if err != nil {
+		return "", err
+	}
+	return p.String(), nil
+}
+
+// Predict returns the distribution of likely running times for the
+// query: the paper's t_q ~ N(E[t_q], Var[t_q]).
+func (s *System) Predict(q *Query) (*Prediction, error) {
+	p, err := plan.Build(q, s.cat)
+	if err != nil {
+		return nil, err
+	}
+	est, err := sample.Estimate(p, s.samples, s.cat)
+	if err != nil {
+		return nil, err
+	}
+	return s.pred.Predict(p, est)
+}
+
+// Execute runs the query on the simulated hardware and returns the
+// measured running time in seconds (the 5-run average the paper uses).
+func (s *System) Execute(q *Query) (float64, error) {
+	p, err := plan.Build(q, s.cat)
+	if err != nil {
+		return 0, err
+	}
+	res, err := engine.Run(s.db, p)
+	if err != nil {
+		return 0, err
+	}
+	return s.profile.MeasurePlan(res, s.rng), nil
+}
+
+// PredictAndRun is a convenience helper returning both the prediction
+// and the measured time.
+func (s *System) PredictAndRun(q *Query) (*Prediction, float64, error) {
+	pred, err := s.Predict(q)
+	if err != nil {
+		return nil, 0, err
+	}
+	actual, err := s.Execute(q)
+	if err != nil {
+		return nil, 0, err
+	}
+	return pred, actual, nil
+}
+
+// PlanChoice pairs one candidate physical plan with its predicted
+// running-time distribution.
+type PlanChoice struct {
+	Plan string // rendered plan tree
+	Pred *Prediction
+}
+
+// Alternatives enumerates up to maxAlts alternative join orders for the
+// query and predicts each one's running-time distribution — the raw
+// material for least-expected-cost plan selection (Section 6.5.1).
+func (s *System) Alternatives(q *Query, maxAlts int) ([]PlanChoice, error) {
+	plans, err := plan.Alternatives(q, s.cat, maxAlts)
+	if err != nil {
+		return nil, err
+	}
+	choices := make([]PlanChoice, 0, len(plans))
+	for _, p := range plans {
+		est, err := sample.Estimate(p, s.samples, s.cat)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := s.pred.Predict(p, est)
+		if err != nil {
+			return nil, err
+		}
+		choices = append(choices, PlanChoice{Plan: p.String(), Pred: pred})
+	}
+	return choices, nil
+}
+
+// ChoosePlan picks among the query's alternative plans by the given
+// risk quantile of the predicted distribution (quantile 0.5 approximates
+// least expected cost; 0.9 is a risk-averse choice). It returns the
+// chosen plan and all considered alternatives.
+func (s *System) ChoosePlan(q *Query, quantile float64, maxAlts int) (best PlanChoice, all []PlanChoice, err error) {
+	all, err = s.Alternatives(q, maxAlts)
+	if err != nil {
+		return PlanChoice{}, nil, err
+	}
+	bestIdx := 0
+	bestCost := all[0].Pred.Dist.Quantile(quantile)
+	for i := 1; i < len(all); i++ {
+		if c := all[i].Pred.Dist.Quantile(quantile); c < bestCost {
+			bestIdx, bestCost = i, c
+		}
+	}
+	return all[bestIdx], all, nil
+}
+
+// CostUnits returns the calibrated cost-unit means and standard
+// deviations as formatted strings (Table 1 content).
+func (s *System) CostUnits() []string {
+	out := make([]string, 0, hardware.NumUnits)
+	for i, u := range hardware.Units {
+		d := s.cal.Units[i]
+		out = append(out, fmt.Sprintf("%s: mean=%.4g stddev=%.4g s/op", u, d.Mu, d.Sigma))
+	}
+	return out
+}
+
+// TableNames returns the names of the generated tables.
+func (s *System) TableNames() []string {
+	names := make([]string, 0, len(s.db.Tables))
+	for n := range s.db.Tables {
+		names = append(names, n)
+	}
+	return names
+}

@@ -1,0 +1,151 @@
+// Command uaqp is the command-line front end of the reproduction:
+//
+//	uaqp list                      list the regenerable tables and figures
+//	uaqp experiment <id> [flags]   regenerate one table or figure
+//	uaqp demo [flags]              predict-and-run a benchmark workload
+//
+// Flags:
+//
+//	-queries N   queries per experimental cell (default 24)
+//	-seed S      master seed (default 1)
+//	-bench B     demo benchmark: micro | seljoin | tpch (default tpch)
+//	-db D        demo database: uniform-1G | skewed-1G | uniform-10G | skewed-10G
+//	-machine M   demo machine: PC1 | PC2
+//	-sr R        demo sampling ratio (default 0.05)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/exper"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "list":
+		err = list()
+	case "experiment":
+		err = experiment(args)
+	case "demo":
+		err = demo(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uaqp:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  uaqp list
+  uaqp experiment <id> [-queries N] [-seed S]
+  uaqp demo [-bench B] [-db D] [-machine M] [-sr R] [-queries N] [-seed S]`)
+}
+
+func list() error {
+	fmt.Println("Regenerable experiments (paper tables and figures):")
+	for _, r := range exper.Reports {
+		fmt.Printf("  %-10s %s\n", r.ID, r.Desc)
+	}
+	return nil
+}
+
+func experiment(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("experiment: missing id (try 'uaqp list')")
+	}
+	id := args[0]
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	queries := fs.Int("queries", 24, "queries per experimental cell")
+	seed := fs.Int64("seed", 1, "master seed")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	rep, err := exper.ReportByID(id)
+	if err != nil {
+		return err
+	}
+	lab := exper.NewLab()
+	return rep.Gen(os.Stdout, lab, exper.Sizing{QueriesPerCell: *queries, Seed: *seed})
+}
+
+func demo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	bench := fs.String("bench", "tpch", "benchmark: micro | seljoin | tpch")
+	db := fs.String("db", "uniform-1G", "database kind")
+	machine := fs.String("machine", "PC1", "machine profile")
+	sr := fs.Float64("sr", 0.05, "sampling ratio")
+	queries := fs.Int("queries", 14, "number of queries")
+	seed := fs.Int64("seed", 1, "master seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	b, err := parseBench(*bench)
+	if err != nil {
+		return err
+	}
+	kind, err := parseDB(*db)
+	if err != nil {
+		return err
+	}
+
+	lab := exper.NewLab()
+	res, err := lab.Run(exper.Setting{
+		Bench: b, DB: kind, Machine: *machine, SR: *sr,
+		Variant: core.All, NumQueries: *queries, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%v on %v (%s), SR=%g, %d queries\n\n",
+		b, kind, *machine, *sr, len(res.Outcomes))
+	fmt.Printf("%-18s %-12s %-12s %-12s %-10s\n",
+		"query", "pred(s)", "sigma(s)", "actual(s)", "|err|(s)")
+	for _, o := range res.Outcomes {
+		fmt.Printf("%-18s %-12.4f %-12.4f %-12.4f %-10.4f\n",
+			o.Name, o.PredMean, o.PredSigma, o.Actual, o.Err)
+	}
+	fmt.Printf("\nr_s=%.4f  r_p=%.4f  D_n=%.4f  sampling overhead=%.4f\n",
+		res.RS, res.RP, res.Dn, res.MeanOverhead)
+	return nil
+}
+
+func parseBench(s string) (workload.Benchmark, error) {
+	switch strings.ToLower(s) {
+	case "micro":
+		return workload.Micro, nil
+	case "seljoin":
+		return workload.SelJoin, nil
+	case "tpch":
+		return workload.TPCH, nil
+	default:
+		return 0, fmt.Errorf("unknown benchmark %q", s)
+	}
+}
+
+func parseDB(s string) (datagen.DBKind, error) {
+	for _, k := range []datagen.DBKind{
+		datagen.Uniform1G, datagen.Skewed1G, datagen.Uniform10G, datagen.Skewed10G,
+	} {
+		if strings.EqualFold(k.String(), s) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown database %q", s)
+}

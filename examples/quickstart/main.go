@@ -1,0 +1,59 @@
+// Command quickstart demonstrates the core workflow of the library:
+// open a system (synthetic database + simulated hardware + calibration +
+// offline samples), predict a query's running time distribution, and
+// compare it against the measured time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	uaqetp "repro"
+)
+
+func main() {
+	fmt.Println("uaqetp quickstart: uncertainty-aware query time prediction")
+	fmt.Println()
+
+	sys, err := uaqetp.Open(uaqetp.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Calibrated cost units (Table 1):")
+	for _, line := range sys.CostUnits() {
+		fmt.Println("  " + line)
+	}
+	fmt.Println()
+
+	q := &uaqetp.Query{
+		Name:   "orders-lineitem",
+		Tables: []string{"orders", "lineitem"},
+		Preds: []uaqetp.Predicate{
+			{Col: "o_orderdate", Op: uaqetp.Le, Lo: 1200},
+		},
+		Joins: []uaqetp.JoinCond{{
+			LeftTable: "orders", LeftCol: "o_orderkey",
+			RightTable: "lineitem", RightCol: "l_orderkey",
+		}},
+	}
+
+	planStr, err := sys.Plan(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Physical plan:")
+	fmt.Print(planStr)
+	fmt.Println()
+
+	pred, actual, err := sys.PredictAndRun(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lo70, hi70 := pred.Interval(0.70)
+	lo95, hi95 := pred.Interval(0.95)
+	fmt.Printf("Predicted running time: %.4f s (sigma %.4f s)\n", pred.Mean(), pred.Sigma())
+	fmt.Printf("  70%% interval: [%.4f, %.4f] s\n", lo70, hi70)
+	fmt.Printf("  95%% interval: [%.4f, %.4f] s\n", lo95, hi95)
+	fmt.Printf("Actual running time:    %.4f s\n", actual)
+	fmt.Printf("Within 95%% interval:    %v\n", actual >= lo95 && actual <= hi95)
+}

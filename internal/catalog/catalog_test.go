@@ -1,0 +1,179 @@
+package catalog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func uniformTable(name, col string, n, domain int, seed int64) *engine.Table {
+	r := rand.New(rand.NewSource(seed))
+	rows := make([][]int64, n)
+	for i := range rows {
+		rows[i] = []int64{int64(r.Intn(domain))}
+	}
+	return engine.NewTable(name, []string{col}, rows)
+}
+
+func TestBuildBasicStats(t *testing.T) {
+	db := engine.NewDB()
+	db.Add(uniformTable("t", "x", 1000, 100, 1))
+	c := Build(db)
+	ts, err := c.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Rows != 1000 {
+		t.Errorf("rows=%d", ts.Rows)
+	}
+	cs, err := c.Column("t", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Min < 0 || cs.Max > 99 || cs.Distinct < 80 {
+		t.Errorf("stats: min=%d max=%d distinct=%d", cs.Min, cs.Max, cs.Distinct)
+	}
+}
+
+func TestPredicateSelectivityUniform(t *testing.T) {
+	db := engine.NewDB()
+	db.Add(uniformTable("t", "x", 20000, 1000, 2))
+	c := Build(db)
+	cases := []struct {
+		p    engine.Predicate
+		want float64
+	}{
+		{engine.Predicate{Col: "x", Op: engine.Lt, Lo: 500}, 0.5},
+		{engine.Predicate{Col: "x", Op: engine.Le, Lo: 249}, 0.25},
+		{engine.Predicate{Col: "x", Op: engine.Ge, Lo: 900}, 0.1},
+		{engine.Predicate{Col: "x", Op: engine.Between, Lo: 100, Hi: 299}, 0.2},
+		{engine.Predicate{Col: "x", Op: engine.Eq, Lo: 7}, 0.001},
+	}
+	for _, cse := range cases {
+		got, err := c.PredicateSelectivity("t", &cse.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-cse.want) > 0.05 {
+			t.Errorf("%v: selectivity %v, want ~%v", cse.p, got, cse.want)
+		}
+	}
+}
+
+func TestPredicateSelectivityMatchesTruth(t *testing.T) {
+	// Histogram estimate should be close to true selectivity even under
+	// skew because buckets are equi-depth.
+	r := rand.New(rand.NewSource(3))
+	n := 30000
+	rows := make([][]int64, n)
+	for i := range rows {
+		// Skewed: squared uniform concentrates near 0.
+		v := r.Float64()
+		rows[i] = []int64{int64(v * v * 1000)}
+	}
+	db := engine.NewDB()
+	db.Add(engine.NewTable("t", []string{"x"}, rows))
+	c := Build(db)
+	for _, bound := range []int64{10, 50, 100, 400, 900} {
+		p := engine.Predicate{Col: "x", Op: engine.Le, Lo: bound}
+		est, err := c.PredicateSelectivity("t", &p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var truth float64
+		for _, row := range rows {
+			if row[0] <= bound {
+				truth++
+			}
+		}
+		truth /= float64(n)
+		if math.Abs(est-truth) > 0.05 {
+			t.Errorf("bound %d: est %v vs truth %v", bound, est, truth)
+		}
+	}
+}
+
+func TestSelectivityBoundsClamped(t *testing.T) {
+	db := engine.NewDB()
+	db.Add(uniformTable("t", "x", 100, 50, 4))
+	c := Build(db)
+	lo, _ := c.PredicateSelectivity("t", &engine.Predicate{Col: "x", Op: engine.Lt, Lo: -100})
+	hi, _ := c.PredicateSelectivity("t", &engine.Predicate{Col: "x", Op: engine.Le, Lo: 10000})
+	if lo != 0 || hi != 1 {
+		t.Errorf("clamps: lo=%v hi=%v", lo, hi)
+	}
+}
+
+func TestJoinSelectivityFactor(t *testing.T) {
+	db := engine.NewDB()
+	db.Add(uniformTable("a", "x", 5000, 100, 5))
+	db.Add(uniformTable("b", "y", 5000, 200, 6))
+	c := Build(db)
+	f, err := c.JoinSelectivityFactor("a", "x", "b", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-1.0/200) > 1e-3 {
+		t.Errorf("join factor %v, want ~1/200", f)
+	}
+}
+
+func TestGroupCount(t *testing.T) {
+	db := engine.NewDB()
+	db.Add(uniformTable("t", "x", 10000, 42, 7))
+	c := Build(db)
+	g, err := c.GroupCount("t", "x", 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 42 {
+		t.Errorf("groups=%v, want 42", g)
+	}
+	capped, _ := c.GroupCount("t", "x", 5)
+	if capped != 5 {
+		t.Errorf("capped groups=%v, want 5", capped)
+	}
+	scalar, _ := c.GroupCount("t", "", 10000)
+	if scalar != 1 {
+		t.Errorf("scalar groups=%v, want 1", scalar)
+	}
+}
+
+func TestFindColumn(t *testing.T) {
+	db := engine.NewDB()
+	db.Add(uniformTable("a", "x", 100, 10, 8))
+	db.Add(uniformTable("b", "y", 100, 10, 9))
+	c := Build(db)
+	tab, _, err := c.FindColumn("y")
+	if err != nil || tab != "b" {
+		t.Errorf("FindColumn(y) = %q, %v", tab, err)
+	}
+	if _, _, err := c.FindColumn("nope"); err == nil {
+		t.Error("expected error for unknown column")
+	}
+}
+
+func TestUnknownTableColumnErrors(t *testing.T) {
+	c := Build(engine.NewDB())
+	if _, err := c.Table("t"); err == nil {
+		t.Error("expected table error")
+	}
+	if _, err := c.Column("t", "x"); err == nil {
+		t.Error("expected column error")
+	}
+}
+
+func TestSmallTableHistogram(t *testing.T) {
+	db := engine.NewDB()
+	db.Add(engine.NewTable("tiny", []string{"x"}, [][]int64{{5}, {7}, {9}}))
+	c := Build(db)
+	sel, err := c.PredicateSelectivity("tiny", &engine.Predicate{Col: "x", Op: engine.Le, Lo: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel < 0.3 || sel > 1 {
+		t.Errorf("tiny-table selectivity %v", sel)
+	}
+}

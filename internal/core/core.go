@@ -1,0 +1,473 @@
+// Package core implements the paper's primary contribution: the
+// uncertainty-aware query execution time predictor. Given a query plan,
+// calibrated cost-unit distributions (Section 3.1), and sampled
+// selectivity distributions (Section 3.2), it fits the logical cost
+// functions (Section 4) and propagates means, variances, and covariances
+// through the additive cost model to produce the distribution of likely
+// running times t_q ~ N(E[t_q], Var[t_q]) (Section 5, Algorithms 2-3).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/costmodel"
+	"repro/internal/engine"
+	"repro/internal/hardware"
+	"repro/internal/sample"
+	"repro/internal/stats"
+)
+
+// Variant selects the predictor configuration of Section 6.3.3.
+type Variant int
+
+// Predictor variants: the complete framework and the three simplified
+// versions compared in Figure 8.
+const (
+	All    Variant = iota // complete framework
+	NoVarC                // ignore uncertainty in the cost units c
+	NoVarX                // ignore uncertainty in the selectivities X
+	NoCov                 // ignore covariances between selectivity estimates
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case All:
+		return "All"
+	case NoVarC:
+		return "NoVar[c]"
+	case NoVarX:
+		return "NoVar[X]"
+	case NoCov:
+		return "NoCov"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Config tunes the predictor.
+type Config struct {
+	Variant Variant
+	// GridW is the number of probe subintervals per variable
+	// (Section 4.2); 0 selects costmodel.DefaultGridW.
+	GridW int
+	// LooseBounds disables the tighter covariance bounds (Theorems 7-10)
+	// and falls back to plain Cauchy-Schwarz everywhere — the B2-only
+	// configuration, kept as an ablation of the bound machinery.
+	LooseBounds bool
+}
+
+// Predictor holds the calibrated state shared across predictions.
+type Predictor struct {
+	Cat   *catalog.Catalog
+	Units [hardware.NumUnits]stats.Normal // calibrated cost units
+	Cfg   Config
+}
+
+// New constructs a predictor from a catalog and calibrated cost units.
+func New(cat *catalog.Catalog, units [hardware.NumUnits]stats.Normal, cfg Config) *Predictor {
+	return &Predictor{Cat: cat, Units: units, Cfg: cfg}
+}
+
+// OpPrediction is the per-operator share of the prediction.
+type OpPrediction struct {
+	NodeID int
+	Kind   engine.NodeKind
+	Mean   float64 // E[t_k]
+	Var    float64 // Var[t_k] (same-operator terms only)
+}
+
+// Prediction is the distribution of likely running times for one query.
+type Prediction struct {
+	// Dist is N(E[t_q], Var[t_q]); Dist.Mu is the point estimate the
+	// predictor of [48] would return.
+	Dist stats.Normal
+	// PerOperator breaks the mean and same-operator variance down.
+	PerOperator []OpPrediction
+	// CovDirect and CovBound split the cross-operator covariance mass
+	// into exactly computed terms and upper-bounded terms (Algorithm 3's
+	// VarOps vs CovOpsUb).
+	CovDirect float64
+	CovBound  float64
+}
+
+// Mean returns the point estimate E[t_q].
+func (p *Prediction) Mean() float64 { return p.Dist.Mu }
+
+// Sigma returns the standard deviation of the predicted distribution.
+func (p *Prediction) Sigma() float64 { return p.Dist.Sigma }
+
+// Interval returns the central interval containing probability mass q.
+func (p *Prediction) Interval(q float64) (lo, hi float64) { return p.Dist.Interval(q) }
+
+// varInfo is everything the covariance engine needs about one
+// selectivity random variable (one scan/join/aggregate operator).
+type varInfo struct {
+	node *engine.Node
+	dist stats.Normal
+	// leafComp / leafN as produced by the sampling estimator; leafComp
+	// restricted sums give the S^2_{rho}(m,n) bounds of Theorem 7.
+	leafComp map[int]float64
+	leafN    map[int]int
+	// numLeaves is K, the number of leaf relations of the operator.
+	numLeaves int
+}
+
+// item is one (operator, cost-unit) component of t_q: a fitted cost
+// function with its distribution under the selectivity variables.
+type item struct {
+	opID  int
+	kind  engine.NodeKind
+	unit  int
+	f     *costmodel.Func
+	mean  float64
+	vr    float64
+	terms []costmodel.Term
+}
+
+// assembly is the fitted state shared by the analytic and Monte-Carlo
+// prediction paths.
+type assembly struct {
+	items []item
+	vars  map[int]stats.Normal
+	info  map[int]*varInfo
+	order []int // node IDs in plan preorder
+}
+
+// assemble runs the front half of Algorithm 2: collect the selectivity
+// variables and fit every operator's per-unit cost functions.
+func (p *Predictor) assemble(root *engine.Node, est *sample.Estimates) (*assembly, error) {
+	nodes := root.Nodes()
+
+	vars := make(map[int]stats.Normal)
+	info := make(map[int]*varInfo)
+	selfRho := make(map[int]float64)
+	for _, n := range nodes {
+		e, err := est.Get(n)
+		if err != nil {
+			return nil, err
+		}
+		selfRho[n.ID] = e.Rho
+		v := e.Var
+		lc := e.LeafComp
+		if p.Cfg.Variant == NoVarX {
+			v = 0
+			lc = map[int]float64{}
+		}
+		vars[n.ID] = stats.NormalFromVar(e.Rho, v)
+		info[n.ID] = &varInfo{
+			node:      n,
+			dist:      vars[n.ID],
+			leafComp:  lc,
+			leafN:     e.LeafN,
+			numLeaves: len(n.LeafTables),
+		}
+	}
+
+	models, err := costmodel.BuildModels(root, p.Cat, selfRho)
+	if err != nil {
+		return nil, err
+	}
+	a := &assembly{vars: vars, info: info}
+	for _, n := range nodes {
+		funcs, err := costmodel.FitNode(models[n.ID], vars, p.Cfg.GridW)
+		if err != nil {
+			return nil, err
+		}
+		a.order = append(a.order, n.ID)
+		for ui := 0; ui < hardware.NumUnits; ui++ {
+			f := funcs[ui]
+			if f.IsZero() {
+				continue
+			}
+			m, v := f.Dist(vars)
+			a.items = append(a.items, item{
+				opID: n.ID, kind: n.Kind, unit: ui, f: f,
+				mean: m, vr: v, terms: f.Terms(),
+			})
+		}
+	}
+	return a, nil
+}
+
+// Predict computes the distribution of likely running times for a
+// finalized plan given its sampled selectivity estimates.
+func (p *Predictor) Predict(root *engine.Node, est *sample.Estimates) (*Prediction, error) {
+	a, err := p.assemble(root, est)
+	if err != nil {
+		return nil, err
+	}
+	items, info, order := a.items, a.info, a.order
+	perOp := make(map[int]*OpPrediction)
+	for _, n := range root.Nodes() {
+		perOp[n.ID] = &OpPrediction{NodeID: n.ID, Kind: n.Kind}
+	}
+
+	// Unit moments, honoring the NoVar[c] ablation.
+	var ec, vc [hardware.NumUnits]float64
+	for i := 0; i < hardware.NumUnits; i++ {
+		ec[i] = p.Units[i].Mu
+		if p.Cfg.Variant != NoVarC {
+			vc[i] = p.Units[i].Var()
+		}
+	}
+
+	// E[t_q] = sum_k sum_c E[f_kc] E[c]; per-operator means alongside.
+	var mean float64
+	for _, it := range items {
+		t := it.mean * ec[it.unit]
+		mean += t
+		perOp[it.opID].Mean += t
+	}
+
+	// Var[t_q] = sum over all ordered pairs of Cov(t_i, t_j)
+	// (Section 5.3). Same-item terms give Var[f c]; cross terms combine
+	// exact covariances and upper bounds.
+	var variance, covDirect, covBound float64
+	for i := range items {
+		a := items[i]
+		// Var[f c] = E[f]^2 Var[c] + E[c]^2 Var[f] + Var[c] Var[f].
+		v := a.mean*a.mean*vc[a.unit] + ec[a.unit]*ec[a.unit]*a.vr + vc[a.unit]*a.vr
+		variance += v
+		perOp[a.opID].Var += v
+		for j := i + 1; j < len(items); j++ {
+			b := items[j]
+			covF, bound := p.covFuncs(a.terms, b.terms, info)
+			var contrib float64
+			if a.unit == b.unit {
+				// Cov(f c, f' c) = E[c]^2 Cov + Var[c](E[f]E[f'] + Cov).
+				contrib = ec[a.unit]*ec[a.unit]*covF +
+					vc[a.unit]*(a.mean*b.mean+covF)
+			} else {
+				// Independent units: Cov(f c, f' c') = E[c]E[c'] Cov(f,f').
+				contrib = ec[a.unit] * ec[b.unit] * covF
+			}
+			variance += 2 * contrib
+			if bound {
+				covBound += 2 * contrib
+			} else {
+				covDirect += 2 * contrib
+			}
+		}
+	}
+	if variance < 0 {
+		variance = 0
+	}
+
+	pred := &Prediction{
+		Dist:      stats.NormalFromVar(mean, variance),
+		CovDirect: covDirect,
+		CovBound:  covBound,
+	}
+	for _, id := range order {
+		pred.PerOperator = append(pred.PerOperator, *perOp[id])
+	}
+	return pred, nil
+}
+
+// covFuncs returns Cov(f_a, f_b) between two cost functions (as term
+// lists) and whether any upper bound was involved. sameOp indicates the
+// functions belong to the same operator (their variables are identical
+// or independent, so everything is exact).
+func (p *Predictor) covFuncs(ta, tb []costmodel.Term, info map[int]*varInfo) (cov float64, bounded bool) {
+	for _, a := range ta {
+		for _, b := range tb {
+			c, bnd := p.covTerms(a, b, info)
+			cov += c
+			if bnd {
+				bounded = true
+			}
+		}
+	}
+	return cov, bounded
+}
+
+// covTerms computes or bounds Cov(a, b) for two monomials.
+func (p *Predictor) covTerms(a, b costmodel.Term, info map[int]*varInfo) (float64, bool) {
+	if a.NVars == 0 || b.NVars == 0 || a.Coef == 0 || b.Coef == 0 {
+		return 0, false
+	}
+	// Classify cross-variable pairs: exact when every pair of distinct
+	// variables across the two terms is independent (Lemma 3: dependence
+	// only along ancestor-descendant paths).
+	dependentUnknown := false
+	for i := 0; i < a.NVars; i++ {
+		for j := 0; j < b.NVars; j++ {
+			va, vb := a.Vars[i], b.Vars[j]
+			if va == vb {
+				continue
+			}
+			ia, ib := info[va], info[vb]
+			if engine.IsDescendant(ia.node, ib.node) || engine.IsDescendant(ib.node, ia.node) {
+				dependentUnknown = true
+			}
+		}
+	}
+	if !dependentUnknown {
+		return exactTermCov(a, b, info), false
+	}
+	if p.Cfg.Variant == NoCov {
+		return 0, false
+	}
+	return p.boundTermCov(a, b, info), true
+}
+
+// exactTermCov factors E[ab] per variable (independent across distinct
+// variables), using normal moments up to order 4.
+func exactTermCov(a, b costmodel.Term, info map[int]*varInfo) float64 {
+	pow := make(map[int]int, 4)
+	for i := 0; i < a.NVars; i++ {
+		pow[a.Vars[i]] += a.Pows[i]
+	}
+	for i := 0; i < b.NVars; i++ {
+		pow[b.Vars[i]] += b.Pows[i]
+	}
+	eab := a.Coef * b.Coef
+	for v, k := range pow {
+		eab *= info[v].dist.Moment(k)
+	}
+	return eab - termMean(a, info)*termMean(b, info)
+}
+
+func termMean(t costmodel.Term, info map[int]*varInfo) float64 {
+	m := t.Coef
+	for i := 0; i < t.NVars; i++ {
+		m *= info[t.Vars[i]].dist.Moment(t.Pows[i])
+	}
+	return m
+}
+
+// termVar returns Var[term] with the term's own variables mutually
+// independent.
+func termVar(t costmodel.Term, info map[int]*varInfo) float64 {
+	if t.NVars == 0 {
+		return 0
+	}
+	e2 := t.Coef * t.Coef
+	for i := 0; i < t.NVars; i++ {
+		e2 *= info[t.Vars[i]].dist.Moment(2 * t.Pows[i])
+	}
+	m := termMean(t, info)
+	v := e2 - m*m
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// boundTermCov returns an upper bound for |Cov(a, b)| when the terms
+// involve correlated selectivity estimates from nested operators
+// (Section 5.3.2 and Appendix A.7/A.8). The bound is the minimum of the
+// Cauchy-Schwarz bound and, where the term shapes allow, the tighter
+// sample-variance (Theorem 7) and population (Theorems 8-10) bounds.
+func (p *Predictor) boundTermCov(a, b costmodel.Term, info map[int]*varInfo) float64 {
+	// Cauchy-Schwarz: |Cov| <= sqrt(Var[a] Var[b]) — always applicable.
+	bound := math.Sqrt(termVar(a, info) * termVar(b, info))
+
+	// For single-variable terms, tighter bounds are available.
+	if a.NVars == 1 && b.NVars == 1 && !p.Cfg.LooseBounds {
+		ia, ib := info[a.Vars[0]], info[b.Vars[0]]
+		coef := math.Abs(a.Coef * b.Coef)
+		m, n := sharedLeaves(ia, ib)
+		if n > 0 && m > 0 {
+			switch {
+			case a.Pows[0] == 1 && b.Pows[0] == 1:
+				// Theorem 7: |Cov(rho, rho')| <= sqrt(S^2(m,n) S'^2(m,n)),
+				// realized by restricting the leaf variance components of
+				// each estimate to the shared relations.
+				if t7 := coef * math.Sqrt(restrictedVar(ia, ib)*restrictedVar(ib, ia)); t7 < bound {
+					bound = t7
+				}
+				// Theorem 8: f(n,m) g(rho) g(rho').
+				f := 1 - math.Pow(1-1/float64(n), float64(m))
+				if t8 := coef * f * gRho(ia.dist.Mu) * gRho(ib.dist.Mu); t8 < bound {
+					bound = t8
+				}
+			case a.Pows[0] == 2 && b.Pows[0] == 2:
+				// Theorem 9.
+				f := theorem9F(n, m, ia.numLeaves, ib.numLeaves)
+				if t9 := coef * f * hRho(ia.dist.Mu) * hRho(ib.dist.Mu); t9 < bound {
+					bound = t9
+				}
+			default:
+				// Theorem 10 (one squared, one linear).
+				sq, ln := ia, ib
+				if b.Pows[0] == 2 {
+					sq, ln = ib, ia
+				}
+				f := theorem10F(n, m, sq.numLeaves, ln.numLeaves)
+				if t10 := coef * f * hRho(sq.dist.Mu) * gRho(ln.dist.Mu); t10 < bound {
+					bound = t10
+				}
+			}
+		}
+	}
+	return bound
+}
+
+// sharedLeaves returns m = |R ∩ R'| and the smallest shared sample size.
+func sharedLeaves(a, b *varInfo) (m, n int) {
+	n = math.MaxInt
+	for k := range a.leafN {
+		if nk, ok := b.leafN[k]; ok {
+			m++
+			if nk < n {
+				n = nk
+			}
+			if ak := a.leafN[k]; ak < n {
+				n = ak
+			}
+		}
+	}
+	if m == 0 {
+		n = 0
+	}
+	return m, n
+}
+
+// restrictedVar returns S^2_rho(m, n): the variance components of `of`
+// restricted to the leaf relations it shares with `with` (Appendix A.7).
+func restrictedVar(of, with *varInfo) float64 {
+	var s float64
+	for k, w := range of.leafComp {
+		if _, ok := with.leafN[k]; ok {
+			s += w
+		}
+	}
+	return s
+}
+
+func gRho(rho float64) float64 {
+	v := rho * (1 - rho)
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+func hRho(rho float64) float64 {
+	v := rho * (1 - rho) * (rho - rho*rho + 1)
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// theorem9F is the f(n,m) factor of Theorem 9 for Cov(rho^2, rho'^2).
+func theorem9F(n, m, k, kp int) float64 {
+	fn := float64(n)
+	lead := 1 - math.Pow(1-1/fn, float64(k+kp-m))*
+		math.Pow(1-2/fn, float64(m))*math.Pow(1-3/fn, float64(m))
+	return lead * math.Sqrt(1-math.Pow(1-1/fn, float64(k))) *
+		math.Sqrt(1-math.Pow(1-1/fn, float64(kp)))
+}
+
+// theorem10F is the f(n,m) factor of Theorem 10 for Cov(rho^2, rho').
+func theorem10F(n, m, k, kp int) float64 {
+	fn := float64(n)
+	lead := 1 - math.Pow(1-1/fn, float64(k))*math.Pow(1-2/fn, float64(m))
+	return lead * math.Sqrt(1-math.Pow(1-1/fn, float64(k))) *
+		math.Sqrt(1-math.Pow(1-1/fn, float64(kp)))
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/sample"
+)
+
+// MCOptions configures the Monte-Carlo prediction path.
+type MCOptions struct {
+	// Draws is the number of (c, X) realizations; 0 selects
+	// DefaultMCDraws.
+	Draws int
+	Seed  int64
+}
+
+// DefaultMCDraws keeps the Monte-Carlo path comfortably accurate while
+// still fast (each draw is a handful of polynomial evaluations).
+const DefaultMCDraws = 20000
+
+// MCPrediction is an empirical distribution of likely running times.
+type MCPrediction struct {
+	Samples  []float64 // sorted ascending
+	MeanVal  float64
+	Variance float64
+}
+
+// Mean returns the empirical mean.
+func (m *MCPrediction) Mean() float64 { return m.MeanVal }
+
+// Sigma returns the empirical standard deviation.
+func (m *MCPrediction) Sigma() float64 { return math.Sqrt(m.Variance) }
+
+// Quantile returns the empirical q-quantile, q in (0,1).
+func (m *MCPrediction) Quantile(q float64) float64 {
+	if len(m.Samples) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return m.Samples[0]
+	}
+	if q >= 1 {
+		return m.Samples[len(m.Samples)-1]
+	}
+	i := int(q * float64(len(m.Samples)))
+	if i >= len(m.Samples) {
+		i = len(m.Samples) - 1
+	}
+	return m.Samples[i]
+}
+
+// Prob returns the empirical P(a <= T <= b).
+func (m *MCPrediction) Prob(a, b float64) float64 {
+	if len(m.Samples) == 0 || b < a {
+		return 0
+	}
+	lo := sort.SearchFloat64s(m.Samples, a)
+	hi := sort.SearchFloat64s(m.Samples, b)
+	for hi < len(m.Samples) && m.Samples[hi] <= b {
+		hi++
+	}
+	return float64(hi-lo) / float64(len(m.Samples))
+}
+
+// PredictMonteCarlo computes the distribution of likely running times by
+// direct simulation instead of the analytic normal approximation: it
+// draws realizations of the cost units c and the selectivity estimates
+// X and evaluates t_q = sum_k sum_c f_kc(X) c for each.
+//
+// This is the "conceptually simpler" alternative discussed in Section
+// 5.2.4 and Appendix B. It needs no normality assumption on the c's and
+// no Theorem 1/2-style convergence arguments, but it cannot model the
+// correlations between nested selectivity estimates either (their joint
+// distribution is unobservable without rerunning the sampling pass), so
+// distinct selectivity variables are drawn independently — the analytic
+// path's upper bounds therefore dominate the Monte-Carlo variance on
+// plans with correlated estimates, which TestMonteCarloVsAnalytic
+// verifies.
+func (p *Predictor) PredictMonteCarlo(root *engine.Node, est *sample.Estimates, opt MCOptions) (*MCPrediction, error) {
+	if opt.Draws <= 0 {
+		opt.Draws = DefaultMCDraws
+	}
+	a, err := p.assemble(root, est)
+	if err != nil {
+		return nil, err
+	}
+	// Collect the variables actually referenced by the cost functions.
+	varIDs := make(map[int]bool)
+	for _, it := range a.items {
+		for _, t := range it.terms {
+			for i := 0; i < t.NVars; i++ {
+				varIDs[t.Vars[i]] = true
+			}
+		}
+	}
+	ids := make([]int, 0, len(varIDs))
+	for id := range varIDs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	draw := make(map[int]float64, len(ids))
+	samples := make([]float64, 0, opt.Draws)
+	var sum, sum2 float64
+	for d := 0; d < opt.Draws; d++ {
+		// Selectivities: truncated normal draws in [0, 1].
+		for _, id := range ids {
+			x := a.vars[id]
+			v := x.Mu
+			if x.Sigma > 0 && p.Cfg.Variant != NoVarX {
+				v = x.Mu + x.Sigma*rng.NormFloat64()
+				if v < 0 {
+					v = 0
+				}
+				if v > 1 {
+					v = 1
+				}
+			}
+			draw[id] = v
+		}
+		// Cost units: truncated-positive normal draws.
+		var c [5]float64
+		for u := 0; u < 5; u++ {
+			cu := p.Units[u]
+			v := cu.Mu
+			if cu.Sigma > 0 && p.Cfg.Variant != NoVarC {
+				v = cu.Mu + cu.Sigma*rng.NormFloat64()
+				if v < 0 {
+					v = 0
+				}
+			}
+			c[u] = v
+		}
+		var t float64
+		for _, it := range a.items {
+			t += it.f.Eval(draw) * c[it.unit]
+		}
+		samples = append(samples, t)
+		sum += t
+		sum2 += t * t
+	}
+	sort.Float64s(samples)
+	n := float64(opt.Draws)
+	mean := sum / n
+	variance := (sum2 - n*mean*mean) / (n - 1)
+	if variance < 0 {
+		variance = 0
+	}
+	return &MCPrediction{Samples: samples, MeanVal: mean, Variance: variance}, nil
+}
+
+// CompareAnalytic summarizes how the Monte-Carlo distribution relates to
+// an analytic prediction: the ratio of standard deviations and the
+// difference of means, both relative to the analytic values.
+func (m *MCPrediction) CompareAnalytic(p *Prediction) (sigmaRatio, meanRelDiff float64, err error) {
+	if p.Sigma() <= 0 {
+		return 0, 0, fmt.Errorf("core: analytic prediction has zero sigma")
+	}
+	sigmaRatio = m.Sigma() / p.Sigma()
+	meanRelDiff = (m.Mean() - p.Mean()) / p.Mean()
+	return sigmaRatio, meanRelDiff, nil
+}

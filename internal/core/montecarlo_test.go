@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/sample"
+)
+
+// TestMonteCarloMatchesAnalyticOnScan validates the analytic propagation
+// end to end: for a plan whose cost functions share a single selectivity
+// variable (no cross-operator covariance bounds involved), the
+// Monte-Carlo distribution must agree with the analytic normal in both
+// moments.
+func TestMonteCarloMatchesAnalyticOnScan(t *testing.T) {
+	f := newFixture(t, All)
+	plan := &engine.Node{Kind: engine.Sort,
+		Left: &engine.Node{Kind: engine.IndexScan, Table: "lineitem",
+			Preds: []engine.Predicate{{Col: "l_quantity", Op: engine.Le, Lo: 3}}}}
+	plan.Finalize()
+	pred, _ := f.predict(t, plan, 0.05, 41)
+	est := f.estimates(t, plan, 0.05, 41)
+	mc, err := f.pred.PredictMonteCarlo(plan, est, MCOptions{Draws: 60000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigmaRatio, meanDiff, err := mc.CompareAnalytic(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(meanDiff) > 0.02 {
+		t.Errorf("MC mean %v vs analytic %v (rel diff %v)", mc.Mean(), pred.Mean(), meanDiff)
+	}
+	if sigmaRatio < 0.9 || sigmaRatio > 1.1 {
+		t.Errorf("MC sigma %v vs analytic %v (ratio %v)", mc.Sigma(), pred.Sigma(), sigmaRatio)
+	}
+}
+
+// TestMonteCarloVsAnalyticJoin checks the documented dominance: on plans
+// with nested (correlated) selectivity estimates the analytic variance
+// uses conservative upper bounds, so it must not fall below the
+// independent-draw Monte-Carlo variance by more than sampling noise.
+func TestMonteCarloVsAnalyticJoin(t *testing.T) {
+	f := newFixture(t, All)
+	plan := threeWayQuery()
+	pred, _ := f.predict(t, plan, 0.05, 43)
+	est := f.estimates(t, plan, 0.05, 43)
+	mc, err := f.pred.PredictMonteCarlo(plan, est, MCOptions{Draws: 40000, Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Sigma() < 0.9*mc.Sigma() {
+		t.Errorf("analytic sigma %v below MC sigma %v", pred.Sigma(), mc.Sigma())
+	}
+	// Means agree regardless of covariance treatment.
+	if rel := math.Abs(mc.Mean()-pred.Mean()) / pred.Mean(); rel > 0.05 {
+		t.Errorf("MC mean %v vs analytic %v", mc.Mean(), pred.Mean())
+	}
+}
+
+func TestMonteCarloQuantilesMonotone(t *testing.T) {
+	f := newFixture(t, All)
+	plan := joinQuery()
+	est := f.estimates(t, plan, 0.05, 45)
+	mc, err := f.pred.PredictMonteCarlo(plan, est, MCOptions{Draws: 5000, Seed: 46})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []float64{0.05, 0.25, 0.5, 0.75, 0.95}
+	prev := math.Inf(-1)
+	for _, q := range qs {
+		v := mc.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone at %v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+	if mc.Quantile(0) != mc.Samples[0] || mc.Quantile(1) != mc.Samples[len(mc.Samples)-1] {
+		t.Error("extreme quantiles wrong")
+	}
+}
+
+func TestMonteCarloProb(t *testing.T) {
+	f := newFixture(t, All)
+	plan := joinQuery()
+	est := f.estimates(t, plan, 0.05, 47)
+	mc, err := f.pred.PredictMonteCarlo(plan, est, MCOptions{Draws: 5000, Seed: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := mc.Prob(mc.Samples[0], mc.Samples[len(mc.Samples)-1])
+	if all != 1 {
+		t.Errorf("full-range prob %v, want 1", all)
+	}
+	if mc.Prob(1, 0) != 0 {
+		t.Error("inverted-range prob not 0")
+	}
+	half := mc.Prob(math.Inf(-1), mc.Quantile(0.5))
+	if math.Abs(half-0.5) > 0.02 {
+		t.Errorf("prob up to median = %v", half)
+	}
+}
+
+func TestMonteCarloDeterministicPerSeed(t *testing.T) {
+	f := newFixture(t, All)
+	plan := scanQuery()
+	est := f.estimates(t, plan, 0.05, 49)
+	a, err := f.pred.PredictMonteCarlo(plan, est, MCOptions{Draws: 2000, Seed: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.pred.PredictMonteCarlo(plan, est, MCOptions{Draws: 2000, Seed: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean() != b.Mean() || a.Variance != b.Variance {
+		t.Error("MC not deterministic per seed")
+	}
+}
+
+func TestMonteCarloVariantConsistency(t *testing.T) {
+	// Under NoVarC + NoVarX... both sources off is not a variant; use
+	// NoVarX: MC variance should then come only from the unit draws.
+	fAll := newFixture(t, All)
+	fNoX := newFixture(t, NoVarX)
+	plan := joinQuery()
+	estAll := fAll.estimates(t, plan, 0.02, 51)
+	estNoX := fNoX.estimates(t, plan, 0.02, 51)
+	mcAll, err := fAll.pred.PredictMonteCarlo(plan, estAll, MCOptions{Draws: 20000, Seed: 52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcNoX, err := fNoX.pred.PredictMonteCarlo(plan, estNoX, MCOptions{Draws: 20000, Seed: 52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcNoX.Variance > mcAll.Variance*1.05 {
+		t.Errorf("NoVarX MC variance %v exceeds All %v", mcNoX.Variance, mcAll.Variance)
+	}
+}
+
+// estimates runs the sampling pass for a plan, mirroring fixture.predict
+// without the prediction step.
+func (f *fixture) estimates(t *testing.T, plan *engine.Node, ratio float64, seed int64) *sample.Estimates {
+	t.Helper()
+	sdb, err := sample.Build(f.db, ratio, 2, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := sample.Estimate(plan, sdb, f.cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+// The datagen import anchors the fixture database scale used above.
+var _ = datagen.Scale1GB

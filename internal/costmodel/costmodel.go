@@ -1,0 +1,206 @@
+// Package costmodel implements the logical cost functions of Section 4:
+// the six canonical function types C1–C6 (C1'–C6' when rewritten over
+// selectivities), the optimizer-side analytic cost model that maps
+// selectivities to the resource counts n of Equation (1), the 3-sigma
+// grid probing strategy of Section 4.2, and the NNLS fit of the unknown
+// coefficients b (the paper's quadratic program with b_i >= 0).
+package costmodel
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// FuncKind enumerates the canonical cost-function types C1'–C6'.
+type FuncKind int
+
+// Cost function types (Section 4.1). The variable names follow the
+// rewritten forms: X is a selectivity in [0,1].
+const (
+	C1 FuncKind = iota // f = b0
+	C2                 // f = b0*X + b1            (X = own output selectivity)
+	C3                 // f = b0*Xl + b1           (unary, input selectivity)
+	C4                 // f = b0*Xl^2 + b1*Xl + b2 (nonlinear unary)
+	C5                 // f = b0*Xl + b1*Xr + b2   (linear binary)
+	C6                 // f = b0*Xl*Xr + b1*Xl + b2*Xr + b3
+)
+
+// String implements fmt.Stringer.
+func (k FuncKind) String() string {
+	names := [...]string{"C1", "C2", "C3", "C4", "C5", "C6"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("FuncKind(%d)", int(k))
+}
+
+// NumCoef returns the number of coefficients of the kind.
+func (k FuncKind) NumCoef() int {
+	switch k {
+	case C1:
+		return 1
+	case C2, C3:
+		return 2
+	case C4, C5:
+		return 3
+	case C6:
+		return 4
+	default:
+		panic(fmt.Sprintf("costmodel: bad kind %d", int(k)))
+	}
+}
+
+// Binary reports whether the kind takes two selectivity variables.
+func (k FuncKind) Binary() bool { return k == C5 || k == C6 }
+
+// Func is a fitted cost function: a polynomial over one or two
+// selectivity random variables, identified by the plan-node IDs that own
+// them (a scan or join operator's output selectivity).
+type Func struct {
+	Kind FuncKind
+	// B holds the coefficients in the layout documented on FuncKind.
+	B []float64
+	// VarA and VarB are the owning node IDs of Xl (or X) and Xr; -1 when
+	// unused. Constant functions have both -1.
+	VarA, VarB int
+}
+
+// Zero returns the constant-zero cost function.
+func Zero() *Func { return &Func{Kind: C1, B: []float64{0}, VarA: -1, VarB: -1} }
+
+// Constant returns the constant cost function f = v.
+func Constant(v float64) *Func { return &Func{Kind: C1, B: []float64{v}, VarA: -1, VarB: -1} }
+
+// IsZero reports whether the function is identically zero.
+func (f *Func) IsZero() bool {
+	for _, b := range f.B {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval evaluates the function at the given variable assignment.
+func (f *Func) Eval(x map[int]float64) float64 {
+	switch f.Kind {
+	case C1:
+		return f.B[0]
+	case C2, C3:
+		return f.B[0]*x[f.VarA] + f.B[1]
+	case C4:
+		xa := x[f.VarA]
+		return f.B[0]*xa*xa + f.B[1]*xa + f.B[2]
+	case C5:
+		return f.B[0]*x[f.VarA] + f.B[1]*x[f.VarB] + f.B[2]
+	case C6:
+		xa, xb := x[f.VarA], x[f.VarB]
+		return f.B[0]*xa*xb + f.B[1]*xa + f.B[2]*xb + f.B[3]
+	default:
+		panic(fmt.Sprintf("costmodel: bad kind %d", int(f.Kind)))
+	}
+}
+
+// Term is one monomial of a cost function: Coef * Π Vars[i]^Pows[i],
+// with NVars in {0, 1, 2}. The covariance machinery in internal/core
+// consumes this representation.
+type Term struct {
+	Coef  float64
+	Vars  [2]int
+	Pows  [2]int
+	NVars int
+}
+
+// Terms expands the function into monomials (constants included).
+func (f *Func) Terms() []Term {
+	switch f.Kind {
+	case C1:
+		return []Term{{Coef: f.B[0]}}
+	case C2, C3:
+		return []Term{
+			{Coef: f.B[0], Vars: [2]int{f.VarA}, Pows: [2]int{1}, NVars: 1},
+			{Coef: f.B[1]},
+		}
+	case C4:
+		return []Term{
+			{Coef: f.B[0], Vars: [2]int{f.VarA}, Pows: [2]int{2}, NVars: 1},
+			{Coef: f.B[1], Vars: [2]int{f.VarA}, Pows: [2]int{1}, NVars: 1},
+			{Coef: f.B[2]},
+		}
+	case C5:
+		return []Term{
+			{Coef: f.B[0], Vars: [2]int{f.VarA}, Pows: [2]int{1}, NVars: 1},
+			{Coef: f.B[1], Vars: [2]int{f.VarB}, Pows: [2]int{1}, NVars: 1},
+			{Coef: f.B[2]},
+		}
+	case C6:
+		return []Term{
+			{Coef: f.B[0], Vars: [2]int{f.VarA, f.VarB}, Pows: [2]int{1, 1}, NVars: 2},
+			{Coef: f.B[1], Vars: [2]int{f.VarA}, Pows: [2]int{1}, NVars: 1},
+			{Coef: f.B[2], Vars: [2]int{f.VarB}, Pows: [2]int{1}, NVars: 1},
+			{Coef: f.B[3]},
+		}
+	default:
+		panic(fmt.Sprintf("costmodel: bad kind %d", int(f.Kind)))
+	}
+}
+
+// Mean returns E[term] under independent normal variables.
+func (t Term) Mean(vars map[int]stats.Normal) float64 {
+	m := t.Coef
+	for i := 0; i < t.NVars; i++ {
+		m *= vars[t.Vars[i]].Moment(t.Pows[i])
+	}
+	return m
+}
+
+// Dist returns the mean and variance of the cost function given the
+// marginal distributions of its variables. Distinct variables within one
+// function are independent (Lemma 2: sibling subtrees use different
+// sample tables). For C4 this reproduces Lemma 4; for C6, Lemma 8.
+func (f *Func) Dist(vars map[int]stats.Normal) (mean, variance float64) {
+	terms := f.Terms()
+	for _, t := range terms {
+		mean += t.Mean(vars)
+	}
+	for i, a := range terms {
+		for j, b := range terms {
+			if i > j {
+				continue
+			}
+			c := termCovSameFunc(a, b, vars)
+			if i == j {
+				variance += c
+			} else {
+				variance += 2 * c
+			}
+		}
+	}
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance
+}
+
+// termCovSameFunc computes Cov(a, b) for two monomials whose distinct
+// variables are mutually independent (terms of a single operator's cost
+// function). E[ab] factors per variable using normal moments up to 4.
+func termCovSameFunc(a, b Term, vars map[int]stats.Normal) float64 {
+	if a.NVars == 0 || b.NVars == 0 {
+		return 0
+	}
+	// Joint power per variable.
+	pow := make(map[int]int, 4)
+	for i := 0; i < a.NVars; i++ {
+		pow[a.Vars[i]] += a.Pows[i]
+	}
+	for i := 0; i < b.NVars; i++ {
+		pow[b.Vars[i]] += b.Pows[i]
+	}
+	eab := a.Coef * b.Coef
+	for v, p := range pow {
+		eab *= vars[v].Moment(p)
+	}
+	return eab - a.Mean(vars)*b.Mean(vars)
+}

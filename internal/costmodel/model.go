@@ -1,0 +1,267 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/hardware"
+)
+
+// NodeModel is the optimizer-side analytic cost model of one plan
+// operator: a deterministic mapping from (hypothetical) input
+// selectivities to the resource counts n of Equation (1). Fitting probes
+// this mapping ("invoke the cost model", Section 4.2).
+type NodeModel struct {
+	Node *engine.Node
+
+	// VarA and VarB identify the selectivity variables: the node IDs of
+	// the operators whose output selectivities drive this node's cost.
+	// Scans use their own ID; unary operators use their child's variable;
+	// joins use both children's variables.
+	VarA, VarB int
+
+	// SizeL and SizeR are Π|R| over the left and right child subtrees'
+	// leaf tables (full database sizes), so Nl = Xl*SizeL, Nr = Xr*SizeR.
+	SizeL, SizeR float64
+	// Size is Π|R| over this node's leaf tables.
+	Size float64
+
+	// Theta scales the node's own output: M = Theta * Xl * Xr * Size for
+	// joins, calibrated at the estimated selectivities so that M matches
+	// rho_self there. Scans use M = X * Size directly.
+	Theta float64
+
+	// NumPreds is the number of pushed-down predicates on a scan.
+	NumPreds int
+	// ResidFactor is the optimizer's estimated combined selectivity of
+	// an index scan's residual predicates (those after the index
+	// predicate); the index fetch count is M / ResidFactor.
+	ResidFactor float64
+}
+
+// varOwner resolves which operator's selectivity variable represents the
+// output of a subtree: pass-through nodes (Sort, Materialize) delegate to
+// their input.
+func varOwner(n *engine.Node) int {
+	switch n.Kind {
+	case engine.Sort, engine.Materialize:
+		return varOwner(n.Left)
+	default:
+		return n.ID
+	}
+}
+
+// BuildModels constructs a NodeModel per plan node. selfRho maps node ID
+// to the operator's estimated selectivity, used only to calibrate Theta.
+func BuildModels(root *engine.Node, cat *catalog.Catalog, selfRho map[int]float64) (map[int]*NodeModel, error) {
+	models := make(map[int]*NodeModel)
+	var walk func(n *engine.Node) error
+	walk = func(n *engine.Node) error {
+		size, err := leafProduct(n, cat)
+		if err != nil {
+			return err
+		}
+		m := &NodeModel{Node: n, VarA: -1, VarB: -1, Size: size}
+		switch {
+		case n.Kind.IsScan():
+			m.VarA = n.ID
+			m.SizeL = size
+			m.NumPreds = len(n.Preds)
+			m.ResidFactor = 1
+			for i := 1; i < len(n.Preds); i++ {
+				sel, err := cat.PredicateSelectivity(n.Table, &n.Preds[i])
+				if err != nil {
+					return err
+				}
+				if sel > 0 && sel < 1 {
+					m.ResidFactor *= sel
+				}
+			}
+		case n.Kind.IsJoin():
+			if err := walk(n.Left); err != nil {
+				return err
+			}
+			if err := walk(n.Right); err != nil {
+				return err
+			}
+			m.VarA = varOwner(n.Left)
+			m.VarB = varOwner(n.Right)
+			sl, err := leafProduct(n.Left, cat)
+			if err != nil {
+				return err
+			}
+			sr, err := leafProduct(n.Right, cat)
+			if err != nil {
+				return err
+			}
+			m.SizeL, m.SizeR = sl, sr
+			// Calibrate Theta at the estimated point; fall back to the
+			// optimizer's join selectivity factor (M = Nl*Nr*f implies
+			// Theta = f) when estimates are unavailable or degenerate.
+			xa, xb := selfRho[m.VarA], selfRho[m.VarB]
+			self := selfRho[n.ID]
+			if xa > 0 && xb > 0 && self > 0 {
+				m.Theta = self / (xa * xb)
+			} else if f, err := optimizerJoinFactor(n, cat); err == nil {
+				m.Theta = f
+			}
+		default: // unary
+			if err := walk(n.Left); err != nil {
+				return err
+			}
+			m.VarA = varOwner(n.Left)
+			sl, err := leafProduct(n.Left, cat)
+			if err != nil {
+				return err
+			}
+			m.SizeL = sl
+		}
+		models[n.ID] = m
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return nil, err
+	}
+	return models, nil
+}
+
+// optimizerJoinFactor returns the catalog's System-R style join
+// selectivity factor for a join node.
+func optimizerJoinFactor(n *engine.Node, cat *catalog.Catalog) (float64, error) {
+	var lt, rt string
+	for _, t := range n.Left.LeafTables {
+		if _, err := cat.Column(t, n.LeftCol); err == nil {
+			lt = t
+			break
+		}
+	}
+	for _, t := range n.Right.LeafTables {
+		if _, err := cat.Column(t, n.RightCol); err == nil {
+			rt = t
+			break
+		}
+	}
+	if lt == "" || rt == "" {
+		return 0, fmt.Errorf("costmodel: join columns %q/%q not found", n.LeftCol, n.RightCol)
+	}
+	return cat.JoinSelectivityFactor(lt, n.LeftCol, rt, n.RightCol)
+}
+
+func leafProduct(n *engine.Node, cat *catalog.Catalog) (float64, error) {
+	p := 1.0
+	for _, t := range n.LeafTables {
+		ts, err := cat.Table(t)
+		if err != nil {
+			return 0, err
+		}
+		p *= float64(ts.Rows)
+	}
+	return p, nil
+}
+
+// Counts invokes the cost model at hypothetical selectivities (xa, xb):
+// the optimizer's estimate of the resource counts this operator would
+// incur. xb is ignored for unary operators and scans.
+func (m *NodeModel) Counts(xa, xb float64) engine.Counts {
+	n := m.Node
+	switch n.Kind {
+	case engine.SeqScan:
+		rows := m.SizeL
+		return engine.Counts{
+			NS: rows / engine.TuplesPerPage,
+			NT: rows,
+			NO: rows * float64(m.NumPreds),
+		}
+	case engine.IndexScan:
+		// The index fetches the tuples satisfying the index predicate;
+		// with residual selectivity ResidFactor, that is M / ResidFactor.
+		mIdx := xa * m.SizeL
+		if m.ResidFactor > 0 {
+			mIdx /= m.ResidFactor
+		}
+		if mIdx > m.SizeL {
+			mIdx = m.SizeL
+		}
+		return engine.Counts{
+			NR: mIdx, NT: mIdx, NI: mIdx,
+			NO: mIdx * float64(m.NumPreds-1),
+		}
+	case engine.Sort:
+		nl := xa * m.SizeL
+		return engine.Counts{NT: nl, NO: nl * math.Log2(math.Max(nl, 2))}
+	case engine.Materialize:
+		nl := xa * m.SizeL
+		return engine.Counts{NT: nl}
+	case engine.Aggregate:
+		nl := xa * m.SizeL
+		return engine.Counts{NT: nl, NO: 2 * nl}
+	case engine.HashJoin, engine.MergeJoin:
+		nl, nr := xa*m.SizeL, xb*m.SizeR
+		mOut := m.Theta * xa * xb * m.Size
+		return engine.Counts{NT: nl + nr + mOut, NO: nl + nr}
+	case engine.NestLoopJoin:
+		nl, nr := xa*m.SizeL, xb*m.SizeR
+		mOut := m.Theta * xa * xb * m.Size
+		return engine.Counts{NT: nl + nr + mOut, NO: nl * nr}
+	default:
+		panic(fmt.Sprintf("costmodel: counts for %v", n.Kind))
+	}
+}
+
+// KindFor returns the canonical cost-function type used to fit unit u of
+// this operator (the classification of Section 4.1).
+func (m *NodeModel) KindFor(u hardware.Unit) FuncKind {
+	switch m.Node.Kind {
+	case engine.SeqScan:
+		return C1 // all counts constant in X
+	case engine.IndexScan:
+		switch u {
+		case hardware.CR, hardware.CT, hardware.CI, hardware.CO:
+			// All proportional to the index fetch count (CO covers the
+			// residual predicate evaluations; it fits to zero when the
+			// scan has a single predicate).
+			return C2
+		default:
+			return C1
+		}
+	case engine.Sort:
+		switch u {
+		case hardware.CT:
+			return C3
+		case hardware.CO:
+			return C4 // N log N approximated by a quadratic
+		default:
+			return C1
+		}
+	case engine.Materialize:
+		if u == hardware.CT {
+			return C3
+		}
+		return C1
+	case engine.Aggregate:
+		if u == hardware.CT || u == hardware.CO {
+			return C3
+		}
+		return C1
+	case engine.HashJoin, engine.MergeJoin:
+		switch u {
+		case hardware.CT:
+			return C6 // Nl + Nr + M with M ∝ Xl*Xr
+		case hardware.CO:
+			return C5
+		default:
+			return C1
+		}
+	case engine.NestLoopJoin:
+		switch u {
+		case hardware.CT, hardware.CO:
+			return C6
+		default:
+			return C1
+		}
+	default:
+		panic(fmt.Sprintf("costmodel: kind for %v", m.Node.Kind))
+	}
+}

@@ -1,0 +1,217 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeKind enumerates the physical operators.
+type NodeKind int
+
+// Physical operator kinds.
+const (
+	SeqScan NodeKind = iota
+	IndexScan
+	Sort
+	Materialize
+	HashJoin
+	MergeJoin
+	NestLoopJoin
+	Aggregate
+)
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	switch k {
+	case SeqScan:
+		return "SeqScan"
+	case IndexScan:
+		return "IndexScan"
+	case Sort:
+		return "Sort"
+	case Materialize:
+		return "Materialize"
+	case HashJoin:
+		return "HashJoin"
+	case MergeJoin:
+		return "MergeJoin"
+	case NestLoopJoin:
+		return "NestLoopJoin"
+	case Aggregate:
+		return "Aggregate"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// IsScan reports whether the kind is a leaf table access.
+func (k NodeKind) IsScan() bool { return k == SeqScan || k == IndexScan }
+
+// IsJoin reports whether the kind is a binary join.
+func (k NodeKind) IsJoin() bool {
+	return k == HashJoin || k == MergeJoin || k == NestLoopJoin
+}
+
+// Node is an operator in a rooted binary query-plan tree (Section 2).
+// Scans are leaves; Sort/Materialize/Aggregate are unary; joins are
+// binary with an equality condition LeftCol = RightCol resolved against
+// the child outputs.
+type Node struct {
+	Kind NodeKind
+
+	// Scans. Preds is a conjunction of pushed-down selections; for index
+	// scans the first predicate is the index condition and the rest are
+	// residual filters applied to fetched tuples.
+	Table string
+	Preds []Predicate
+
+	// Joins.
+	LeftCol, RightCol string
+
+	// Aggregate. An empty GroupCol is a scalar aggregate (one output row).
+	GroupCol string
+
+	Left, Right *Node
+
+	// Finalize assigns the fields below.
+	ID         int      // preorder position, unique within the plan
+	LeafTables []string // R: table names under this subtree, left-to-right
+}
+
+// Finalize assigns IDs in preorder and computes LeafTables bottom-up. It
+// must be called once on the root before execution or prediction and
+// returns the nodes in preorder.
+func (n *Node) Finalize() []*Node {
+	var order []*Node
+	var walk func(x *Node)
+	walk = func(x *Node) {
+		x.ID = len(order)
+		order = append(order, x)
+		if x.Left != nil {
+			walk(x.Left)
+		}
+		if x.Right != nil {
+			walk(x.Right)
+		}
+		switch {
+		case x.Kind.IsScan():
+			x.LeafTables = []string{x.Table}
+		case x.Right != nil:
+			x.LeafTables = append(append([]string{}, x.Left.LeafTables...), x.Right.LeafTables...)
+		default:
+			x.LeafTables = append([]string{}, x.Left.LeafTables...)
+		}
+	}
+	walk(n)
+	return order
+}
+
+// Nodes returns the plan's operators in preorder. The plan must be
+// finalized.
+func (n *Node) Nodes() []*Node {
+	var order []*Node
+	var walk func(x *Node)
+	walk = func(x *Node) {
+		order = append(order, x)
+		if x.Left != nil {
+			walk(x.Left)
+		}
+		if x.Right != nil {
+			walk(x.Right)
+		}
+	}
+	walk(n)
+	return order
+}
+
+// IsDescendant reports whether d lies strictly inside the subtree rooted
+// at a (d ∈ Desc(a) in the paper's notation).
+func IsDescendant(a, d *Node) bool {
+	if a == d {
+		return false
+	}
+	var find func(x *Node) bool
+	find = func(x *Node) bool {
+		if x == nil {
+			return false
+		}
+		if x == d {
+			return true
+		}
+		return find(x.Left) || find(x.Right)
+	}
+	return find(a.Left) || find(a.Right)
+}
+
+// String renders the plan as an indented tree, e.g. for debugging and the
+// CLI's explain output.
+func (n *Node) String() string {
+	var b strings.Builder
+	var walk func(x *Node, depth int)
+	walk = func(x *Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		switch {
+		case x.Kind.IsScan():
+			fmt.Fprintf(&b, "%s(%s", x.Kind, x.Table)
+			for pi := range x.Preds {
+				if pi == 0 {
+					b.WriteString(" | ")
+				} else {
+					b.WriteString(" and ")
+				}
+				b.WriteString(x.Preds[pi].String())
+			}
+			b.WriteString(")")
+		case x.Kind.IsJoin():
+			fmt.Fprintf(&b, "%s(%s = %s)", x.Kind, x.LeftCol, x.RightCol)
+		case x.Kind == Aggregate:
+			if x.GroupCol == "" {
+				b.WriteString("Aggregate()")
+			} else {
+				fmt.Fprintf(&b, "Aggregate(group by %s)", x.GroupCol)
+			}
+		default:
+			b.WriteString(x.Kind.String())
+		}
+		b.WriteString("\n")
+		if x.Left != nil {
+			walk(x.Left, depth+1)
+		}
+		if x.Right != nil {
+			walk(x.Right, depth+1)
+		}
+	}
+	walk(n, 0)
+	return b.String()
+}
+
+// Validate checks structural invariants: scans are leaves, unary nodes
+// have exactly a left child, joins have both children and join columns.
+func (n *Node) Validate() error {
+	for _, x := range n.Nodes() {
+		switch {
+		case x.Kind.IsScan():
+			if x.Left != nil || x.Right != nil {
+				return fmt.Errorf("engine: scan node %q has children", x.Table)
+			}
+			if x.Table == "" {
+				return fmt.Errorf("engine: scan node without table")
+			}
+			if x.Kind == IndexScan && len(x.Preds) == 0 {
+				return fmt.Errorf("engine: index scan on %q without an index predicate", x.Table)
+			}
+		case x.Kind.IsJoin():
+			if x.Left == nil || x.Right == nil {
+				return fmt.Errorf("engine: join node missing a child")
+			}
+			if x.LeftCol == "" || x.RightCol == "" {
+				return fmt.Errorf("engine: join node missing join columns")
+			}
+		default:
+			if x.Left == nil || x.Right != nil {
+				return fmt.Errorf("engine: unary node %s must have exactly a left child", x.Kind)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+// Package engine is the in-memory relational execution substrate. It
+// provides integer-encoded tables, predicates, binary query-plan trees
+// (Section 2 of the paper), and an executor that — besides producing the
+// true output cardinalities — reports the PostgreSQL cost-model resource
+// counts n = (ns, nr, nt, ni, no) of Equation (1) for every operator.
+//
+// Joins are always evaluated hash-based for speed; the reported counts
+// follow each operator's nominal algorithm (a nested-loop join reports
+// Nl*Nr tuple comparisons even though the engine does not perform
+// quadratic work), so simulated cost is faithful without quadratic
+// wall-clock time.
+package engine
+
+import (
+	"fmt"
+	"math"
+)
+
+// TuplesPerPage is the fixed page fan-out used to convert row counts to
+// page counts for the I/O cost units.
+const TuplesPerPage = 100
+
+// Table is an in-memory relation with int64-encoded attributes.
+type Table struct {
+	Name string
+	Cols []string
+	Rows [][]int64
+
+	colIdx map[string]int
+}
+
+// NewTable constructs a table and indexes its column names. Column names
+// must be unique within the table.
+func NewTable(name string, cols []string, rows [][]int64) *Table {
+	t := &Table{Name: name, Cols: cols, Rows: rows, colIdx: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if _, dup := t.colIdx[c]; dup {
+			panic(fmt.Sprintf("engine: duplicate column %q in table %q", c, name))
+		}
+		t.colIdx[c] = i
+	}
+	return t
+}
+
+// ColIndex returns the position of col, or -1 if absent.
+func (t *Table) ColIndex(col string) int {
+	if i, ok := t.colIdx[col]; ok {
+		return i
+	}
+	return -1
+}
+
+// NumRows returns the cardinality |R|.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// Pages returns the number of pages the relation occupies.
+func (t *Table) Pages() float64 {
+	return math.Ceil(float64(len(t.Rows)) / TuplesPerPage)
+}
+
+// DB is a named collection of tables.
+type DB struct {
+	Tables map[string]*Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{Tables: make(map[string]*Table)} }
+
+// Add registers a table, replacing any previous table of the same name.
+func (db *DB) Add(t *Table) { db.Tables[t.Name] = t }
+
+// Table returns the named table or an error.
+func (db *DB) Table(name string) (*Table, error) {
+	t, ok := db.Tables[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// MustTable is Table but panics on unknown names; used where the plan was
+// already validated.
+func (db *DB) MustTable(name string) *Table {
+	t, err := db.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// CmpOp enumerates comparison operators for scan predicates.
+type CmpOp int
+
+// Comparison operators.
+const (
+	Lt CmpOp = iota
+	Le
+	Eq
+	Ge
+	Gt
+	Between // inclusive [Lo, Hi]
+)
+
+// String implements fmt.Stringer.
+func (op CmpOp) String() string {
+	switch op {
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Eq:
+		return "="
+	case Ge:
+		return ">="
+	case Gt:
+		return ">"
+	case Between:
+		return "between"
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(op))
+	}
+}
+
+// Predicate is a single-column comparison pushed down into a scan. For
+// Between both bounds are used; otherwise Lo is the operand.
+type Predicate struct {
+	Col string
+	Op  CmpOp
+	Lo  int64
+	Hi  int64
+}
+
+// Matches reports whether value v satisfies the predicate.
+func (p *Predicate) Matches(v int64) bool {
+	switch p.Op {
+	case Lt:
+		return v < p.Lo
+	case Le:
+		return v <= p.Lo
+	case Eq:
+		return v == p.Lo
+	case Ge:
+		return v >= p.Lo
+	case Gt:
+		return v > p.Lo
+	case Between:
+		return v >= p.Lo && v <= p.Hi
+	default:
+		panic(fmt.Sprintf("engine: unknown CmpOp %d", int(p.Op)))
+	}
+}
+
+// String implements fmt.Stringer.
+func (p *Predicate) String() string {
+	if p.Op == Between {
+		return fmt.Sprintf("%s between %d and %d", p.Col, p.Lo, p.Hi)
+	}
+	return fmt.Sprintf("%s %s %d", p.Col, p.Op, p.Lo)
+}

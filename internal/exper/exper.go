@@ -1,0 +1,325 @@
+// Package exper is the experiment harness for Section 6: it wires the
+// data generator, catalog, hardware simulator, calibration, sampling
+// estimator, and predictor together, runs benchmark workloads under a
+// (machine, database, sampling-ratio, variant) setting, and computes the
+// paper's evaluation metrics — the correlation coefficients r_s and r_p
+// between predicted standard deviations and actual prediction errors,
+// the distribution-proximity metric D_n, per-operator selectivity
+// accuracy, and the relative runtime overhead of sampling.
+package exper
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/calibrate"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/hardware"
+	"repro/internal/plan"
+	"repro/internal/sample"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Setting is one experimental configuration.
+type Setting struct {
+	Bench      workload.Benchmark
+	DB         datagen.DBKind
+	Machine    string // "PC1" or "PC2"
+	SR         float64
+	Variant    core.Variant
+	NumQueries int
+	Seed       int64
+}
+
+// String implements fmt.Stringer.
+func (s Setting) String() string {
+	return fmt.Sprintf("%v/%v/%s/SR=%g/%v", s.Bench, s.DB, s.Machine, s.SR, s.Variant)
+}
+
+// OpObservation pairs one selective operator's estimated selectivity
+// distribution with its ground truth (for Tables 6-9 and Figure 12).
+type OpObservation struct {
+	EstSel   float64
+	EstSigma float64
+	TrueSel  float64
+}
+
+// QueryOutcome records one query's prediction and measurement.
+type QueryOutcome struct {
+	Name       string
+	Actual     float64 // measured running time (5-run average)
+	PredMean   float64 // E[t_q]
+	PredSigma  float64 // sqrt(Var[t_q])
+	Err        float64 // |PredMean - Actual|
+	SampleCost float64 // simulated cost of the sampling pass
+	FullCost   float64 // simulated cost of the full run
+	Ops        []OpObservation
+}
+
+// RunResult aggregates a setting's outcomes and metrics.
+type RunResult struct {
+	Setting  Setting
+	Outcomes []QueryOutcome
+
+	RS float64 // Spearman correlation: predicted sigma vs actual error
+	RP float64 // Pearson correlation
+	Dn float64 // distribution proximity (Section 6.3)
+
+	// MeanOverhead is the average SampleCost / FullCost ratio
+	// (Section 6.4).
+	MeanOverhead float64
+}
+
+// Sigmas returns the predicted standard deviations in query order.
+func (r *RunResult) Sigmas() []float64 {
+	out := make([]float64, len(r.Outcomes))
+	for i, o := range r.Outcomes {
+		out[i] = o.PredSigma
+	}
+	return out
+}
+
+// Errors returns the actual prediction errors in query order.
+func (r *RunResult) Errors() []float64 {
+	out := make([]float64, len(r.Outcomes))
+	for i, o := range r.Outcomes {
+		out[i] = o.Err
+	}
+	return out
+}
+
+// NormalizedErrors returns e'_i = |t_i - mu_i| / sigma_i.
+func (r *RunResult) NormalizedErrors() []float64 {
+	actual := make([]float64, len(r.Outcomes))
+	mean := make([]float64, len(r.Outcomes))
+	sigma := make([]float64, len(r.Outcomes))
+	for i, o := range r.Outcomes {
+		actual[i], mean[i], sigma[i] = o.Actual, o.PredMean, o.PredSigma
+	}
+	return stats.NormalizedErrors(actual, mean, sigma)
+}
+
+// env is the memoized per-(database, machine) environment.
+type env struct {
+	db  *engine.DB
+	cat *catalog.Catalog
+	hw  *hardware.Profile
+	cal *calibrate.Result
+}
+
+// Lab memoizes databases, catalogs, and calibrations across settings so
+// grid experiments (Table 4 and friends) do not rebuild the world per
+// cell. A Lab is safe for concurrent use.
+type Lab struct {
+	mu   sync.Mutex
+	envs map[string]*env
+	// resCache memoizes executed plans per (db, query) so repeated
+	// settings over the same database skip re-execution.
+	resCache map[string]*engine.OpResult
+	// runCache memoizes whole settings so different report generators
+	// (e.g. Table 4 and Table 5 over the same grid) share work.
+	runCache map[Setting]*RunResult
+}
+
+// NewLab returns an empty lab.
+func NewLab() *Lab {
+	return &Lab{
+		envs:     make(map[string]*env),
+		resCache: make(map[string]*engine.OpResult),
+		runCache: make(map[Setting]*RunResult),
+	}
+}
+
+func (l *Lab) envFor(kind datagen.DBKind, machine string, seed int64) (*env, error) {
+	key := fmt.Sprintf("%v/%s/%d", kind, machine, seed)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e, ok := l.envs[key]; ok {
+		return e, nil
+	}
+	hw, err := hardware.ProfileByName(machine)
+	if err != nil {
+		return nil, err
+	}
+	db := datagen.Generate(datagen.ConfigFor(kind, seed))
+	cat := catalog.Build(db)
+	cal, err := calibrate.Run(hw, calibrate.DefaultConfig(seed+1))
+	if err != nil {
+		return nil, err
+	}
+	e := &env{db: db, cat: cat, hw: hw, cal: cal}
+	l.envs[key] = e
+	return e, nil
+}
+
+func (l *Lab) runPlan(key string, db *engine.DB, p *engine.Node) (*engine.OpResult, error) {
+	l.mu.Lock()
+	if res, ok := l.resCache[key]; ok {
+		l.mu.Unlock()
+		return res, nil
+	}
+	l.mu.Unlock()
+	res, err := engine.Run(db, p)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.resCache[key] = res
+	l.mu.Unlock()
+	return res, nil
+}
+
+// Run executes one experimental setting, memoizing the result.
+func (l *Lab) Run(s Setting) (*RunResult, error) {
+	if s.NumQueries <= 0 {
+		s.NumQueries = 24
+	}
+	l.mu.Lock()
+	if r, ok := l.runCache[s]; ok {
+		l.mu.Unlock()
+		return r, nil
+	}
+	l.mu.Unlock()
+	r, err := l.run(s)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.runCache[s] = r
+	l.mu.Unlock()
+	return r, nil
+}
+
+func (l *Lab) run(s Setting) (*RunResult, error) {
+	e, err := l.envFor(s.DB, s.Machine, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sdb, err := sample.Build(e.db, s.SR, sample.DefaultCopies, s.Seed+2)
+	if err != nil {
+		return nil, err
+	}
+	queries, err := workload.Generate(s.Bench, e.cat, s.NumQueries, s.Seed+3)
+	if err != nil {
+		return nil, err
+	}
+	pred := core.New(e.cat, e.cal.Units, core.Config{Variant: s.Variant})
+	measureRng := rand.New(rand.NewSource(s.Seed + 4))
+
+	res := &RunResult{Setting: s}
+	var overheads []float64
+	for _, q := range queries {
+		p, err := plan.Build(q, e.cat)
+		if err != nil {
+			return nil, fmt.Errorf("exper: %s: %w", q.Name, err)
+		}
+		est, err := sample.Estimate(p, sdb, e.cat)
+		if err != nil {
+			return nil, fmt.Errorf("exper: %s: %w", q.Name, err)
+		}
+		pr, err := pred.Predict(p, est)
+		if err != nil {
+			return nil, fmt.Errorf("exper: %s: %w", q.Name, err)
+		}
+		key := fmt.Sprintf("%v/%d/%s", s.DB, s.Seed, q.Name)
+		runRes, err := l.runPlan(key, e.db, p)
+		if err != nil {
+			return nil, fmt.Errorf("exper: %s: %w", q.Name, err)
+		}
+		actual := e.hw.MeasurePlan(runRes, measureRng)
+
+		out := QueryOutcome{
+			Name:      q.Name,
+			Actual:    actual,
+			PredMean:  pr.Mean(),
+			PredSigma: pr.Sigma(),
+			Err:       math.Abs(pr.Mean() - actual),
+		}
+		// Overhead: simulated cost of the sampling pass vs the full run.
+		out.SampleCost = e.hw.ExpectedCost(est.TotalSampleCounts())
+		out.FullCost = e.hw.ExpectedCost(runRes.TotalCounts())
+		if out.FullCost > 0 {
+			overheads = append(overheads, out.SampleCost/out.FullCost)
+		}
+		// Per-operator selectivity observations (selective operators
+		// estimated via sampling only).
+		for _, opRes := range runRes.Results() {
+			n := opRes.Node
+			if !n.Kind.IsScan() && !n.Kind.IsJoin() {
+				continue
+			}
+			oe, err := est.Get(n)
+			if err != nil || oe.FromOptimizer {
+				continue
+			}
+			out.Ops = append(out.Ops, OpObservation{
+				EstSel:   oe.Rho,
+				EstSigma: oe.Sigma(),
+				TrueSel:  opRes.Selectivity,
+			})
+		}
+		res.Outcomes = append(res.Outcomes, out)
+	}
+
+	res.RS = stats.Spearman(res.Sigmas(), res.Errors())
+	res.RP = stats.Pearson(res.Sigmas(), res.Errors())
+	res.Dn = stats.Dn(res.NormalizedErrors(), nil)
+	res.MeanOverhead = stats.Mean(overheads)
+	return res, nil
+}
+
+// SelectivityMetrics computes the Table 6-9 statistics over all
+// per-operator observations of a run: correlations between estimated
+// and actual selectivity errors (Table 6), between estimated and actual
+// selectivities (Table 7), the mean relative error (Table 8), and the
+// error correlations restricted to relative errors above the threshold
+// (Table 9, threshold 0.2 in the paper).
+type SelectivityMetrics struct {
+	ErrRS, ErrRP   float64 // estimated sigma vs |actual error|
+	SelRS, SelRP   float64 // estimated vs actual selectivity
+	MeanRelErr     float64
+	LargeRS        float64 // restricted to rel. error > threshold
+	LargeRP        float64
+	NumObs         int
+	NumLargeErrObs int
+}
+
+// ComputeSelectivityMetrics aggregates all operator observations.
+func ComputeSelectivityMetrics(r *RunResult, threshold float64) SelectivityMetrics {
+	var estSigma, absErr, est, truth, relErrs []float64
+	var largeSigma, largeErr []float64
+	for _, o := range r.Outcomes {
+		for _, op := range o.Ops {
+			e := math.Abs(op.EstSel - op.TrueSel)
+			estSigma = append(estSigma, op.EstSigma)
+			absErr = append(absErr, e)
+			est = append(est, op.EstSel)
+			truth = append(truth, op.TrueSel)
+			if op.TrueSel > 0 {
+				rel := e / op.TrueSel
+				relErrs = append(relErrs, rel)
+				if rel > threshold {
+					largeSigma = append(largeSigma, op.EstSigma)
+					largeErr = append(largeErr, e)
+				}
+			}
+		}
+	}
+	return SelectivityMetrics{
+		ErrRS:          stats.Spearman(estSigma, absErr),
+		ErrRP:          stats.Pearson(estSigma, absErr),
+		SelRS:          stats.Spearman(est, truth),
+		SelRP:          stats.Pearson(est, truth),
+		MeanRelErr:     stats.Mean(relErrs),
+		LargeRS:        stats.Spearman(largeSigma, largeErr),
+		LargeRP:        stats.Pearson(largeSigma, largeErr),
+		NumObs:         len(estSigma),
+		NumLargeErrObs: len(largeSigma),
+	}
+}

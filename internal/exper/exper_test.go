@@ -1,0 +1,185 @@
+package exper
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/workload"
+)
+
+// smallSetting keeps unit-test runs fast: tiny DB, few queries.
+func smallSetting(b workload.Benchmark, variant core.Variant, sr float64) Setting {
+	return Setting{
+		Bench:      b,
+		DB:         datagen.Uniform1G,
+		Machine:    "PC1",
+		SR:         sr,
+		Variant:    variant,
+		NumQueries: 12,
+		Seed:       1,
+	}
+}
+
+func TestRunMicroProducesMetrics(t *testing.T) {
+	lab := NewLab()
+	res, err := lab.Run(smallSetting(workload.Micro, core.All, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 12 {
+		t.Fatalf("outcomes=%d", len(res.Outcomes))
+	}
+	for _, o := range res.Outcomes {
+		if o.Actual <= 0 || o.PredMean <= 0 {
+			t.Errorf("%s: actual=%v pred=%v", o.Name, o.Actual, o.PredMean)
+		}
+		if o.PredSigma < 0 {
+			t.Errorf("%s: sigma=%v", o.Name, o.PredSigma)
+		}
+	}
+	if math.IsNaN(res.RS) || math.IsNaN(res.RP) || math.IsNaN(res.Dn) {
+		t.Error("NaN metrics")
+	}
+	if res.MeanOverhead <= 0 || res.MeanOverhead > 1 {
+		t.Errorf("overhead=%v", res.MeanOverhead)
+	}
+}
+
+func TestRunCorrelationPositive(t *testing.T) {
+	// With a real mixture of queries the correlation between predicted
+	// sigma and actual error should be clearly positive — the paper's
+	// headline result (R1).
+	lab := NewLab()
+	s := smallSetting(workload.SelJoin, core.All, 0.05)
+	s.NumQueries = 24
+	res, err := lab.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RS < 0.3 {
+		t.Errorf("r_s = %v, want positive correlation", res.RS)
+	}
+}
+
+func TestRunTPCHWithAggregates(t *testing.T) {
+	lab := NewLab()
+	res, err := lab.Run(smallSetting(workload.TPCH, core.All, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) == 0 {
+		t.Fatal("no outcomes")
+	}
+	// Selectivity observations exist (scans and joins below aggregates).
+	m := ComputeSelectivityMetrics(res, 0.2)
+	if m.NumObs == 0 {
+		t.Error("no selectivity observations")
+	}
+	if m.SelRP < 0.8 {
+		t.Errorf("estimated vs actual selectivity r_p = %v, want high", m.SelRP)
+	}
+}
+
+func TestOverheadGrowsWithSamplingRatio(t *testing.T) {
+	lab := NewLab()
+	small, err := lab.Run(smallSetting(workload.TPCH, core.All, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := lab.Run(smallSetting(workload.TPCH, core.All, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.MeanOverhead <= small.MeanOverhead {
+		t.Errorf("overhead at SR=0.1 (%v) not above SR=0.01 (%v)",
+			big.MeanOverhead, small.MeanOverhead)
+	}
+	if big.MeanOverhead > 0.5 {
+		t.Errorf("overhead %v implausibly large", big.MeanOverhead)
+	}
+}
+
+func TestLabMemoization(t *testing.T) {
+	lab := NewLab()
+	if _, err := lab.Run(smallSetting(workload.Micro, core.All, 0.05)); err != nil {
+		t.Fatal(err)
+	}
+	if len(lab.envs) != 1 {
+		t.Errorf("envs=%d, want 1", len(lab.envs))
+	}
+	// Same DB+machine, different variant: env reused.
+	if _, err := lab.Run(smallSetting(workload.Micro, core.NoVarC, 0.05)); err != nil {
+		t.Fatal(err)
+	}
+	if len(lab.envs) != 1 {
+		t.Errorf("envs=%d after second run, want 1", len(lab.envs))
+	}
+	if len(lab.resCache) == 0 {
+		t.Error("plan result cache empty")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := NewLab().Run(smallSetting(workload.SelJoin, core.All, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewLab().Run(smallSetting(workload.SelJoin, core.All, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Map-iteration order inside the covariance engine permutes float
+	// products, so equality holds only up to roundoff.
+	eq := func(x, y float64) bool {
+		return math.Abs(x-y) <= 1e-12*math.Max(1, math.Max(math.Abs(x), math.Abs(y)))
+	}
+	if !eq(a.RS, b.RS) || !eq(a.RP, b.RP) || !eq(a.Dn, b.Dn) {
+		t.Errorf("metrics differ: (%v,%v,%v) vs (%v,%v,%v)",
+			a.RS, a.RP, a.Dn, b.RS, b.RP, b.Dn)
+	}
+}
+
+func TestSelectivityMetricsThreshold(t *testing.T) {
+	lab := NewLab()
+	res, err := lab.Run(smallSetting(workload.SelJoin, core.All, 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ComputeSelectivityMetrics(res, 0.2)
+	if m.NumLargeErrObs > m.NumObs {
+		t.Errorf("large-error obs %d > total %d", m.NumLargeErrObs, m.NumObs)
+	}
+	if m.MeanRelErr < 0 {
+		t.Errorf("mean relative error %v", m.MeanRelErr)
+	}
+}
+
+func TestVariantsShareEnvAndDiffer(t *testing.T) {
+	lab := NewLab()
+	all, err := lab.Run(smallSetting(workload.TPCH, core.All, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noc, err := lab.Run(smallSetting(workload.TPCH, core.NoVarC, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dropping Var[c] must shrink the average predicted sigma.
+	var sAll, sNoC float64
+	for i := range all.Outcomes {
+		sAll += all.Outcomes[i].PredSigma
+		sNoC += noc.Outcomes[i].PredSigma
+	}
+	if sNoC >= sAll {
+		t.Errorf("NoVar[c] sigma sum %v not below All %v", sNoC, sAll)
+	}
+}
+
+func TestSettingString(t *testing.T) {
+	s := smallSetting(workload.Micro, core.All, 0.05)
+	if s.String() == "" {
+		t.Error("empty setting string")
+	}
+}

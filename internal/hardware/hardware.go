@@ -1,0 +1,197 @@
+// Package hardware simulates the execution environment of the paper's
+// experiments: two machines (PC1, PC2) whose five PostgreSQL cost units
+// c = (cs, cr, ct, ci, co) are true Gaussian random variables, plus a
+// multiplicative model-error term standing in for the simplifications in
+// the cost model function g (error source (iii) of Section 1).
+//
+// The paper ran PostgreSQL 9.0.4 on physical machines; this simulator is
+// the documented substitution (see DESIGN.md §3). Prediction-side code —
+// calibration, sampling, fitting, propagation — is identical to what
+// would run against a real DBMS; only the source of "actual" running
+// times differs.
+package hardware
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/stats"
+)
+
+// NumUnits is the number of cost units in the model.
+const NumUnits = 5
+
+// Unit indexes the five cost units of Table 1.
+type Unit int
+
+// The five cost units (Table 1 of the paper).
+const (
+	CS Unit = iota // I/O cost to sequentially access a page
+	CR             // I/O cost to randomly access a page
+	CT             // CPU cost to process a tuple
+	CI             // CPU cost to process a tuple via index access
+	CO             // CPU cost to perform an operation (hash, comparison)
+)
+
+// String implements fmt.Stringer.
+func (u Unit) String() string {
+	switch u {
+	case CS:
+		return "cs"
+	case CR:
+		return "cr"
+	case CT:
+		return "ct"
+	case CI:
+		return "ci"
+	case CO:
+		return "co"
+	default:
+		return fmt.Sprintf("Unit(%d)", int(u))
+	}
+}
+
+// Units lists all cost units in index order.
+var Units = [NumUnits]Unit{CS, CR, CT, CI, CO}
+
+// Profile describes a simulated machine: the true (unobservable)
+// distribution of each cost unit in seconds per operation, and the
+// standard deviation of the per-operator log-scale model error.
+type Profile struct {
+	Name string
+	// True distribution of each cost unit; the calibration framework
+	// estimates these, it never reads them directly.
+	True [NumUnits]stats.Normal
+	// ModelErrSigma is the sigma of the lognormal factor exp(eps),
+	// eps ~ N(0, ModelErrSigma^2), applied per operator. It models the
+	// errors in g itself (interleaving of CPU and I/O, constant factors
+	// the logical cost functions miss).
+	ModelErrSigma float64
+}
+
+// PC1 returns the slower machine of the paper (dual 1.86 GHz CPU, 4 GB).
+func PC1() *Profile {
+	return &Profile{
+		Name: "PC1",
+		True: [NumUnits]stats.Normal{
+			CS: stats.NewNormal(80e-6, 14e-6),   // sequential page read
+			CR: stats.NewNormal(900e-6, 220e-6), // random page read
+			CT: stats.NewNormal(1.0e-6, 0.18e-6),
+			CI: stats.NewNormal(2.5e-6, 0.50e-6),
+			CO: stats.NewNormal(1.4e-6, 0.26e-6),
+		},
+		ModelErrSigma: 0.12,
+	}
+}
+
+// PC2 returns the faster machine (8-core 2.40 GHz, 16 GB): roughly 2x
+// cheaper CPU units, moderately cheaper I/O, and slightly tighter
+// variation.
+func PC2() *Profile {
+	return &Profile{
+		Name: "PC2",
+		True: [NumUnits]stats.Normal{
+			CS: stats.NewNormal(60e-6, 9e-6),
+			CR: stats.NewNormal(700e-6, 150e-6),
+			CT: stats.NewNormal(0.45e-6, 0.07e-6),
+			CI: stats.NewNormal(1.1e-6, 0.19e-6),
+			CO: stats.NewNormal(0.6e-6, 0.10e-6),
+		},
+		ModelErrSigma: 0.10,
+	}
+}
+
+// ProfileByName returns PC1 or PC2.
+func ProfileByName(name string) (*Profile, error) {
+	switch name {
+	case "PC1":
+		return PC1(), nil
+	case "PC2":
+		return PC2(), nil
+	default:
+		return nil, fmt.Errorf("hardware: unknown profile %q", name)
+	}
+}
+
+// drawUnit samples one realization of cost unit u.
+func (p *Profile) drawUnit(u Unit, r *rand.Rand) float64 {
+	d := p.True[u]
+	v := d.Mu + d.Sigma*r.NormFloat64()
+	// Cost units are physically positive; resample the rare negative tail.
+	for v <= 0 {
+		v = d.Mu + d.Sigma*r.NormFloat64()
+	}
+	return v
+}
+
+// OperatorTime realizes the running time of one operator with resource
+// counts n: t = exp(eps) * sum_c n_c * c_draw, with fresh unit draws per
+// operator (the paper's observation that e.g. the cost of a random I/O
+// differs from operator to operator).
+func (p *Profile) OperatorTime(counts engine.Counts, r *rand.Rand) float64 {
+	var t float64
+	for i := 0; i < NumUnits; i++ {
+		n := counts.Get(i)
+		if n > 0 {
+			t += n * p.drawUnit(Unit(i), r)
+		}
+	}
+	if p.ModelErrSigma > 0 {
+		t *= math.Exp(p.ModelErrSigma * r.NormFloat64())
+	}
+	return t
+}
+
+// PlanTime realizes the total running time of an executed plan. The
+// cost units are drawn once per run — they model the machine state
+// (disk layout, cache temperature, background load) during that
+// execution, the "fluctuations in the system state" of Section 1 — and
+// shared by all operators; each operator additionally gets an
+// independent lognormal model-error factor for the imperfection of g.
+func (p *Profile) PlanTime(res *engine.OpResult, r *rand.Rand) float64 {
+	var units [NumUnits]float64
+	for i := 0; i < NumUnits; i++ {
+		units[i] = p.drawUnit(Unit(i), r)
+	}
+	var t float64
+	for _, op := range res.Results() {
+		var ot float64
+		for i := 0; i < NumUnits; i++ {
+			if n := op.Counts.Get(i); n > 0 {
+				ot += n * units[i]
+			}
+		}
+		if p.ModelErrSigma > 0 {
+			ot *= math.Exp(p.ModelErrSigma * r.NormFloat64())
+		}
+		t += ot
+	}
+	return t
+}
+
+// AverageRuns mirrors the paper's measurement protocol: run the query
+// Runs times with cold caches and average the measured times.
+const AverageRuns = 5
+
+// MeasurePlan returns the "actual running time" of an executed plan:
+// the mean of AverageRuns independent realizations.
+func (p *Profile) MeasurePlan(res *engine.OpResult, r *rand.Rand) float64 {
+	var sum float64
+	for i := 0; i < AverageRuns; i++ {
+		sum += p.PlanTime(res, r)
+	}
+	return sum / AverageRuns
+}
+
+// ExpectedCost returns the deterministic cost sum_c n_c * mu_c of a count
+// vector under the profile's true means — used by the overhead
+// experiments to compare sample-run cost against full-run cost.
+func (p *Profile) ExpectedCost(counts engine.Counts) float64 {
+	var t float64
+	for i := 0; i < NumUnits; i++ {
+		t += counts.Get(i) * p.True[i].Mu
+	}
+	return t
+}

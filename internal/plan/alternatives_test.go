@@ -1,0 +1,127 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func altQuery() *Query {
+	return &Query{
+		Name:   "alt",
+		Tables: []string{"customer", "orders", "lineitem"},
+		Preds: []engine.Predicate{
+			{Col: "c_acctbal", Op: engine.Le, Lo: 5000},
+		},
+		Joins: []JoinCond{
+			{LeftTable: "customer", LeftCol: "c_custkey", RightTable: "orders", RightCol: "o_custkey"},
+			{LeftTable: "orders", LeftCol: "o_orderkey", RightTable: "lineitem", RightCol: "l_orderkey"},
+		},
+	}
+}
+
+func TestBuildOrderedRespectsOrder(t *testing.T) {
+	db, cat := testEnv(t)
+	q := altQuery()
+	p, err := BuildOrdered(q, cat, []string{"lineitem", "orders", "customer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leftmost leaf must be lineitem.
+	if p.LeafTables[0] != "lineitem" {
+		t.Errorf("leftmost leaf %q, want lineitem:\n%s", p.LeafTables[0], p)
+	}
+	res, err := engine.Run(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M <= 0 {
+		t.Error("ordered plan produced empty result")
+	}
+}
+
+func TestBuildOrderedSameResultAsDefault(t *testing.T) {
+	db, cat := testEnv(t)
+	q := altQuery()
+	def, err := Build(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt, err := BuildOrdered(q, cat, []string{"lineitem", "orders", "customer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := engine.Run(db, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := engine.Run(db, alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.M != r2.M {
+		t.Errorf("join orders disagree on cardinality: %v vs %v", r1.M, r2.M)
+	}
+}
+
+func TestBuildOrderedRejectsDisconnected(t *testing.T) {
+	_, cat := testEnv(t)
+	q := altQuery()
+	// customer -> lineitem skips orders: not connected at step 2.
+	if _, err := BuildOrdered(q, cat, []string{"customer", "lineitem", "orders"}); err == nil {
+		t.Error("expected error for disconnected order")
+	}
+}
+
+func TestBuildOrderedRejectsWrongTables(t *testing.T) {
+	_, cat := testEnv(t)
+	q := altQuery()
+	if _, err := BuildOrdered(q, cat, []string{"customer", "orders"}); err == nil {
+		t.Error("expected error for short order")
+	}
+	if _, err := BuildOrdered(q, cat, []string{"customer", "orders", "part"}); err == nil {
+		t.Error("expected error for foreign table")
+	}
+}
+
+func TestAlternativesDistinctAndEquivalent(t *testing.T) {
+	db, cat := testEnv(t)
+	q := altQuery()
+	plans, err := Alternatives(q, cat, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) < 2 {
+		t.Fatalf("got %d alternatives, want >= 2", len(plans))
+	}
+	seen := map[string]bool{}
+	var card float64 = -1
+	for _, p := range plans {
+		s := p.String()
+		if seen[s] {
+			t.Error("duplicate plan among alternatives")
+		}
+		seen[s] = true
+		res, err := engine.Run(db, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if card < 0 {
+			card = res.M
+		} else if res.M != card {
+			t.Errorf("alternative disagrees on cardinality: %v vs %v", res.M, card)
+		}
+	}
+}
+
+func TestAlternativesSingleTable(t *testing.T) {
+	_, cat := testEnv(t)
+	q := &Query{Name: "one", Tables: []string{"lineitem"}}
+	plans, err := Alternatives(q, cat, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 1 {
+		t.Errorf("single-table query produced %d plans", len(plans))
+	}
+}

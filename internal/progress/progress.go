@@ -1,0 +1,162 @@
+// Package progress implements an uncertainty-aware query progress
+// indicator (Section 6.5.2): the paper argues its predictor is the
+// natural building block for progress estimation with confidence bands,
+// since it supplies a distribution for the remaining work rather than a
+// bare percentage. An Indicator starts from a per-operator prediction
+// and, as operators complete, replaces their predicted time with the
+// observed time — the remaining-work distribution tightens as the query
+// runs.
+package progress
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// opState tracks one operator's contribution.
+type opState struct {
+	nodeID   int
+	mean     float64
+	variance float64
+	done     bool
+	observed float64
+}
+
+// Indicator tracks the execution of one predicted query.
+type Indicator struct {
+	ops []opState
+	// covScale distributes the cross-operator covariance mass of the
+	// original prediction proportionally to the remaining same-operator
+	// variance, keeping the initial Remaining() consistent with the
+	// prediction's total variance.
+	covMass  float64
+	totalVar float64
+}
+
+// New builds an indicator from a prediction's per-operator breakdown.
+func New(pred *core.Prediction) *Indicator {
+	ind := &Indicator{}
+	var sameOpVar float64
+	for _, op := range pred.PerOperator {
+		ind.ops = append(ind.ops, opState{nodeID: op.NodeID, mean: op.Mean, variance: op.Var})
+		sameOpVar += op.Var
+	}
+	ind.totalVar = pred.Dist.Var()
+	ind.covMass = ind.totalVar - sameOpVar
+	if ind.covMass < 0 {
+		ind.covMass = 0
+	}
+	sort.Slice(ind.ops, func(i, j int) bool { return ind.ops[i].nodeID < ind.ops[j].nodeID })
+	return ind
+}
+
+// CompleteOperator marks an operator finished with its observed time.
+func (ind *Indicator) CompleteOperator(nodeID int, observed float64) error {
+	for i := range ind.ops {
+		if ind.ops[i].nodeID == nodeID {
+			if ind.ops[i].done {
+				return fmt.Errorf("progress: operator %d already completed", nodeID)
+			}
+			ind.ops[i].done = true
+			ind.ops[i].observed = observed
+			return nil
+		}
+	}
+	return fmt.Errorf("progress: unknown operator %d", nodeID)
+}
+
+// Elapsed returns the observed time of completed operators.
+func (ind *Indicator) Elapsed() float64 {
+	var t float64
+	for _, op := range ind.ops {
+		if op.done {
+			t += op.observed
+		}
+	}
+	return t
+}
+
+// pendingMoments returns the mean and variance of the remaining work.
+func (ind *Indicator) pendingMoments() (mean, variance float64) {
+	var pendVar, sameOpVar float64
+	for _, op := range ind.ops {
+		sameOpVar += op.variance
+		if !op.done {
+			mean += op.mean
+			pendVar += op.variance
+		}
+	}
+	variance = pendVar
+	// Attribute the covariance mass proportionally to the pending share
+	// of the same-operator variance.
+	if sameOpVar > 0 {
+		variance += ind.covMass * (pendVar / sameOpVar)
+	}
+	return mean, variance
+}
+
+// Remaining returns the distribution of the remaining running time.
+func (ind *Indicator) Remaining() stats.Normal {
+	mean, variance := ind.pendingMoments()
+	return stats.NormalFromVar(mean, variance)
+}
+
+// Fraction returns the completed fraction of the total predicted work
+// (by expected cost), in [0, 1].
+func (ind *Indicator) Fraction() float64 {
+	var done, total float64
+	for _, op := range ind.ops {
+		total += op.mean
+		if op.done {
+			done += op.mean
+		}
+	}
+	if total <= 0 {
+		return 1
+	}
+	f := done / total
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// ETA returns a central band of probability mass q for the total
+// completion time (elapsed + remaining). The lower edge is clamped at
+// the elapsed time: the query cannot finish in the past.
+func (ind *Indicator) ETA(q float64) (lo, hi float64) {
+	elapsed := ind.Elapsed()
+	rem := ind.Remaining()
+	if rem.Sigma == 0 {
+		return elapsed + rem.Mu, elapsed + rem.Mu
+	}
+	rlo, rhi := rem.Interval(q)
+	if rlo < 0 {
+		rlo = 0
+	}
+	return elapsed + rlo, elapsed + rhi
+}
+
+// Done reports whether every operator has completed.
+func (ind *Indicator) Done() bool {
+	for _, op := range ind.ops {
+		if !op.done {
+			return false
+		}
+	}
+	return true
+}
+
+// NumPending returns the count of operators still running.
+func (ind *Indicator) NumPending() int {
+	n := 0
+	for _, op := range ind.ops {
+		if !op.done {
+			n++
+		}
+	}
+	return n
+}

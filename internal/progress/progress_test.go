@@ -1,0 +1,144 @@
+package progress
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/stats"
+)
+
+// fakePred builds a prediction with three operators and a known
+// covariance mass.
+func fakePred() *core.Prediction {
+	ops := []core.OpPrediction{
+		{NodeID: 0, Kind: engine.HashJoin, Mean: 2.0, Var: 0.04},
+		{NodeID: 1, Kind: engine.SeqScan, Mean: 1.0, Var: 0.01},
+		{NodeID: 2, Kind: engine.SeqScan, Mean: 3.0, Var: 0.09},
+	}
+	// total variance = same-op (0.14) + covariance mass (0.06).
+	return &core.Prediction{
+		Dist:        stats.NormalFromVar(6.0, 0.20),
+		PerOperator: ops,
+	}
+}
+
+func TestInitialStateMatchesPrediction(t *testing.T) {
+	ind := New(fakePred())
+	rem := ind.Remaining()
+	if math.Abs(rem.Mu-6.0) > 1e-12 {
+		t.Errorf("initial remaining mean %v, want 6", rem.Mu)
+	}
+	if math.Abs(rem.Var()-0.20) > 1e-12 {
+		t.Errorf("initial remaining variance %v, want 0.20", rem.Var())
+	}
+	if ind.Fraction() != 0 || ind.Elapsed() != 0 || ind.Done() {
+		t.Error("initial progress state wrong")
+	}
+	if ind.NumPending() != 3 {
+		t.Errorf("pending=%d", ind.NumPending())
+	}
+}
+
+func TestCompletionShrinksRemaining(t *testing.T) {
+	ind := New(fakePred())
+	before := ind.Remaining()
+	if err := ind.CompleteOperator(2, 3.2); err != nil {
+		t.Fatal(err)
+	}
+	after := ind.Remaining()
+	if after.Mu >= before.Mu {
+		t.Errorf("remaining mean did not shrink: %v -> %v", before.Mu, after.Mu)
+	}
+	if after.Var() >= before.Var() {
+		t.Errorf("remaining variance did not shrink: %v -> %v", before.Var(), after.Var())
+	}
+	if ind.Elapsed() != 3.2 {
+		t.Errorf("elapsed %v", ind.Elapsed())
+	}
+	if f := ind.Fraction(); math.Abs(f-0.5) > 1e-12 { // 3 of 6 expected seconds
+		t.Errorf("fraction %v, want 0.5", f)
+	}
+}
+
+func TestFullCompletion(t *testing.T) {
+	ind := New(fakePred())
+	for _, id := range []int{0, 1, 2} {
+		if err := ind.CompleteOperator(id, 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !ind.Done() || ind.NumPending() != 0 {
+		t.Error("not done after completing all operators")
+	}
+	rem := ind.Remaining()
+	if rem.Mu != 0 || rem.Var() != 0 {
+		t.Errorf("remaining after completion: %v", rem)
+	}
+	lo, hi := ind.ETA(0.9)
+	if lo != 3.0 || hi != 3.0 {
+		t.Errorf("ETA after completion [%v, %v], want the elapsed 3.0", lo, hi)
+	}
+	if ind.Fraction() != 1 {
+		t.Errorf("fraction %v", ind.Fraction())
+	}
+}
+
+func TestETABandsNarrow(t *testing.T) {
+	ind := New(fakePred())
+	lo0, hi0 := ind.ETA(0.9)
+	if err := ind.CompleteOperator(2, 2.9); err != nil {
+		t.Fatal(err)
+	}
+	lo1, hi1 := ind.ETA(0.9)
+	if (hi1 - lo1) >= (hi0 - lo0) {
+		t.Errorf("ETA band did not narrow: [%v,%v] -> [%v,%v]", lo0, hi0, lo1, hi1)
+	}
+	if lo1 < ind.Elapsed() {
+		t.Errorf("ETA lower edge %v below elapsed %v", lo1, ind.Elapsed())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	ind := New(fakePred())
+	if err := ind.CompleteOperator(42, 1); err == nil {
+		t.Error("expected error for unknown operator")
+	}
+	if err := ind.CompleteOperator(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ind.CompleteOperator(1, 1); err == nil {
+		t.Error("expected error for double completion")
+	}
+}
+
+// End-to-end: drive the indicator from a real prediction.
+func TestIndicatorWithRealPrediction(t *testing.T) {
+	// Reuse the core fixture machinery indirectly through a tiny system.
+	predOps := []core.OpPrediction{
+		{NodeID: 0, Mean: 0.5, Var: 0.002},
+		{NodeID: 1, Mean: 0.2, Var: 0.001},
+	}
+	pred := &core.Prediction{
+		Dist:        stats.NormalFromVar(0.7, 0.004),
+		PerOperator: predOps,
+	}
+	ind := New(pred)
+	steps := 0
+	for !ind.Done() {
+		// Complete operators bottom-up, observing slightly-off times.
+		for _, op := range predOps {
+			if ind.NumPending() > 0 {
+				_ = ind.CompleteOperator(op.NodeID, op.Mean*1.1)
+			}
+		}
+		steps++
+		if steps > 3 {
+			t.Fatal("indicator never completed")
+		}
+	}
+	if math.Abs(ind.Elapsed()-0.77) > 1e-12 {
+		t.Errorf("elapsed %v, want 0.77", ind.Elapsed())
+	}
+}

@@ -1,0 +1,207 @@
+package sample
+
+import (
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+)
+
+// EstimateHistogram is an alternative selectivity-distribution estimator
+// built on the catalog's equi-depth histograms instead of samples. The
+// paper names histogram-based estimators as interesting future work
+// (Section 3.2); this implementation models the estimate's uncertainty
+// from the histogram's resolution:
+//
+//   - A range predicate's cumulative-fraction estimate is exact up to
+//     the position of the value inside one bucket, i.e. an error that is
+//     uniform on ±1/(2B) for B buckets, giving variance (1/B)^2 / 12 per
+//     probed boundary.
+//   - A join's selectivity factor 1/max(d_l, d_r) relies on the
+//     containment and uniformity assumptions; its error is modeled with
+//     a configurable relative standard deviation (default 50%), the
+//     empirical ballpark for System-R style join estimates.
+//
+// No sampling pass is run, so there are no leaf variance components and
+// no covariance information — exactly the trade-off the paper's
+// sampling-based design avoids. The estimator exists to make that
+// comparison measurable (see BenchmarkAblationEstimators).
+type HistogramOpts struct {
+	// JoinRelSigma is the relative standard deviation assigned to join
+	// selectivity factors; 0 selects DefaultJoinRelSigma.
+	JoinRelSigma float64
+}
+
+// DefaultJoinRelSigma is the default relative uncertainty of a
+// histogram-era join selectivity estimate.
+const DefaultJoinRelSigma = 0.5
+
+// EstimateHistogram computes per-operator selectivity distributions for
+// the plan from catalog statistics alone.
+func EstimateHistogram(root *engine.Node, cat *catalog.Catalog, opts HistogramOpts) (*Estimates, error) {
+	if opts.JoinRelSigma <= 0 {
+		opts.JoinRelSigma = DefaultJoinRelSigma
+	}
+	est := &Estimates{ByID: make(map[int]*OpEstimate)}
+	leafCounter := 0
+
+	var walk func(n *engine.Node) (*OpEstimate, error)
+	walk = func(n *engine.Node) (*OpEstimate, error) {
+		full, err := fullSize(n, cat)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case n.Kind.IsScan():
+			ord := leafCounter
+			leafCounter++
+			ts, err := cat.Table(n.Table)
+			if err != nil {
+				return nil, err
+			}
+			rho := 1.0
+			variance := 0.0
+			for pi := range n.Preds {
+				sel, err := cat.PredicateSelectivity(n.Table, &n.Preds[pi])
+				if err != nil {
+					return nil, err
+				}
+				boundaries := 1.0
+				if n.Preds[pi].Op == engine.Between {
+					boundaries = 2
+				}
+				b := float64(catalog.HistogramBuckets)
+				if ts.Rows < catalog.HistogramBuckets {
+					b = math.Max(float64(ts.Rows), 1)
+				}
+				// Error uniform on +-1/(2B) per boundary.
+				bv := boundaries * (1 / b) * (1 / b) / 12
+				// Combine multiplicatively: Var[XY] ~ mu_x^2 v_y +
+				// mu_y^2 v_x for small independent errors.
+				variance = rho*rho*bv + sel*sel*variance
+				rho *= sel
+			}
+			e := &OpEstimate{
+				Node:     n,
+				Rho:      rho,
+				Var:      variance,
+				LeafComp: map[int]float64{ord: variance},
+				LeafN:    map[int]int{ord: ts.Rows},
+				EstCard:  rho * full,
+			}
+			est.ByID[n.ID] = e
+			return e, nil
+		case n.Kind.IsJoin():
+			le, err := walk(n.Left)
+			if err != nil {
+				return nil, err
+			}
+			re, err := walk(n.Right)
+			if err != nil {
+				return nil, err
+			}
+			f, err := joinFactor(n, cat)
+			if err != nil {
+				return nil, err
+			}
+			rho := le.Rho * re.Rho * f
+			// Relative variances add for products of (approximately)
+			// independent factors.
+			rel := relVar(le) + relVar(re) + opts.JoinRelSigma*opts.JoinRelSigma
+			variance := rho * rho * rel
+			e := &OpEstimate{
+				Node:     n,
+				Rho:      rho,
+				Var:      variance,
+				LeafComp: mergeComp(le, re, variance),
+				LeafN:    mergeN(le, re),
+				EstCard:  rho * full,
+			}
+			est.ByID[n.ID] = e
+			return e, nil
+		case n.Kind == engine.Aggregate:
+			ce, err := walk(n.Left)
+			if err != nil {
+				return nil, err
+			}
+			card := 1.0
+			if n.GroupCol != "" {
+				tab, _, err := cat.FindColumn(n.GroupCol)
+				if err != nil {
+					return nil, err
+				}
+				card, err = cat.GroupCount(tab, n.GroupCol, ce.EstCard)
+				if err != nil {
+					return nil, err
+				}
+			}
+			rho := 0.0
+			if full > 0 {
+				rho = card / full
+			}
+			e := &OpEstimate{
+				Node: n, Rho: rho, FromOptimizer: true,
+				LeafComp: map[int]float64{}, LeafN: map[int]int{}, EstCard: card,
+			}
+			est.ByID[n.ID] = e
+			return e, nil
+		default: // Sort, Materialize
+			ce, err := walk(n.Left)
+			if err != nil {
+				return nil, err
+			}
+			e := &OpEstimate{
+				Node: n, Rho: ce.Rho, Var: ce.Var,
+				LeafComp: ce.LeafComp, LeafN: ce.LeafN,
+				FromOptimizer: ce.FromOptimizer, EstCard: ce.EstCard,
+			}
+			est.ByID[n.ID] = e
+			return e, nil
+		}
+	}
+	if _, err := walk(root); err != nil {
+		return nil, err
+	}
+	return est, nil
+}
+
+func relVar(e *OpEstimate) float64 {
+	if e.Rho <= 0 {
+		return 0
+	}
+	return e.Var / (e.Rho * e.Rho)
+}
+
+func mergeComp(l, r *OpEstimate, total float64) map[int]float64 {
+	out := make(map[int]float64, len(l.LeafComp)+len(r.LeafComp))
+	// Split the variance across leaves proportionally to the children's
+	// shares so restricted sums stay meaningful.
+	childSum := 0.0
+	for _, v := range l.LeafComp {
+		childSum += v
+	}
+	for _, v := range r.LeafComp {
+		childSum += v
+	}
+	for _, m := range []map[int]float64{l.LeafComp, r.LeafComp} {
+		for k, v := range m {
+			if childSum > 0 {
+				out[k] = total * v / childSum
+			} else {
+				out[k] = total / float64(len(l.LeafComp)+len(r.LeafComp))
+			}
+		}
+	}
+	return out
+}
+
+func mergeN(l, r *OpEstimate) map[int]int {
+	out := make(map[int]int, len(l.LeafN)+len(r.LeafN))
+	for k, v := range l.LeafN {
+		out[k] = v
+	}
+	for k, v := range r.LeafN {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,611 @@
+// Package sample implements the sampling-based selectivity estimator of
+// Section 3.2 (Haas et al. [25], as adapted in [48]): tuple-level samples
+// of every relation are stored offline as sample tables whose tuples
+// carry provenance identifiers; one pass of the query plan over the
+// samples yields, for every selection and join operator, both the
+// selectivity estimate rho_n and its sample variance S^2_n (Algorithm 1),
+// plus the per-relation variance components S^2_{n,m} of Appendix A.7
+// needed for covariance upper bounds.
+package sample
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+)
+
+// Table is a sample of a base relation. The provenance identifier of the
+// i-th sample tuple is simply i (the paper's annotation scheme, akin to
+// data provenance lineage tracking).
+type Table struct {
+	Base string
+	Rows [][]int64
+	cols []string
+}
+
+// N returns the sample size n_k.
+func (s *Table) N() int { return len(s.Rows) }
+
+// DB holds the offline samples: one or more independent sample tables
+// per relation. Multiple copies let the estimator assign a different
+// sample to each appearance of a shared relation, preserving the
+// independence of sibling selectivities (Lemma 2 and the discussion
+// after it).
+type DB struct {
+	Copies map[string][]*Table
+	Ratio  float64
+}
+
+// DefaultCopies is the number of independent sample tables kept per
+// relation.
+const DefaultCopies = 2
+
+// Build draws tuple-level simple random samples (without replacement) of
+// every table at the given sampling ratio. At least minRows tuples are
+// kept per sample so tiny dimension tables remain estimable.
+func Build(db *engine.DB, ratio float64, copies int, seed int64) (*DB, error) {
+	if ratio <= 0 || ratio > 1 {
+		return nil, fmt.Errorf("sample: ratio %v out of (0,1]", ratio)
+	}
+	if copies <= 0 {
+		copies = DefaultCopies
+	}
+	const minRows = 20
+	r := rand.New(rand.NewSource(seed))
+	out := &DB{Copies: make(map[string][]*Table, len(db.Tables)), Ratio: ratio}
+	// Iterate tables in sorted order: map iteration order would otherwise
+	// make the shared RNG stream — and thus the samples — nondeterministic.
+	names := make([]string, 0, len(db.Tables))
+	for name := range db.Tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := db.Tables[name]
+		n := int(float64(t.NumRows()) * ratio)
+		if n < minRows {
+			n = minRows
+		}
+		if n > t.NumRows() {
+			n = t.NumRows()
+		}
+		for c := 0; c < copies; c++ {
+			idx := r.Perm(t.NumRows())[:n]
+			rows := make([][]int64, n)
+			for i, j := range idx {
+				rows[i] = t.Rows[j]
+			}
+			out.Copies[name] = append(out.Copies[name],
+				&Table{Base: name, Rows: rows, cols: t.Cols})
+		}
+	}
+	return out, nil
+}
+
+// OpEstimate is the estimated selectivity distribution of one operator.
+type OpEstimate struct {
+	Node *engine.Node
+
+	// Rho is the selectivity estimate rho_n; Var is the estimated
+	// variance sigma_n^2 ~= S^2_n / n of the estimate.
+	Rho float64
+	Var float64
+
+	// LeafComp maps leaf ordinal -> its contribution W_k to Var, so
+	// Var = sum_k LeafComp[k]. Restricting the sum to the leaves shared
+	// with another operator gives the S^2_{rho}(m, n) bound of
+	// Theorem 7 (Appendix A.7).
+	LeafComp map[int]float64
+	// LeafN maps leaf ordinal -> sample size n_k.
+	LeafN map[int]int
+
+	// FromOptimizer marks operators (aggregates, and everything above
+	// them) whose estimate falls back to the optimizer's cardinality
+	// estimate with zero variance (Algorithm 1 lines 3-5).
+	FromOptimizer bool
+
+	// EstCard is the estimated output cardinality rho * Pi |R| over the
+	// full (not sample) relations.
+	EstCard float64
+
+	// SampleCounts are the resource counts this operator incurred while
+	// running over the samples, for the runtime-overhead experiments.
+	SampleCounts engine.Counts
+}
+
+// Sigma returns the standard deviation of the selectivity estimate.
+func (e *OpEstimate) Sigma() float64 {
+	if e.Var <= 0 {
+		return 0
+	}
+	return math.Sqrt(e.Var)
+}
+
+// Estimates holds the per-operator estimates of one plan pass.
+type Estimates struct {
+	ByID map[int]*OpEstimate
+}
+
+// Get returns the estimate for a node.
+func (e *Estimates) Get(n *engine.Node) (*OpEstimate, error) {
+	est, ok := e.ByID[n.ID]
+	if !ok {
+		return nil, fmt.Errorf("sample: no estimate for node %d (%v)", n.ID, n.Kind)
+	}
+	return est, nil
+}
+
+// TotalSampleCounts sums the sample-run resource counts across the plan,
+// used to measure the relative overhead of sampling (Section 6.4).
+func (e *Estimates) TotalSampleCounts() engine.Counts {
+	var total engine.Counts
+	for _, op := range e.ByID {
+		total = total.Add(op.SampleCounts)
+	}
+	return total
+}
+
+// srow is a sample tuple with provenance: prov[k] is the index of the
+// sample tuple of leaf ordinal k that produced it, or -1.
+type srow struct {
+	vals []int64
+	prov []int32
+}
+
+// evalResult is the intermediate state of the bottom-up pass.
+type evalResult struct {
+	rows     []srow
+	cols     []string
+	leafOrds []int
+	tainted  bool // true above an aggregate: sampling no longer applies
+}
+
+// Estimate runs the finalized plan once over the sample tables
+// (Algorithm 2's EstSelDistr) and returns every operator's selectivity
+// distribution. cat supplies optimizer estimates for aggregates; use
+// EstimateWithOpts to select the GEE aggregate estimator instead.
+func Estimate(root *engine.Node, sdb *DB, cat *catalog.Catalog) (*Estimates, error) {
+	return estimate(root, sdb, cat, Opts{})
+}
+
+func estimate(root *engine.Node, sdb *DB, cat *catalog.Catalog, opts Opts) (*Estimates, error) {
+	est := &Estimates{ByID: make(map[int]*OpEstimate)}
+	nLeaves := len(root.LeafTables)
+	copyUse := make(map[string]int)
+	optEst, err := optimizerEstimates(root, cat)
+	if err != nil {
+		return nil, err
+	}
+
+	leafCounter := 0
+	var walk func(n *engine.Node) (*evalResult, error)
+	walk = func(n *engine.Node) (*evalResult, error) {
+		switch {
+		case n.Kind.IsScan():
+			ord := leafCounter
+			leafCounter++
+			copies := sdb.Copies[n.Table]
+			if len(copies) == 0 {
+				return nil, fmt.Errorf("sample: no sample tables for %q", n.Table)
+			}
+			st := copies[copyUse[n.Table]%len(copies)]
+			copyUse[n.Table]++
+			return evalScan(n, st, ord, est, cat)
+		case n.Kind.IsJoin():
+			left, err := walk(n.Left)
+			if err != nil {
+				return nil, err
+			}
+			right, err := walk(n.Right)
+			if err != nil {
+				return nil, err
+			}
+			if left.tainted || right.tainted {
+				return evalOptimizer(n, left, right, est, optEst, cat)
+			}
+			return evalJoin(n, left, right, nLeaves, sdb, est, cat)
+		case n.Kind == engine.Aggregate:
+			child, err := walk(n.Left)
+			if err != nil {
+				return nil, err
+			}
+			return evalAggregate(n, child, est, optEst, cat, opts)
+		default: // Sort, Materialize: pass-through, same selectivity variable
+			child, err := walk(n.Left)
+			if err != nil {
+				return nil, err
+			}
+			ce := est.ByID[n.Left.ID]
+			est.ByID[n.ID] = &OpEstimate{
+				Node:          n,
+				Rho:           ce.Rho,
+				Var:           ce.Var,
+				LeafComp:      ce.LeafComp,
+				LeafN:         ce.LeafN,
+				FromOptimizer: ce.FromOptimizer,
+				EstCard:       ce.EstCard,
+				SampleCounts:  engine.UnaryCounts(n.Kind, float64(len(child.rows))),
+			}
+			return child, nil
+		}
+	}
+	if _, err := walk(root); err != nil {
+		return nil, err
+	}
+	return est, nil
+}
+
+// fullSize returns Pi |R| over the node's leaf tables in the full
+// database.
+func fullSize(n *engine.Node, cat *catalog.Catalog) (float64, error) {
+	p := 1.0
+	for _, t := range n.LeafTables {
+		ts, err := cat.Table(t)
+		if err != nil {
+			return 0, err
+		}
+		p *= float64(ts.Rows)
+	}
+	return p, nil
+}
+
+func evalScan(n *engine.Node, st *Table, ord int, est *Estimates, cat *catalog.Catalog) (*evalResult, error) {
+	idx := make([]int, len(n.Preds))
+	for pi := range n.Preds {
+		idx[pi] = -1
+		for i, c := range st.cols {
+			if c == n.Preds[pi].Col {
+				idx[pi] = i
+				break
+			}
+		}
+		if idx[pi] < 0 {
+			return nil, fmt.Errorf("sample: predicate column %q not in %q", n.Preds[pi].Col, n.Table)
+		}
+	}
+	nTotal := st.N()
+	rows := make([]srow, 0, nTotal)
+	mIndex := 0.0
+	for i, r := range st.Rows {
+		if len(n.Preds) > 0 && !n.Preds[0].Matches(r[idx[0]]) {
+			continue
+		}
+		mIndex++
+		ok := true
+		for pi := 1; pi < len(n.Preds); pi++ {
+			if !n.Preds[pi].Matches(r[idx[pi]]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rows = append(rows, srow{vals: r, prov: []int32{int32(i)}})
+		}
+	}
+	if len(n.Preds) == 0 {
+		mIndex = float64(nTotal)
+	}
+	rho := float64(len(rows)) / float64(nTotal)
+	// S^2_n = rho(1-rho) for a selection; sigma_n^2 = S^2_n / n.
+	v := rho * (1 - rho) / float64(nTotal)
+	// Floor an all-miss sample at half an observation with 100% relative
+	// uncertainty; a hard zero would make downstream costs degenerate.
+	if len(rows) == 0 {
+		rho = 0.5 / float64(nTotal)
+		v = rho * rho
+	}
+	full, err := fullSize(n, cat)
+	if err != nil {
+		return nil, err
+	}
+	est.ByID[n.ID] = &OpEstimate{
+		Node:         n,
+		Rho:          rho,
+		Var:          v,
+		LeafComp:     map[int]float64{ord: v},
+		LeafN:        map[int]int{ord: nTotal},
+		EstCard:      rho * full,
+		SampleCounts: engine.ScanCounts(n.Kind, float64(nTotal), mIndex, len(n.Preds)),
+	}
+	// Normalize provenance to a single-leaf layout local to this node.
+	return &evalResult{rows: rows, cols: st.cols, leafOrds: []int{ord}}, nil
+}
+
+func evalJoin(n *engine.Node, left, right *evalResult, nLeaves int, sdb *DB, est *Estimates, cat *catalog.Catalog) (*evalResult, error) {
+	li := colIndex(left.cols, n.LeftCol)
+	ri := colIndex(right.cols, n.RightCol)
+	if li < 0 || ri < 0 {
+		return nil, fmt.Errorf("sample: join columns %q/%q not found", n.LeftCol, n.RightCol)
+	}
+	out := hashJoinSRows(left, right, li, ri)
+	ords := append(append([]int{}, left.leafOrds...), right.leafOrds...)
+
+	le := est.ByID[n.Left.ID]
+	re := est.ByID[n.Right.ID]
+	leafN := make(map[int]int, len(ords))
+	for k, v := range le.LeafN {
+		leafN[k] = v
+	}
+	for k, v := range re.LeafN {
+		leafN[k] = v
+	}
+
+	// rho_n = |out| / Pi_k n_k.
+	prodN := 1.0
+	for _, k := range ords {
+		prodN *= float64(leafN[k])
+	}
+	rho := float64(len(out)) / prodN
+
+	// Q_{k,j,n} accumulation (Algorithm 1 lines 11-13): scan the join
+	// result once, incrementing per-leaf hash maps keyed by provenance.
+	qmaps := make(map[int]map[int32]float64, len(ords))
+	for _, k := range ords {
+		qmaps[k] = make(map[int32]float64)
+	}
+	for _, t := range out {
+		for _, k := range ords {
+			qmaps[k][t.prov[ordPos(ords, k)]]++
+		}
+	}
+
+	// Per-leaf variance components: V_k = (1/(n_k-1)) sum_j
+	// (Q_{k,j}/prod_{k'!=k} n_{k'} - rho)^2, W_k = V_k / n_k.
+	leafComp := make(map[int]float64, len(ords))
+	var totalVar float64
+	for _, k := range ords {
+		nk := float64(leafN[k])
+		denom := prodN / nk // prod of the other sample sizes
+		var ss float64
+		for _, q := range qmaps[k] {
+			d := q/denom - rho
+			ss += d * d
+		}
+		// Tuples j with Q_{k,j} = 0 contribute rho^2 each.
+		zeros := nk - float64(len(qmaps[k]))
+		ss += zeros * rho * rho
+		vk := 0.0
+		if nk > 1 {
+			vk = ss / (nk - 1)
+		}
+		wk := vk / nk
+		leafComp[k] = wk
+		totalVar += wk
+	}
+
+	full, err := fullSize(n, cat)
+	if err != nil {
+		return nil, err
+	}
+
+	// Guard against empty sample joins: the estimator would report a
+	// zero selectivity with zero variance, which is overconfident. Use
+	// half an observation — the sample's resolution limit — with 100%
+	// relative uncertainty. This deliberately overestimates very small
+	// selectivities and flags them with a correspondingly large sigma:
+	// the estimator knows that it cannot resolve the value, which is
+	// exactly the self-awareness the predictor propagates. (The paper
+	// never hits this regime: its absolute sample sizes are in the tens
+	// of thousands even at SR = 0.01.)
+	if len(out) == 0 {
+		rho = 0.5 / prodN
+		totalVar = rho * rho
+		for _, k := range ords {
+			leafComp[k] = totalVar / float64(len(ords))
+		}
+	}
+
+	est.ByID[n.ID] = &OpEstimate{
+		Node:     n,
+		Rho:      rho,
+		Var:      totalVar,
+		LeafComp: leafComp,
+		LeafN:    leafN,
+		EstCard:  rho * full,
+		SampleCounts: engine.JoinCounts(n.Kind,
+			float64(len(left.rows)), float64(len(right.rows)), float64(len(out))),
+	}
+	return &evalResult{
+		rows:     out,
+		cols:     append(append([]string{}, left.cols...), right.cols...),
+		leafOrds: ords,
+	}, nil
+}
+
+func evalAggregate(n *engine.Node, child *evalResult, est *Estimates, optEst map[int]float64, cat *catalog.Catalog, opts Opts) (*evalResult, error) {
+	full, err := fullSize(n, cat)
+	if err != nil {
+		return nil, err
+	}
+	card := optEst[n.ID]
+	if opts.Agg == GEEAgg && !child.tainted {
+		inputCard := 0.0
+		if ce, ok := est.ByID[n.Left.ID]; ok {
+			inputCard = ce.EstCard
+		}
+		if gee, ok := geeAggregateCard(n, child, inputCard); ok {
+			card = gee
+		}
+	}
+	rho := 0.0
+	if full > 0 {
+		rho = card / full
+	}
+	est.ByID[n.ID] = &OpEstimate{
+		Node:          n,
+		Rho:           rho,
+		Var:           0,
+		LeafComp:      map[int]float64{},
+		LeafN:         map[int]int{},
+		FromOptimizer: true,
+		EstCard:       card,
+		SampleCounts:  engine.UnaryCounts(engine.Aggregate, float64(len(child.rows))),
+	}
+	return &evalResult{cols: child.cols, leafOrds: child.leafOrds, tainted: true}, nil
+}
+
+// evalOptimizer handles operators above an aggregate, where sampling no
+// longer applies (the Agg flag of Algorithm 1).
+func evalOptimizer(n *engine.Node, left, right *evalResult, est *Estimates, optEst map[int]float64, cat *catalog.Catalog) (*evalResult, error) {
+	full, err := fullSize(n, cat)
+	if err != nil {
+		return nil, err
+	}
+	card := optEst[n.ID]
+	rho := 0.0
+	if full > 0 {
+		rho = card / full
+	}
+	est.ByID[n.ID] = &OpEstimate{
+		Node:          n,
+		Rho:           rho,
+		FromOptimizer: true,
+		LeafComp:      map[int]float64{},
+		LeafN:         map[int]int{},
+		EstCard:       card,
+	}
+	cols := left.cols
+	ords := left.leafOrds
+	if right != nil {
+		cols = append(append([]string{}, left.cols...), right.cols...)
+		ords = append(append([]int{}, left.leafOrds...), right.leafOrds...)
+	}
+	return &evalResult{cols: cols, leafOrds: ords, tainted: true}, nil
+}
+
+func optimizerEstimates(root *engine.Node, cat *catalog.Catalog) (map[int]float64, error) {
+	// Delegated to the plan package's logic would create an import
+	// cycle; aggregates only need group counts of their input, estimated
+	// from the child's own estimate at prediction time. Here we
+	// precompute a simple bottom-up optimizer pass.
+	est := make(map[int]float64)
+	var walk func(n *engine.Node) (float64, error)
+	walk = func(n *engine.Node) (float64, error) {
+		switch {
+		case n.Kind.IsScan():
+			ts, err := cat.Table(n.Table)
+			if err != nil {
+				return 0, err
+			}
+			card := float64(ts.Rows)
+			for pi := range n.Preds {
+				sel, err := cat.PredicateSelectivity(n.Table, &n.Preds[pi])
+				if err != nil {
+					return 0, err
+				}
+				card *= sel
+			}
+			est[n.ID] = card
+			return card, nil
+		case n.Kind.IsJoin():
+			l, err := walk(n.Left)
+			if err != nil {
+				return 0, err
+			}
+			r, err := walk(n.Right)
+			if err != nil {
+				return 0, err
+			}
+			f, err := joinFactor(n, cat)
+			if err != nil {
+				return 0, err
+			}
+			card := l * r * f
+			est[n.ID] = card
+			return card, nil
+		case n.Kind == engine.Aggregate:
+			in, err := walk(n.Left)
+			if err != nil {
+				return 0, err
+			}
+			card := 1.0
+			if n.GroupCol != "" {
+				tab, _, err := cat.FindColumn(n.GroupCol)
+				if err != nil {
+					return 0, err
+				}
+				card, err = cat.GroupCount(tab, n.GroupCol, in)
+				if err != nil {
+					return 0, err
+				}
+			}
+			est[n.ID] = card
+			return card, nil
+		default:
+			in, err := walk(n.Left)
+			if err != nil {
+				return 0, err
+			}
+			est[n.ID] = in
+			return in, nil
+		}
+	}
+	if _, err := walk(root); err != nil {
+		return nil, err
+	}
+	return est, nil
+}
+
+func joinFactor(n *engine.Node, cat *catalog.Catalog) (float64, error) {
+	lt, err := tableOfColumn(cat, n.Left.LeafTables, n.LeftCol)
+	if err != nil {
+		return 0, err
+	}
+	rt, err := tableOfColumn(cat, n.Right.LeafTables, n.RightCol)
+	if err != nil {
+		return 0, err
+	}
+	return cat.JoinSelectivityFactor(lt, n.LeftCol, rt, n.RightCol)
+}
+
+func tableOfColumn(cat *catalog.Catalog, tables []string, col string) (string, error) {
+	for _, t := range tables {
+		if _, err := cat.Column(t, col); err == nil {
+			return t, nil
+		}
+	}
+	return "", fmt.Errorf("sample: column %q not found among %v", col, tables)
+}
+
+func hashJoinSRows(left, right *evalResult, li, ri int) []srow {
+	ht := make(map[int64][]int, len(left.rows))
+	for i, r := range left.rows {
+		ht[r.vals[li]] = append(ht[r.vals[li]], i)
+	}
+	var out []srow
+	for _, rr := range right.rows {
+		for _, i := range ht[rr.vals[ri]] {
+			lr := left.rows[i]
+			vals := make([]int64, 0, len(lr.vals)+len(rr.vals))
+			vals = append(vals, lr.vals...)
+			vals = append(vals, rr.vals...)
+			prov := make([]int32, 0, len(lr.prov)+len(rr.prov))
+			prov = append(prov, lr.prov...)
+			prov = append(prov, rr.prov...)
+			out = append(out, srow{vals: vals, prov: prov})
+		}
+	}
+	return out
+}
+
+func colIndex(cols []string, name string) int {
+	for i, c := range cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func ordPos(ords []int, k int) int {
+	for i, o := range ords {
+		if o == k {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("sample: leaf ordinal %d not in %v", k, ords))
+}

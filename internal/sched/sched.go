@@ -1,0 +1,188 @@
+// Package sched implements distribution-based query scheduling
+// (Section 6.5.3 of the paper, following Chi et al. [14]): scheduling
+// policies that consume the predictor's running-time *distributions*
+// rather than point estimates, plus a single-server simulator and the
+// metrics (deadline misses, total tardiness, mean flow time) needed to
+// compare policies.
+//
+// This is one of the downstream applications the paper argues become
+// possible once distributional information is available; the package
+// makes the claim concrete and testable.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Job is one query awaiting execution.
+type Job struct {
+	Name string
+	// Dist is the predicted running-time distribution.
+	Dist stats.Normal
+	// Deadline is the absolute deadline (seconds from schedule start);
+	// 0 means no deadline.
+	Deadline float64
+	// Actual is the true running time, revealed only by the simulator.
+	Actual float64
+}
+
+// Policy orders jobs for execution on a single server.
+type Policy interface {
+	// Order returns the execution order as indices into jobs.
+	Order(jobs []Job) []int
+	Name() string
+}
+
+// FCFS executes jobs in arrival order — the baseline with no prediction
+// at all.
+type FCFS struct{}
+
+// Name implements Policy.
+func (FCFS) Name() string { return "fcfs" }
+
+// Order implements Policy.
+func (FCFS) Order(jobs []Job) []int { return identity(len(jobs)) }
+
+// SJFMean is shortest-job-first on the predicted mean — the best a
+// point-estimate predictor can support.
+type SJFMean struct{}
+
+// Name implements Policy.
+func (SJFMean) Name() string { return "sjf-mean" }
+
+// Order implements Policy.
+func (SJFMean) Order(jobs []Job) []int {
+	return sortBy(jobs, func(j Job) float64 { return j.Dist.Mu })
+}
+
+// SJFQuantile is shortest-job-first on a quantile of the distribution;
+// with q > 0.5 it penalizes uncertain jobs.
+type SJFQuantile struct{ Q float64 }
+
+// Name implements Policy.
+func (p SJFQuantile) Name() string { return fmt.Sprintf("sjf-q%.2f", p.Q) }
+
+// Order implements Policy.
+func (p SJFQuantile) Order(jobs []Job) []int {
+	q := p.Q
+	if q <= 0 || q >= 1 {
+		q = 0.9
+	}
+	return sortBy(jobs, func(j Job) float64 { return j.Dist.Quantile(q) })
+}
+
+// EDF is earliest-deadline-first, prediction-free.
+type EDF struct{}
+
+// Name implements Policy.
+func (EDF) Name() string { return "edf" }
+
+// Order implements Policy.
+func (EDF) Order(jobs []Job) []int {
+	return sortBy(jobs, func(j Job) float64 {
+		if j.Deadline == 0 {
+			return math.Inf(1)
+		}
+		return j.Deadline
+	})
+}
+
+// RiskSlack is risk-adjusted least-slack-first: jobs are ordered by
+// deadline minus the Q-quantile of their predicted running time, so a
+// job whose deadline leaves little room once its plausible worst case
+// is accounted for runs first. This is the simplest distribution-based
+// scheduler in the spirit of [14]: with Q = 0.5 it degenerates to
+// (mean-based) least-slack, and larger Q buys insurance against
+// uncertain jobs. Jobs without deadlines run last, shortest mean first.
+type RiskSlack struct{ Q float64 }
+
+// Name implements Policy.
+func (p RiskSlack) Name() string { return fmt.Sprintf("risk-slack-q%.2f", p.quantile()) }
+
+func (p RiskSlack) quantile() float64 {
+	if p.Q <= 0 || p.Q >= 1 {
+		return 0.9
+	}
+	return p.Q
+}
+
+// Order implements Policy.
+func (p RiskSlack) Order(jobs []Job) []int {
+	q := p.quantile()
+	return sortBy(jobs, func(j Job) float64 {
+		if j.Deadline == 0 {
+			// Deadline-free jobs after all deadline jobs.
+			return math.Inf(1)
+		}
+		return j.Deadline - j.Dist.Quantile(q)
+	})
+}
+
+// Metrics summarizes one simulated schedule.
+type Metrics struct {
+	Policy        string
+	DeadlineMiss  int
+	Tardiness     float64 // sum of (finish - deadline)+ over deadline jobs
+	MeanFlowTime  float64 // mean completion time
+	TotalDuration float64
+}
+
+// Simulate executes the jobs sequentially in the policy's order using
+// their actual running times and reports the metrics.
+func Simulate(jobs []Job, p Policy) Metrics {
+	order := p.Order(jobs)
+	if len(order) != len(jobs) {
+		panic(fmt.Sprintf("sched: policy %s returned %d indices for %d jobs",
+			p.Name(), len(order), len(jobs)))
+	}
+	seen := make([]bool, len(jobs))
+	m := Metrics{Policy: p.Name()}
+	var clock, flowSum float64
+	for _, ji := range order {
+		if seen[ji] {
+			panic(fmt.Sprintf("sched: policy %s repeated job %d", p.Name(), ji))
+		}
+		seen[ji] = true
+		j := jobs[ji]
+		clock += j.Actual
+		flowSum += clock
+		if j.Deadline > 0 && clock > j.Deadline {
+			m.DeadlineMiss++
+			m.Tardiness += clock - j.Deadline
+		}
+	}
+	m.TotalDuration = clock
+	if len(jobs) > 0 {
+		m.MeanFlowTime = flowSum / float64(len(jobs))
+	}
+	return m
+}
+
+// Compare simulates every policy on the same jobs.
+func Compare(jobs []Job, policies ...Policy) []Metrics {
+	out := make([]Metrics, 0, len(policies))
+	for _, p := range policies {
+		out = append(out, Simulate(jobs, p))
+	}
+	return out
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func sortBy(jobs []Job, key func(Job) float64) []int {
+	idx := identity(len(jobs))
+	sort.SliceStable(idx, func(a, b int) bool {
+		return key(jobs[idx[a]]) < key(jobs[idx[b]])
+	})
+	return idx
+}

@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func job(name string, mean, sigma, deadline, actual float64) Job {
+	return Job{Name: name, Dist: stats.NewNormal(mean, sigma), Deadline: deadline, Actual: actual}
+}
+
+func TestFCFSKeepsOrder(t *testing.T) {
+	jobs := []Job{job("a", 3, 0.1, 0, 3), job("b", 1, 0.1, 0, 1), job("c", 2, 0.1, 0, 2)}
+	got := FCFS{}.Order(jobs)
+	for i, ji := range got {
+		if ji != i {
+			t.Fatalf("FCFS order %v", got)
+		}
+	}
+}
+
+func TestSJFMeanSortsAscending(t *testing.T) {
+	jobs := []Job{job("a", 3, 0.1, 0, 3), job("b", 1, 0.1, 0, 1), job("c", 2, 0.1, 0, 2)}
+	got := SJFMean{}.Order(jobs)
+	want := []int{1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SJF order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSJFQuantilePenalizesUncertainty(t *testing.T) {
+	// Same mean, different sigma: the uncertain job goes later under a
+	// high quantile.
+	jobs := []Job{job("risky", 2, 1.0, 0, 2), job("safe", 2, 0.01, 0, 2)}
+	got := SJFQuantile{Q: 0.9}.Order(jobs)
+	if got[0] != 1 {
+		t.Errorf("expected safe job first, got %v", got)
+	}
+}
+
+func TestEDFOrdersByDeadline(t *testing.T) {
+	jobs := []Job{job("late", 1, 0.1, 10, 1), job("soon", 1, 0.1, 2, 1), job("none", 1, 0.1, 0, 1)}
+	got := EDF{}.Order(jobs)
+	if got[0] != 1 || got[2] != 2 {
+		t.Errorf("EDF order %v", got)
+	}
+}
+
+func TestSimulateMetrics(t *testing.T) {
+	jobs := []Job{
+		job("a", 1, 0.1, 1.5, 1), // finishes at 1, meets 1.5
+		job("b", 2, 0.1, 2.0, 2), // finishes at 3, misses 2.0 by 1
+	}
+	m := Simulate(jobs, FCFS{})
+	if m.DeadlineMiss != 1 {
+		t.Errorf("misses=%d, want 1", m.DeadlineMiss)
+	}
+	if math.Abs(m.Tardiness-1) > 1e-12 {
+		t.Errorf("tardiness=%v, want 1", m.Tardiness)
+	}
+	if math.Abs(m.MeanFlowTime-2) > 1e-12 { // (1+3)/2
+		t.Errorf("flow=%v, want 2", m.MeanFlowTime)
+	}
+	if m.TotalDuration != 3 {
+		t.Errorf("duration=%v", m.TotalDuration)
+	}
+}
+
+func TestRiskSlackBeatsMeanOnRiskyJobs(t *testing.T) {
+	// Construct the paper's motivating situation: two jobs with similar
+	// means but very different uncertainty, and deadlines such that
+	// running the risky job first blows the safe job's deadline exactly
+	// when the risky job runs long.
+	// The risky job has the smaller mean, so SJF-mean runs it first; but
+	// its long tail routinely blows the safe job's tight deadline. The
+	// distribution-based policy sees that running the safe job first is
+	// nearly free and schedules it ahead.
+	r := rand.New(rand.NewSource(1))
+	var meanMisses, distMisses int
+	for trial := 0; trial < 300; trial++ {
+		risky := job("risky", 1.8, 1.2, 6.0, 1.8+1.2*r.NormFloat64())
+		if risky.Actual < 0.1 {
+			risky.Actual = 0.1
+		}
+		safe := job("safe", 1.9, 0.05, 2.2, 1.9+0.05*r.NormFloat64())
+		jobs := []Job{risky, safe}
+		meanMisses += Simulate(jobs, SJFMean{}).DeadlineMiss
+		distMisses += Simulate(jobs, RiskSlack{Q: 0.9}).DeadlineMiss
+	}
+	if distMisses >= meanMisses {
+		t.Errorf("distribution-based scheduler missed %d vs mean-based %d",
+			distMisses, meanMisses)
+	}
+}
+
+func TestCompareRunsAllPolicies(t *testing.T) {
+	jobs := []Job{job("a", 1, 0.1, 2, 1), job("b", 2, 0.3, 5, 2)}
+	ms := Compare(jobs, FCFS{}, SJFMean{}, SJFQuantile{Q: 0.9}, EDF{}, RiskSlack{Q: 0.9})
+	if len(ms) != 5 {
+		t.Fatalf("got %d metric sets", len(ms))
+	}
+	names := map[string]bool{}
+	for _, m := range ms {
+		names[m.Policy] = true
+		if m.TotalDuration != 3 {
+			t.Errorf("%s: duration %v, want 3", m.Policy, m.TotalDuration)
+		}
+	}
+	if len(names) != 5 {
+		t.Error("duplicate policy names")
+	}
+}
+
+// Property: every policy returns a permutation, and total duration is
+// invariant across policies.
+func TestPoliciesArePermutations(t *testing.T) {
+	policies := []Policy{FCFS{}, SJFMean{}, SJFQuantile{Q: 0.8}, EDF{}, RiskSlack{Q: 0.8}}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		jobs := make([]Job, n)
+		var total float64
+		for i := range jobs {
+			a := 0.1 + r.Float64()*3
+			var dl float64
+			if r.Intn(2) == 0 {
+				dl = r.Float64() * 10
+			}
+			jobs[i] = job("j", a, r.Float64(), dl, a)
+			total += a
+		}
+		for _, p := range policies {
+			order := p.Order(jobs)
+			if len(order) != n {
+				return false
+			}
+			seen := make([]bool, n)
+			for _, ji := range order {
+				if ji < 0 || ji >= n || seen[ji] {
+					return false
+				}
+				seen[ji] = true
+			}
+			if m := Simulate(jobs, p); math.Abs(m.TotalDuration-total) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,82 @@
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs; it returns 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (divisor n-1). It returns
+// 0 for fewer than two observations.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// PopVariance returns the population variance (divisor n).
+func PopVariance(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MeanVar returns both the sample mean and the unbiased sample variance
+// in a single pass (Welford's algorithm), which is what the calibration
+// framework uses to summarize observed cost units.
+func MeanVar(xs []float64) (mean, variance float64) {
+	var m, m2 float64
+	for i, x := range xs {
+		d := x - m
+		m += d / float64(i+1)
+		m2 += d * (x - m)
+	}
+	if len(xs) > 1 {
+		variance = m2 / float64(len(xs)-1)
+	}
+	return m, variance
+}
+
+// MinMax returns the minimum and maximum of xs. It panics on empty input.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

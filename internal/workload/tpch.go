@@ -1,0 +1,267 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/plan"
+)
+
+// tpchTemplate instantiates one simplified TPC-H query template with
+// random parameters. The simplifications relative to the full spec are
+// documented in DESIGN.md: single-column scan predicates (the builder
+// keeps the most selective one), small-domain group-by columns, and no
+// nested sub-queries or views (the paper also excluded templates whose
+// plans contain such structures).
+type tpchTemplate struct {
+	num int
+	gen func(cat *catalog.Catalog, r *rand.Rand, i int) (*plan.Query, error)
+}
+
+// dateParam returns a random order-date style cutoff covering a fraction
+// of the date domain between lo and hi.
+func dateParam(r *rand.Rand, lo, hi float64) int64 {
+	f := lo + (hi-lo)*r.Float64()
+	return int64(f * datagen.DateDays)
+}
+
+var tpchTemplates = []tpchTemplate{
+	// Q1: pricing summary report — scan lineitem by ship date, sorted
+	// group-aggregate on return flag.
+	{1, func(cat *catalog.Catalog, r *rand.Rand, i int) (*plan.Query, error) {
+		return &plan.Query{
+			Name:   fmt.Sprintf("q01-%02d", i),
+			Tables: []string{"lineitem"},
+			Preds: []engine.Predicate{
+				{Col: "l_shipdate", Op: engine.Le, Lo: dateParam(r, 0.6, 0.98)},
+			},
+			Agg: &plan.AggSpec{GroupCol: "l_returnflag", SortInput: true},
+		}, nil
+	}},
+	// Q3: shipping priority — customer segment, orders before a date.
+	{3, func(cat *catalog.Catalog, r *rand.Rand, i int) (*plan.Query, error) {
+		return &plan.Query{
+			Name:   fmt.Sprintf("q03-%02d", i),
+			Tables: []string{"customer", "orders", "lineitem"},
+			Preds: []engine.Predicate{
+				{Col: "c_mktsegment", Op: engine.Eq, Lo: int64(r.Intn(5))},
+				{Col: "o_orderdate", Op: engine.Lt, Lo: dateParam(r, 0.3, 0.7)},
+			},
+			Joins: []plan.JoinCond{
+				fkJoin("customer", "c_custkey", "orders", "o_custkey"),
+				fkJoin("orders", "o_orderkey", "lineitem", "l_orderkey"),
+			},
+			Agg: &plan.AggSpec{GroupCol: "o_orderpriority"},
+		}, nil
+	}},
+	// Q4: order priority checking — quarter of orders joined to lineitem.
+	{4, func(cat *catalog.Catalog, r *rand.Rand, i int) (*plan.Query, error) {
+		lo := dateParam(r, 0.1, 0.8)
+		return &plan.Query{
+			Name:   fmt.Sprintf("q04-%02d", i),
+			Tables: []string{"orders", "lineitem"},
+			Preds: []engine.Predicate{
+				{Col: "o_orderdate", Op: engine.Between, Lo: lo, Hi: lo + datagen.DateDays/8},
+			},
+			Joins: []plan.JoinCond{
+				fkJoin("orders", "o_orderkey", "lineitem", "l_orderkey"),
+			},
+			Agg: &plan.AggSpec{GroupCol: "o_orderpriority"},
+		}, nil
+	}},
+	// Q5: local supplier volume — 4-way join grouped by supplier nation.
+	{5, func(cat *catalog.Catalog, r *rand.Rand, i int) (*plan.Query, error) {
+		lo := dateParam(r, 0.1, 0.7)
+		return &plan.Query{
+			Name:   fmt.Sprintf("q05-%02d", i),
+			Tables: []string{"customer", "orders", "lineitem", "supplier"},
+			Preds: []engine.Predicate{
+				{Col: "o_orderdate", Op: engine.Between, Lo: lo, Hi: lo + datagen.DateDays/4},
+			},
+			Joins: []plan.JoinCond{
+				fkJoin("customer", "c_custkey", "orders", "o_custkey"),
+				fkJoin("orders", "o_orderkey", "lineitem", "l_orderkey"),
+				fkJoin("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+			},
+			Agg: &plan.AggSpec{GroupCol: "s_nationkey"},
+		}, nil
+	}},
+	// Q6: forecasting revenue change — conjunctive lineitem scan (ship
+	// date, discount band, quantity cap), scalar aggregate.
+	{6, func(cat *catalog.Catalog, r *rand.Rand, i int) (*plan.Query, error) {
+		lo := dateParam(r, 0.1, 0.8)
+		disc := int64(r.Intn(9))
+		return &plan.Query{
+			Name:   fmt.Sprintf("q06-%02d", i),
+			Tables: []string{"lineitem"},
+			Preds: []engine.Predicate{
+				{Col: "l_shipdate", Op: engine.Between, Lo: lo, Hi: lo + datagen.DateDays/7},
+				{Col: "l_discount", Op: engine.Between, Lo: disc, Hi: disc + 2},
+				{Col: "l_quantity", Op: engine.Lt, Lo: int64(24 + r.Intn(26))},
+			},
+			Agg: &plan.AggSpec{},
+		}, nil
+	}},
+	// Q7: volume shipping — supplier/customer flows grouped by nation.
+	{7, func(cat *catalog.Catalog, r *rand.Rand, i int) (*plan.Query, error) {
+		return &plan.Query{
+			Name:   fmt.Sprintf("q07-%02d", i),
+			Tables: []string{"supplier", "lineitem", "orders", "customer"},
+			Preds: []engine.Predicate{
+				{Col: "l_shipdate", Op: engine.Ge, Lo: dateParam(r, 0.4, 0.8)},
+			},
+			Joins: []plan.JoinCond{
+				fkJoin("supplier", "s_suppkey", "lineitem", "l_suppkey"),
+				fkJoin("lineitem", "l_orderkey", "orders", "o_orderkey"),
+				fkJoin("orders", "o_custkey", "customer", "c_custkey"),
+			},
+			Agg: &plan.AggSpec{GroupCol: "s_nationkey"},
+		}, nil
+	}},
+	// Q8: national market share — part-centric 4-way join.
+	{8, func(cat *catalog.Catalog, r *rand.Rand, i int) (*plan.Query, error) {
+		ps, err := lePred(cat, "part", "p_retailprice", 0.1+0.3*r.Float64())
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Query{
+			Name:   fmt.Sprintf("q08-%02d", i),
+			Tables: []string{"part", "lineitem", "orders", "customer"},
+			Preds:  []engine.Predicate{ps},
+			Joins: []plan.JoinCond{
+				fkJoin("part", "p_partkey", "lineitem", "l_partkey"),
+				fkJoin("lineitem", "l_orderkey", "orders", "o_orderkey"),
+				fkJoin("orders", "o_custkey", "customer", "c_custkey"),
+			},
+			Agg: &plan.AggSpec{GroupCol: "c_nationkey"},
+		}, nil
+	}},
+	// Q9: product type profit — part/supplier/lineitem/orders.
+	{9, func(cat *catalog.Catalog, r *rand.Rand, i int) (*plan.Query, error) {
+		return &plan.Query{
+			Name:   fmt.Sprintf("q09-%02d", i),
+			Tables: []string{"part", "lineitem", "supplier", "orders"},
+			Preds: []engine.Predicate{
+				{Col: "p_brand", Op: engine.Eq, Lo: int64(r.Intn(25))},
+			},
+			Joins: []plan.JoinCond{
+				fkJoin("part", "p_partkey", "lineitem", "l_partkey"),
+				fkJoin("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+				fkJoin("lineitem", "l_orderkey", "orders", "o_orderkey"),
+			},
+			Agg: &plan.AggSpec{GroupCol: "s_nationkey"},
+		}, nil
+	}},
+	// Q10: returned item reporting.
+	{10, func(cat *catalog.Catalog, r *rand.Rand, i int) (*plan.Query, error) {
+		lo := dateParam(r, 0.2, 0.7)
+		return &plan.Query{
+			Name:   fmt.Sprintf("q10-%02d", i),
+			Tables: []string{"customer", "orders", "lineitem"},
+			Preds: []engine.Predicate{
+				{Col: "o_orderdate", Op: engine.Between, Lo: lo, Hi: lo + datagen.DateDays/4},
+				{Col: "l_returnflag", Op: engine.Eq, Lo: int64(r.Intn(3))},
+			},
+			Joins: []plan.JoinCond{
+				fkJoin("customer", "c_custkey", "orders", "o_custkey"),
+				fkJoin("orders", "o_orderkey", "lineitem", "l_orderkey"),
+			},
+			Agg: &plan.AggSpec{GroupCol: "c_nationkey"},
+		}, nil
+	}},
+	// Q12: shipping modes and order priority.
+	{12, func(cat *catalog.Catalog, r *rand.Rand, i int) (*plan.Query, error) {
+		return &plan.Query{
+			Name:   fmt.Sprintf("q12-%02d", i),
+			Tables: []string{"orders", "lineitem"},
+			Preds: []engine.Predicate{
+				{Col: "l_shipmode", Op: engine.Eq, Lo: int64(r.Intn(7))},
+				{Col: "l_receiptdate", Op: engine.Ge, Lo: dateParam(r, 0.3, 0.8)},
+			},
+			Joins: []plan.JoinCond{
+				fkJoin("orders", "o_orderkey", "lineitem", "l_orderkey"),
+			},
+			Agg: &plan.AggSpec{GroupCol: "l_shipmode"},
+		}, nil
+	}},
+	// Q13: customer distribution.
+	{13, func(cat *catalog.Catalog, r *rand.Rand, i int) (*plan.Query, error) {
+		ps, err := lePred(cat, "orders", "o_totalprice", 0.2+0.7*r.Float64())
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Query{
+			Name:   fmt.Sprintf("q13-%02d", i),
+			Tables: []string{"customer", "orders"},
+			Preds:  []engine.Predicate{ps},
+			Joins: []plan.JoinCond{
+				fkJoin("customer", "c_custkey", "orders", "o_custkey"),
+			},
+			Agg: &plan.AggSpec{GroupCol: "c_nationkey"},
+		}, nil
+	}},
+	// Q14: promotion effect — lineitem/part with a ship-date month.
+	{14, func(cat *catalog.Catalog, r *rand.Rand, i int) (*plan.Query, error) {
+		lo := dateParam(r, 0.1, 0.9)
+		return &plan.Query{
+			Name:   fmt.Sprintf("q14-%02d", i),
+			Tables: []string{"lineitem", "part"},
+			Preds: []engine.Predicate{
+				{Col: "l_shipdate", Op: engine.Between, Lo: lo, Hi: lo + datagen.DateDays/12},
+			},
+			Joins: []plan.JoinCond{
+				fkJoin("lineitem", "l_partkey", "part", "p_partkey"),
+			},
+			Agg: &plan.AggSpec{},
+		}, nil
+	}},
+	// Q18: large volume customers — sorted group aggregate over a 3-way
+	// join.
+	{18, func(cat *catalog.Catalog, r *rand.Rand, i int) (*plan.Query, error) {
+		qs, err := lePred(cat, "lineitem", "l_quantity", 0.5+0.45*r.Float64())
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Query{
+			Name:   fmt.Sprintf("q18-%02d", i),
+			Tables: []string{"customer", "orders", "lineitem"},
+			Preds:  []engine.Predicate{qs},
+			Joins: []plan.JoinCond{
+				fkJoin("customer", "c_custkey", "orders", "o_custkey"),
+				fkJoin("orders", "o_orderkey", "lineitem", "l_orderkey"),
+			},
+			Agg: &plan.AggSpec{GroupCol: "c_nationkey", SortInput: true},
+		}, nil
+	}},
+	// Q19: discounted revenue — part/lineitem with brand and quantity.
+	{19, func(cat *catalog.Catalog, r *rand.Rand, i int) (*plan.Query, error) {
+		return &plan.Query{
+			Name:   fmt.Sprintf("q19-%02d", i),
+			Tables: []string{"lineitem", "part"},
+			Preds: []engine.Predicate{
+				{Col: "p_brand", Op: engine.Eq, Lo: int64(r.Intn(25))},
+				{Col: "l_quantity", Op: engine.Between, Lo: int64(1 + r.Intn(10)), Hi: int64(20 + r.Intn(30))},
+			},
+			Joins: []plan.JoinCond{
+				fkJoin("lineitem", "l_partkey", "part", "p_partkey"),
+			},
+			Agg: &plan.AggSpec{},
+		}, nil
+	}},
+}
+
+func genTPCH(cat *catalog.Catalog, n int, r *rand.Rand) ([]*plan.Query, error) {
+	queries := make([]*plan.Query, 0, n)
+	for i := 0; i < n; i++ {
+		tpl := tpchTemplates[i%len(tpchTemplates)]
+		q, err := tpl.gen(cat, r, i)
+		if err != nil {
+			return nil, err
+		}
+		queries = append(queries, q)
+	}
+	return queries, nil
+}
