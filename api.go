@@ -19,12 +19,36 @@
 //	})
 //	lo, hi := pred.Interval(0.95)   // 95% confidence interval in seconds
 //	actual, err := sys.Execute(...) // run it on the simulated hardware
+//
+// # Concurrency
+//
+// A System is safe for concurrent use by multiple goroutines: all state
+// assembled by Open (database, catalog, samples, calibrated predictor)
+// is immutable afterwards, and every per-call source of randomness is
+// derived deterministically from Config.Seed plus a fingerprint of the
+// query at hand rather than drawn from a shared stream. Consequently
+// results are reproducible for a fixed seed no matter how many
+// goroutines are in flight or in which order calls interleave: Predict
+// and PredictBatch are pure functions of (Config, Query), and Execute
+// returns the same measured time for the same query on the same System.
+//
+// PredictBatch is the throughput-oriented entry point: it fans a batch
+// of queries out over a bounded worker pool and returns predictions in
+// input order, byte-identical to a serial Predict loop regardless of
+// BatchOptions.Workers. Structurally identical plans additionally share
+// one sampling pass through an internal LRU memo keyed by the plan's
+// canonical signature — concurrent requests for the same signature are
+// coalesced onto a single pass — which pays off whenever the same plan
+// is predicted repeatedly, within a batch or across calls.
 package uaqetp
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
+	"sync"
 
+	"repro/internal/cache"
 	"repro/internal/calibrate"
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -33,6 +57,7 @@ import (
 	"repro/internal/hardware"
 	"repro/internal/plan"
 	"repro/internal/sample"
+	"repro/internal/workload"
 )
 
 // Re-exported types: queries and predicates are declared against the
@@ -109,8 +134,13 @@ func DefaultConfig() Config {
 	}
 }
 
+// estimateMemoSize bounds the per-System LRU memo of sampling passes,
+// keyed by canonical plan signature.
+const estimateMemoSize = 256
+
 // System is an assembled prediction stack over a synthetic database and
-// simulated hardware.
+// simulated hardware. All fields are immutable after Open; see the
+// package documentation for the concurrency contract.
 type System struct {
 	cfg     Config
 	db      *engine.DB
@@ -119,7 +149,19 @@ type System struct {
 	cal     *calibrate.Result
 	samples *sample.DB
 	pred    *core.Predictor
-	rng     *rand.Rand
+	memo    *cache.LRU[string, *sample.Estimates]
+
+	// flight coalesces concurrent sampling passes for the same plan
+	// signature onto one computation (see estimates).
+	flightMu sync.Mutex
+	flight   map[string]*estFlight
+}
+
+// estFlight is one in-progress sampling pass; waiters block on done.
+type estFlight struct {
+	done chan struct{}
+	est  *sample.Estimates
+	err  error
 }
 
 // Open generates the database, builds statistics, calibrates the cost
@@ -153,8 +195,58 @@ func Open(cfg Config) (*System, error) {
 		cal:     cal,
 		samples: samples,
 		pred:    core.New(cat, cal.Units, core.Config{Variant: cfg.Variant}),
-		rng:     rand.New(rand.NewSource(cfg.Seed + 3)),
+		memo:    cache.NewLRU[string, *sample.Estimates](estimateMemoSize),
+		flight:  make(map[string]*estFlight),
 	}, nil
+}
+
+// estimates runs the sampling pass for a finalized plan, memoized by the
+// plan's canonical signature: structurally identical plans (same
+// operators, predicates, and join order) share one pass. Concurrent
+// callers with the same signature are coalesced onto a single
+// computation rather than racing to fill the memo. Estimates are
+// immutable once built, so a cached value may be served to any number of
+// concurrent readers.
+func (s *System) estimates(p *engine.Node) (*sample.Estimates, error) {
+	key := p.String()
+	if est, ok := s.memo.Get(key); ok {
+		return est, nil
+	}
+	s.flightMu.Lock()
+	if f, ok := s.flight[key]; ok {
+		s.flightMu.Unlock()
+		<-f.done
+		return f.est, f.err
+	}
+	f := &estFlight{done: make(chan struct{})}
+	s.flight[key] = f
+	s.flightMu.Unlock()
+
+	f.est, f.err = sample.Estimate(p, s.samples, s.cat)
+	if f.err == nil {
+		s.memo.Put(key, f.est)
+	}
+	s.flightMu.Lock()
+	delete(s.flight, key)
+	s.flightMu.Unlock()
+	close(f.done)
+	return f.est, f.err
+}
+
+// execSeed derives the deterministic per-call RNG seed for Execute from
+// the configured master seed and a fingerprint of the query and its
+// plan. Two Systems with the same Config measure the same time for the
+// same query; distinct queries get well-separated streams.
+func execSeed(seed int64, qname, plansig string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(qname))
+	h.Write([]byte{0})
+	h.Write([]byte(plansig))
+	z := uint64(seed+3) ^ h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	return int64(z)
 }
 
 // Plan compiles a query into a physical plan and renders it.
@@ -173,7 +265,7 @@ func (s *System) Predict(q *Query) (*Prediction, error) {
 	if err != nil {
 		return nil, err
 	}
-	est, err := sample.Estimate(p, s.samples, s.cat)
+	est, err := s.estimates(p)
 	if err != nil {
 		return nil, err
 	}
@@ -191,7 +283,8 @@ func (s *System) Execute(q *Query) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return s.profile.MeasurePlan(res, s.rng), nil
+	rng := rand.New(rand.NewSource(execSeed(s.cfg.Seed, q.Name, p.String())))
+	return s.profile.MeasurePlan(res, rng), nil
 }
 
 // PredictAndRun is a convenience helper returning both the prediction
@@ -225,7 +318,7 @@ func (s *System) Alternatives(q *Query, maxAlts int) ([]PlanChoice, error) {
 	}
 	choices := make([]PlanChoice, 0, len(plans))
 	for _, p := range plans {
-		est, err := sample.Estimate(p, s.samples, s.cat)
+		est, err := s.estimates(p)
 		if err != nil {
 			return nil, err
 		}
@@ -266,6 +359,13 @@ func (s *System) CostUnits() []string {
 		out = append(out, fmt.Sprintf("%s: mean=%.4g stddev=%.4g s/op", u, d.Mu, d.Sigma))
 	}
 	return out
+}
+
+// GenerateWorkload produces n benchmark queries against this System's
+// database, deterministically per Config.Seed — convenient input for
+// PredictBatch demos and benchmarks.
+func (s *System) GenerateWorkload(b workload.Benchmark, n int) ([]*Query, error) {
+	return workload.Generate(b, s.cat, n, s.cfg.Seed+5)
 }
 
 // TableNames returns the names of the generated tables.

@@ -1,0 +1,113 @@
+package uaqetp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// BatchOptions configures PredictBatch and ExecuteBatch.
+type BatchOptions struct {
+	// Workers bounds the goroutines working the batch concurrently;
+	// 0 selects GOMAXPROCS, 1 degenerates to a serial loop. The returned
+	// results are byte-identical for every value.
+	Workers int
+}
+
+// runBatch dispatches item indices 0..n-1 to a bounded worker pool and
+// returns the per-item errors. do(i) must write its result to slot i of
+// a caller-owned slice; slots are distinct, so no locking is needed.
+func runBatch(n, workers int, do func(i int) error) []error {
+	errs := make([]error, n)
+	if n == 0 {
+		return errs
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = do(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
+}
+
+// firstBatchError returns the lowest-index error, wrapped with the
+// query it belongs to, or nil.
+func firstBatchError(op string, queries []*Query, errs []error) error {
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("uaqetp: %s query %d (%s): %w", op, i, queryName(queries[i]), err)
+		}
+	}
+	return nil
+}
+
+// PredictBatch predicts the running-time distribution of every query in
+// the batch using a bounded worker pool and returns the predictions in
+// input order. It is the high-throughput counterpart of Predict for the
+// paper's batch consumers — admission control, scheduling, and
+// least-expected-cost plan selection — which need many predictions at
+// once.
+//
+// Prediction is deterministic, so the result for a fixed Config.Seed is
+// identical to calling Predict on each query serially, regardless of
+// Workers. Nil queries are rejected. If any query fails, PredictBatch
+// returns the first error in input order; predictions for the queries
+// that succeeded are still returned, with nil entries at failed indexes.
+func (s *System) PredictBatch(queries []*Query, opts BatchOptions) ([]*Prediction, error) {
+	preds := make([]*Prediction, len(queries))
+	errs := runBatch(len(queries), opts.Workers, func(i int) error {
+		if queries[i] == nil {
+			return fmt.Errorf("nil query")
+		}
+		var err error
+		preds[i], err = s.Predict(queries[i])
+		return err
+	})
+	return preds, firstBatchError("PredictBatch", queries, errs)
+}
+
+// ExecuteBatch runs every query on the simulated hardware with a bounded
+// worker pool, returning the measured times in input order. Execution is
+// deterministic per query (see Execute), so the result does not depend
+// on Workers. Error semantics match PredictBatch.
+func (s *System) ExecuteBatch(queries []*Query, opts BatchOptions) ([]float64, error) {
+	times := make([]float64, len(queries))
+	errs := runBatch(len(queries), opts.Workers, func(i int) error {
+		if queries[i] == nil {
+			return fmt.Errorf("nil query")
+		}
+		var err error
+		times[i], err = s.Execute(queries[i])
+		return err
+	})
+	return times, firstBatchError("ExecuteBatch", queries, errs)
+}
+
+// MemoStats reports the hit/miss counters of the internal plan-signature
+// memo, for observability in batch-serving deployments.
+func (s *System) MemoStats() (hits, misses uint64) { return s.memo.Stats() }
+
+func queryName(q *Query) string {
+	if q == nil {
+		return "<nil>"
+	}
+	return q.Name
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/exper"
@@ -136,5 +137,83 @@ func BenchmarkPredictorLatency(b *testing.B) {
 		if _, err := sys.Predict(q); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchBatchSalt makes every benchmark iteration produce plans with
+// fresh predicate constants, so the plan-signature memo cannot serve a
+// cached sampling pass and the benchmark measures real prediction work.
+var benchBatchSalt atomic.Int64
+
+// benchBatchQueries builds a 64-query batch mixing scans, 2-way and
+// 3-way joins, with salted predicate constants.
+func benchBatchQueries(n int) []*Query {
+	salt := benchBatchSalt.Add(1)
+	qs := make([]*Query, n)
+	for i := 0; i < n; i++ {
+		price := int64(10000 + ((salt*int64(n)+int64(i))*911)%40000)
+		switch i % 3 {
+		case 0:
+			qs[i] = &Query{
+				Name:   fmt.Sprintf("b-scan-%d-%d", salt, i),
+				Tables: []string{"lineitem"},
+				Preds:  []Predicate{{Col: "l_extendedprice", Op: Le, Lo: price}},
+			}
+		case 1:
+			qs[i] = &Query{
+				Name:   fmt.Sprintf("b-join-%d-%d", salt, i),
+				Tables: []string{"orders", "lineitem"},
+				Preds:  []Predicate{{Col: "o_totalprice", Op: Le, Lo: price}},
+				Joins: []JoinCond{{
+					LeftTable: "orders", LeftCol: "o_orderkey",
+					RightTable: "lineitem", RightCol: "l_orderkey",
+				}},
+			}
+		default:
+			qs[i] = &Query{
+				Name:   fmt.Sprintf("b-3way-%d-%d", salt, i),
+				Tables: []string{"customer", "orders", "lineitem"},
+				Preds:  []Predicate{{Col: "o_totalprice", Op: Le, Lo: price}},
+				Joins: []JoinCond{
+					{LeftTable: "customer", LeftCol: "c_custkey", RightTable: "orders", RightCol: "o_custkey"},
+					{LeftTable: "orders", LeftCol: "o_orderkey", RightTable: "lineitem", RightCol: "l_orderkey"},
+				},
+			}
+		}
+	}
+	return qs
+}
+
+// BenchmarkPredictBatch contrasts a serial Predict loop against the
+// pooled PredictBatch on a 64-query batch — the throughput trajectory
+// behind the paper's batch consumers (admission control, scheduling,
+// plan selection). Worker counts above the machine's core count cost
+// only scheduling overhead, so the pooled targets approach serial
+// throughput on one core and scale with cores elsewhere.
+func BenchmarkPredictBatch(b *testing.B) {
+	sys, err := Open(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 64
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, q := range benchBatchQueries(batch) {
+				if _, err := sys.Predict(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.PredictBatch(benchBatchQueries(batch), BatchOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -3,6 +3,7 @@
 //	uaqp list                      list the regenerable tables and figures
 //	uaqp experiment <id> [flags]   regenerate one table or figure
 //	uaqp demo [flags]              predict-and-run a benchmark workload
+//	uaqp batch [flags]             batched concurrent prediction throughput demo
 //
 // Flags:
 //
@@ -12,6 +13,7 @@
 //	-db D        demo database: uniform-1G | skewed-1G | uniform-10G | skewed-10G
 //	-machine M   demo machine: PC1 | PC2
 //	-sr R        demo sampling ratio (default 0.05)
+//	-workers W   batch worker pool size (default GOMAXPROCS)
 package main
 
 import (
@@ -19,7 +21,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	uaqetp "repro"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/exper"
@@ -40,6 +44,8 @@ func main() {
 		err = experiment(args)
 	case "demo":
 		err = demo(args)
+	case "batch":
+		err = batch(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -54,7 +60,63 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   uaqp list
   uaqp experiment <id> [-queries N] [-seed S]
-  uaqp demo [-bench B] [-db D] [-machine M] [-sr R] [-queries N] [-seed S]`)
+  uaqp demo [-bench B] [-db D] [-machine M] [-sr R] [-queries N] [-seed S]
+  uaqp batch [-bench B] [-db D] [-machine M] [-sr R] [-queries N] [-seed S] [-workers W]`)
+}
+
+// batch demonstrates the concurrent batched prediction pipeline: it
+// predicts a whole workload through System.PredictBatch and reports
+// per-query results plus serial-vs-pooled wall-clock throughput.
+func batch(args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	bench := fs.String("bench", "seljoin", "benchmark: micro | seljoin | tpch")
+	db := fs.String("db", "uniform-1G", "database kind")
+	machine := fs.String("machine", "PC1", "machine profile")
+	sr := fs.Float64("sr", 0.05, "sampling ratio")
+	queries := fs.Int("queries", 64, "number of queries in the batch")
+	seed := fs.Int64("seed", 1, "master seed")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := parseBench(*bench)
+	if err != nil {
+		return err
+	}
+	kind, err := parseDB(*db)
+	if err != nil {
+		return err
+	}
+
+	sys, err := uaqetp.Open(uaqetp.Config{
+		DB: kind, Machine: *machine, SamplingRatio: *sr, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	qs, err := sys.GenerateWorkload(b, *queries)
+	if err != nil {
+		return err
+	}
+
+	t0 := time.Now()
+	preds, err := sys.PredictBatch(qs, uaqetp.BatchOptions{Workers: *workers})
+	if err != nil {
+		return err
+	}
+	pooled := time.Since(t0)
+
+	fmt.Printf("%v on %v (%s), SR=%g: %d queries, workers=%d\n\n",
+		b, kind, *machine, *sr, len(qs), *workers)
+	fmt.Printf("%-18s %-12s %-12s %-12s\n", "query", "mean(s)", "sigma(s)", "p95(s)")
+	for i, p := range preds {
+		fmt.Printf("%-18s %-12.4f %-12.4f %-12.4f\n",
+			qs[i].Name, p.Mean(), p.Sigma(), p.Dist.Quantile(0.95))
+	}
+	hits, misses := sys.MemoStats()
+	fmt.Printf("\npooled wall clock: %v (%.1f predictions/s), plan-memo %d hits / %d misses\n",
+		pooled, float64(len(qs))/pooled.Seconds(), hits, misses)
+	return nil
 }
 
 func list() error {

@@ -65,11 +65,20 @@ func main() {
 	fmt.Printf("%-12s %-10s %-10s %-12s %-12s %-8s %-8s\n",
 		"query", "mean(s)", "sigma(s)", "deadline(s)", "P(T<=d)", "point?", "admit?")
 
-	for _, c := range candidates {
-		pred, err := sys.Predict(c.q)
-		if err != nil {
-			log.Fatal(err)
-		}
+	// Admission control evaluates the whole arriving batch at once:
+	// predict all candidates through the concurrent pipeline, then apply
+	// the probabilistic rule per candidate.
+	queries := make([]*uaqetp.Query, len(candidates))
+	for i, c := range candidates {
+		queries[i] = c.q
+	}
+	preds, err := sys.PredictBatch(queries, uaqetp.BatchOptions{Workers: len(queries)})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i, c := range candidates {
+		pred := preds[i]
 		pMeet := pred.Dist.CDF(c.deadline)
 		pointOK := pred.Mean() <= c.deadline
 		admit := pMeet >= confidence

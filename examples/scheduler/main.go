@@ -16,28 +16,8 @@ import (
 
 	uaqetp "repro"
 	"repro/internal/sched"
+	"repro/internal/stats"
 )
-
-type job struct {
-	q        *uaqetp.Query
-	pred     *uaqetp.Prediction
-	actual   float64
-	deadline float64 // relative deadline in seconds
-}
-
-// toSchedJobs converts to the scheduling substrate's job type.
-func toSchedJobs(jobs []job) []sched.Job {
-	out := make([]sched.Job, len(jobs))
-	for i, j := range jobs {
-		out[i] = sched.Job{
-			Name:     j.q.Name,
-			Dist:     j.pred.Dist,
-			Deadline: j.deadline,
-			Actual:   j.actual,
-		}
-	}
-	return out
-}
 
 func main() {
 	fmt.Println("Distribution-based query scheduling demo")
@@ -48,17 +28,47 @@ func main() {
 		log.Fatal(err)
 	}
 
-	jobs := buildJobs(sys)
+	queries := buildQueries()
+
+	// Predict and execute the whole batch through the concurrent
+	// pipeline: one bounded worker pool per phase instead of a serial
+	// per-query loop.
+	opts := uaqetp.BatchOptions{Workers: 4}
+	preds, err := sys.PredictBatch(queries, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	actuals, err := sys.ExecuteBatch(queries, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deadlines tight enough that scheduling order matters: ~1.6x the
+	// query's own p50 plus queueing headroom.
+	names := make([]string, len(queries))
+	dists := make([]stats.Normal, len(queries))
+	deadlines := make([]float64, len(queries))
+	var cum float64
+	for i, p := range preds {
+		names[i] = queries[i].Name
+		dists[i] = p.Dist
+		cum += p.Mean()
+		deadlines[i] = 1.6*p.Mean() + 0.6*cum
+	}
+	sj, err := sched.MakeJobs(names, dists, deadlines, actuals)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("%-22s %-10s %-10s %-12s %-10s\n",
 		"query", "mean(s)", "p90(s)", "actual(s)", "deadline(s)")
-	for _, j := range jobs {
+	for i, j := range sj {
 		fmt.Printf("%-22s %-10.4f %-10.4f %-12.4f %-10.4f\n",
-			j.q.Name, j.pred.Mean(), j.pred.Dist.Quantile(0.9), j.actual, j.deadline)
+			j.Name, preds[i].Mean(), j.Dist.Quantile(0.9), j.Actual, j.Deadline)
 	}
 	fmt.Println()
 
-	sj := toSchedJobs(jobs)
-	results := sched.Compare(sj,
+	results := sched.CompareParallel(sj,
 		sched.FCFS{}, sched.SJFMean{}, sched.SJFQuantile{Q: 0.9},
 		sched.EDF{}, sched.RiskSlack{Q: 0.9})
 	fmt.Printf("%-16s %-8s %-12s %-10s\n", "policy", "misses", "tardiness", "mean flow")
@@ -79,11 +89,9 @@ func main() {
 	}
 }
 
-// buildJobs predicts a small mixed batch and assigns deadlines tight
-// enough that scheduling order matters: each deadline is ~1.6x the p50
-// of the query plus queueing headroom.
-func buildJobs(sys *uaqetp.System) []job {
-	queries := []*uaqetp.Query{
+// buildQueries is a small mixed batch of scans and joins.
+func buildQueries() []*uaqetp.Query {
+	return []*uaqetp.Query{
 		{
 			Name:   "short-scan",
 			Tables: []string{"orders"},
@@ -122,20 +130,4 @@ func buildJobs(sys *uaqetp.System) []job {
 			}},
 		},
 	}
-	var jobs []job
-	var cum float64
-	for _, q := range queries {
-		pred, actual, err := sys.PredictAndRun(q)
-		if err != nil {
-			log.Fatal(err)
-		}
-		cum += pred.Mean()
-		jobs = append(jobs, job{
-			q:        q,
-			pred:     pred,
-			actual:   actual,
-			deadline: 1.6*pred.Mean() + 0.6*cum,
-		})
-	}
-	return jobs
 }

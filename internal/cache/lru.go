@@ -1,0 +1,85 @@
+// Package cache provides a small concurrency-safe LRU map used to
+// memoize expensive per-plan computations (sampling passes keyed by the
+// plan's canonical signature). It is deliberately minimal: fixed
+// capacity, strict LRU eviction, and hit/miss counters for
+// observability.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a fixed-capacity least-recently-used cache safe for concurrent
+// use by multiple goroutines.
+type LRU[K comparable, V any] struct {
+	mu           sync.Mutex
+	capacity     int
+	ll           *list.List
+	items        map[K]*list.Element
+	hits, misses uint64
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// NewLRU returns an empty cache holding at most capacity entries;
+// capacity < 1 is treated as 1.
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[K, V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[K]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached value for key and marks it most recently used.
+func (c *LRU[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry[K, V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Put inserts or refreshes key, evicting the least recently used entry
+// when the cache is full.
+func (c *LRU[K, V]) Put(key K, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry[K, V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry[K, V]{key: key, val: val})
+	if c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry[K, V]).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *LRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *LRU[K, V]) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

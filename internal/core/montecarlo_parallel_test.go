@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMonteCarloIdenticalAcrossParallelism is the determinism contract
+// of the sharded Monte-Carlo path: because draws are partitioned into
+// fixed-size shards with per-shard RNGs and merged in shard order, the
+// prediction must be byte-identical for every worker count.
+func TestMonteCarloIdenticalAcrossParallelism(t *testing.T) {
+	f := newFixture(t, All)
+	plan := threeWayQuery()
+	est := f.estimates(t, plan, 0.05, 61)
+	base, err := f.pred.PredictMonteCarlo(plan, est, MCOptions{Draws: 3 * mcShardSize, Seed: 62, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 16} {
+		mc, err := f.pred.PredictMonteCarlo(plan, est, MCOptions{Draws: 3 * mcShardSize, Seed: 62, Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mc.MeanVal != base.MeanVal || mc.Variance != base.Variance {
+			t.Errorf("parallelism %d: moments (%v, %v) != serial (%v, %v)",
+				workers, mc.MeanVal, mc.Variance, base.MeanVal, base.Variance)
+		}
+		if len(mc.Samples) != len(base.Samples) {
+			t.Fatalf("parallelism %d: %d samples, serial %d", workers, len(mc.Samples), len(base.Samples))
+		}
+		for i := range mc.Samples {
+			if mc.Samples[i] != base.Samples[i] {
+				t.Fatalf("parallelism %d: sample %d differs: %v != %v",
+					workers, i, mc.Samples[i], base.Samples[i])
+			}
+		}
+		for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+			if mc.Quantile(q) != base.Quantile(q) {
+				t.Errorf("parallelism %d: quantile %v differs", workers, q)
+			}
+		}
+	}
+}
+
+// TestMonteCarloShardedMomentsMatchDirect checks the moment-merge math
+// against a direct single-pass computation over the merged sample slice:
+// the mean and variance reported by the sharded accumulators must agree
+// with textbook formulas applied to MCPrediction.Samples.
+func TestMonteCarloShardedMomentsMatchDirect(t *testing.T) {
+	f := newFixture(t, All)
+	plan := joinQuery()
+	est := f.estimates(t, plan, 0.05, 63)
+	mc, err := f.pred.PredictMonteCarlo(plan, est, MCOptions{Draws: 2*mcShardSize + 77, Seed: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, s := range mc.Samples {
+		sum += s
+	}
+	mean := sum / float64(len(mc.Samples))
+	var ss float64
+	for _, s := range mc.Samples {
+		d := s - mean
+		ss += d * d
+	}
+	variance := ss / float64(len(mc.Samples)-1)
+	if rel := math.Abs(mc.MeanVal-mean) / mean; rel > 1e-12 {
+		t.Errorf("merged mean %v vs direct %v (rel %v)", mc.MeanVal, mean, rel)
+	}
+	if rel := math.Abs(mc.Variance-variance) / variance; rel > 1e-9 {
+		t.Errorf("merged variance %v vs direct %v (rel %v)", mc.Variance, variance, rel)
+	}
+}
+
+// TestMCAccumMergeProperty is the property-style test of the accumulator
+// algebra: for random data split into k chunks, merging per-chunk
+// accumulators must reproduce the single-accumulator result for every k.
+func TestMCAccumMergeProperty(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		r := rand.New(rand.NewSource(seed))
+		n := 1000 + r.Intn(4000)
+		xs := make([]float64, n)
+		scale := math.Exp(float64(seed - 3)) // vary magnitude across seeds
+		for i := range xs {
+			xs[i] = scale * (10 + r.NormFloat64())
+		}
+		var whole mcAccum
+		for _, x := range xs {
+			whole.add(x)
+		}
+		for _, k := range []int{1, 2, 7, 64, n} {
+			parts := make([]mcAccum, k)
+			for i, x := range xs {
+				parts[i*k/n].add(x)
+			}
+			var merged mcAccum
+			for _, p := range parts {
+				merged.merge(p)
+			}
+			if merged.n != whole.n {
+				t.Fatalf("seed %d k %d: merged n %v != %v", seed, k, merged.n, whole.n)
+			}
+			if rel := math.Abs(merged.mean-whole.mean) / math.Abs(whole.mean); rel > 1e-12 {
+				t.Errorf("seed %d k %d: mean rel err %v", seed, k, rel)
+			}
+			if rel := math.Abs(merged.variance()-whole.variance()) / whole.variance(); rel > 1e-10 {
+				t.Errorf("seed %d k %d: variance rel err %v", seed, k, rel)
+			}
+		}
+	}
+}
+
+// TestMCAccumEdgeCases pins the degenerate behaviors the merge must
+// handle: empty accumulators on either side, single observations, and
+// constant (zero-variance) data.
+func TestMCAccumEdgeCases(t *testing.T) {
+	var empty mcAccum
+	if v := empty.variance(); v != 0 {
+		t.Errorf("empty variance = %v", v)
+	}
+
+	var a mcAccum
+	a.add(3)
+	if a.variance() != 0 || a.mean != 3 {
+		t.Errorf("single-element accum: mean %v var %v", a.mean, a.variance())
+	}
+
+	var b mcAccum
+	b.merge(a) // merge into empty
+	if b.mean != 3 || b.n != 1 {
+		t.Errorf("merge into empty: %+v", b)
+	}
+	b.merge(empty) // merge empty into non-empty
+	if b.mean != 3 || b.n != 1 {
+		t.Errorf("merge of empty changed accum: %+v", b)
+	}
+
+	var c mcAccum
+	for i := 0; i < 100; i++ {
+		c.add(7)
+	}
+	if c.variance() != 0 {
+		t.Errorf("constant data variance = %v", c.variance())
+	}
+	var c2 mcAccum
+	for i := 0; i < 50; i++ {
+		c2.add(7)
+	}
+	c.merge(c2)
+	if c.variance() != 0 || c.mean != 7 {
+		t.Errorf("merged constant data: mean %v var %v", c.mean, c.variance())
+	}
+}

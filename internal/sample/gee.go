@@ -79,6 +79,10 @@ func (a AggEstimator) String() string {
 // Opts configures the estimation pass.
 type Opts struct {
 	Agg AggEstimator
+	// Parallelism bounds the goroutines evaluating independent join
+	// subtrees concurrently; 0 selects GOMAXPROCS, 1 forces a fully
+	// sequential pass. The estimates are identical for every value.
+	Parallelism int
 }
 
 // EstimateWithOpts is Estimate with configuration; see Estimate.

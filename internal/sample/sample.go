@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/catalog"
 	"repro/internal/engine"
@@ -125,9 +127,16 @@ func (e *OpEstimate) Sigma() float64 {
 	return math.Sqrt(e.Var)
 }
 
-// Estimates holds the per-operator estimates of one plan pass.
+// Estimates holds the per-operator estimates of one plan pass. Once the
+// estimation pass has returned, the struct is immutable and safe to read
+// from any number of goroutines (the predictor relies on this when
+// serving batched predictions).
 type Estimates struct {
 	ByID map[int]*OpEstimate
+
+	// mu guards ByID during the estimation pass, when sibling join
+	// subtrees may be evaluated concurrently.
+	mu sync.Mutex
 }
 
 // Get returns the estimate for a node.
@@ -137,6 +146,20 @@ func (e *Estimates) Get(n *engine.Node) (*OpEstimate, error) {
 		return nil, fmt.Errorf("sample: no estimate for node %d (%v)", n.ID, n.Kind)
 	}
 	return est, nil
+}
+
+// put stores an estimate during the (possibly concurrent) pass.
+func (e *Estimates) put(id int, op *OpEstimate) {
+	e.mu.Lock()
+	e.ByID[id] = op
+	e.mu.Unlock()
+}
+
+// at reads an estimate during the (possibly concurrent) pass.
+func (e *Estimates) at(id int) *OpEstimate {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ByID[id]
 }
 
 // TotalSampleCounts sums the sample-run resource counts across the plan,
@@ -175,34 +198,96 @@ func Estimate(root *engine.Node, sdb *DB, cat *catalog.Catalog) (*Estimates, err
 func estimate(root *engine.Node, sdb *DB, cat *catalog.Catalog, opts Opts) (*Estimates, error) {
 	est := &Estimates{ByID: make(map[int]*OpEstimate)}
 	nLeaves := len(root.LeafTables)
-	copyUse := make(map[string]int)
 	optEst, err := optimizerEstimates(root, cat)
 	if err != nil {
 		return nil, err
 	}
 
+	// Sequential pre-pass: assign each scan its leaf ordinal and sample
+	// copy in left-to-right plan order. Doing this before the (possibly
+	// concurrent) evaluation pass keeps the assignment — and therefore
+	// the estimates — deterministic regardless of execution order.
+	scanTable := make(map[int]*Table)
+	scanOrd := make(map[int]int)
+	copyUse := make(map[string]int)
 	leafCounter := 0
+	var assign func(n *engine.Node) error
+	assign = func(n *engine.Node) error {
+		if n.Kind.IsScan() {
+			copies := sdb.Copies[n.Table]
+			if len(copies) == 0 {
+				return fmt.Errorf("sample: no sample tables for %q", n.Table)
+			}
+			scanOrd[n.ID] = leafCounter
+			scanTable[n.ID] = copies[copyUse[n.Table]%len(copies)]
+			copyUse[n.Table]++
+			leafCounter++
+			return nil
+		}
+		if n.Left != nil {
+			if err := assign(n.Left); err != nil {
+				return err
+			}
+		}
+		if n.Right != nil {
+			if err := assign(n.Right); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := assign(root); err != nil {
+		return nil, err
+	}
+
+	// Evaluation pass. The two inputs of a join are independent
+	// computations over disjoint subtrees, so they may run concurrently;
+	// sem bounds the extra goroutines. Every per-node estimate is a pure
+	// function of its subtree, so concurrency does not affect values.
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var sem chan struct{} // nil disables the concurrent path entirely
+	if workers > 1 {
+		sem = make(chan struct{}, workers-1)
+	}
 	var walk func(n *engine.Node) (*evalResult, error)
 	walk = func(n *engine.Node) (*evalResult, error) {
 		switch {
 		case n.Kind.IsScan():
-			ord := leafCounter
-			leafCounter++
-			copies := sdb.Copies[n.Table]
-			if len(copies) == 0 {
-				return nil, fmt.Errorf("sample: no sample tables for %q", n.Table)
-			}
-			st := copies[copyUse[n.Table]%len(copies)]
-			copyUse[n.Table]++
-			return evalScan(n, st, ord, est, cat)
+			return evalScan(n, scanTable[n.ID], scanOrd[n.ID], est, cat)
 		case n.Kind.IsJoin():
-			left, err := walk(n.Left)
-			if err != nil {
-				return nil, err
+			var left, right *evalResult
+			var lerr, rerr error
+			spawned := false
+			if sem != nil {
+				select {
+				case sem <- struct{}{}:
+					spawned = true
+					var wg sync.WaitGroup
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						defer func() { <-sem }()
+						right, rerr = walk(n.Right)
+					}()
+					left, lerr = walk(n.Left)
+					wg.Wait()
+				default:
+				}
 			}
-			right, err := walk(n.Right)
-			if err != nil {
-				return nil, err
+			if !spawned {
+				left, lerr = walk(n.Left)
+				if lerr == nil {
+					right, rerr = walk(n.Right)
+				}
+			}
+			if lerr != nil {
+				return nil, lerr
+			}
+			if rerr != nil {
+				return nil, rerr
 			}
 			if left.tainted || right.tainted {
 				return evalOptimizer(n, left, right, est, optEst, cat)
@@ -219,8 +304,8 @@ func estimate(root *engine.Node, sdb *DB, cat *catalog.Catalog, opts Opts) (*Est
 			if err != nil {
 				return nil, err
 			}
-			ce := est.ByID[n.Left.ID]
-			est.ByID[n.ID] = &OpEstimate{
+			ce := est.at(n.Left.ID)
+			est.put(n.ID, &OpEstimate{
 				Node:          n,
 				Rho:           ce.Rho,
 				Var:           ce.Var,
@@ -229,7 +314,7 @@ func estimate(root *engine.Node, sdb *DB, cat *catalog.Catalog, opts Opts) (*Est
 				FromOptimizer: ce.FromOptimizer,
 				EstCard:       ce.EstCard,
 				SampleCounts:  engine.UnaryCounts(n.Kind, float64(len(child.rows))),
-			}
+			})
 			return child, nil
 		}
 	}
@@ -302,7 +387,7 @@ func evalScan(n *engine.Node, st *Table, ord int, est *Estimates, cat *catalog.C
 	if err != nil {
 		return nil, err
 	}
-	est.ByID[n.ID] = &OpEstimate{
+	est.put(n.ID, &OpEstimate{
 		Node:         n,
 		Rho:          rho,
 		Var:          v,
@@ -310,7 +395,7 @@ func evalScan(n *engine.Node, st *Table, ord int, est *Estimates, cat *catalog.C
 		LeafN:        map[int]int{ord: nTotal},
 		EstCard:      rho * full,
 		SampleCounts: engine.ScanCounts(n.Kind, float64(nTotal), mIndex, len(n.Preds)),
-	}
+	})
 	// Normalize provenance to a single-leaf layout local to this node.
 	return &evalResult{rows: rows, cols: st.cols, leafOrds: []int{ord}}, nil
 }
@@ -324,8 +409,8 @@ func evalJoin(n *engine.Node, left, right *evalResult, nLeaves int, sdb *DB, est
 	out := hashJoinSRows(left, right, li, ri)
 	ords := append(append([]int{}, left.leafOrds...), right.leafOrds...)
 
-	le := est.ByID[n.Left.ID]
-	re := est.ByID[n.Right.ID]
+	le := est.at(n.Left.ID)
+	re := est.at(n.Right.ID)
 	leafN := make(map[int]int, len(ords))
 	for k, v := range le.LeafN {
 		leafN[k] = v
@@ -399,7 +484,7 @@ func evalJoin(n *engine.Node, left, right *evalResult, nLeaves int, sdb *DB, est
 		}
 	}
 
-	est.ByID[n.ID] = &OpEstimate{
+	est.put(n.ID, &OpEstimate{
 		Node:     n,
 		Rho:      rho,
 		Var:      totalVar,
@@ -408,7 +493,7 @@ func evalJoin(n *engine.Node, left, right *evalResult, nLeaves int, sdb *DB, est
 		EstCard:  rho * full,
 		SampleCounts: engine.JoinCounts(n.Kind,
 			float64(len(left.rows)), float64(len(right.rows)), float64(len(out))),
-	}
+	})
 	return &evalResult{
 		rows:     out,
 		cols:     append(append([]string{}, left.cols...), right.cols...),
@@ -424,7 +509,7 @@ func evalAggregate(n *engine.Node, child *evalResult, est *Estimates, optEst map
 	card := optEst[n.ID]
 	if opts.Agg == GEEAgg && !child.tainted {
 		inputCard := 0.0
-		if ce, ok := est.ByID[n.Left.ID]; ok {
+		if ce := est.at(n.Left.ID); ce != nil {
 			inputCard = ce.EstCard
 		}
 		if gee, ok := geeAggregateCard(n, child, inputCard); ok {
@@ -435,7 +520,7 @@ func evalAggregate(n *engine.Node, child *evalResult, est *Estimates, optEst map
 	if full > 0 {
 		rho = card / full
 	}
-	est.ByID[n.ID] = &OpEstimate{
+	est.put(n.ID, &OpEstimate{
 		Node:          n,
 		Rho:           rho,
 		Var:           0,
@@ -444,7 +529,7 @@ func evalAggregate(n *engine.Node, child *evalResult, est *Estimates, optEst map
 		FromOptimizer: true,
 		EstCard:       card,
 		SampleCounts:  engine.UnaryCounts(engine.Aggregate, float64(len(child.rows))),
-	}
+	})
 	return &evalResult{cols: child.cols, leafOrds: child.leafOrds, tainted: true}, nil
 }
 
@@ -460,14 +545,14 @@ func evalOptimizer(n *engine.Node, left, right *evalResult, est *Estimates, optE
 	if full > 0 {
 		rho = card / full
 	}
-	est.ByID[n.ID] = &OpEstimate{
+	est.put(n.ID, &OpEstimate{
 		Node:          n,
 		Rho:           rho,
 		FromOptimizer: true,
 		LeafComp:      map[int]float64{},
 		LeafN:         map[int]int{},
 		EstCard:       card,
-	}
+	})
 	cols := left.cols
 	ords := left.leafOrds
 	if right != nil {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/stats"
 )
@@ -169,6 +170,40 @@ func Compare(jobs []Job, policies ...Policy) []Metrics {
 		out = append(out, Simulate(jobs, p))
 	}
 	return out
+}
+
+// CompareParallel simulates every policy concurrently — policies only
+// read the shared job slice, so the simulations are independent — and
+// returns the metrics in policy order, identical to Compare.
+func CompareParallel(jobs []Job, policies ...Policy) []Metrics {
+	out := make([]Metrics, len(policies))
+	var wg sync.WaitGroup
+	for i, p := range policies {
+		wg.Add(1)
+		go func(i int, p Policy) {
+			defer wg.Done()
+			out[i] = Simulate(jobs, p)
+		}(i, p)
+	}
+	wg.Wait()
+	return out
+}
+
+// MakeJobs pairs the outputs of a batched prediction pass with
+// deadlines and measured times into scheduler jobs: names[i], dists[i],
+// deadlines[i], actuals[i] describe job i. It is the bridge from
+// System.PredictBatch/ExecuteBatch to the scheduling substrate.
+func MakeJobs(names []string, dists []stats.Normal, deadlines, actuals []float64) ([]Job, error) {
+	n := len(names)
+	if len(dists) != n || len(deadlines) != n || len(actuals) != n {
+		return nil, fmt.Errorf("sched: mismatched job slices: %d names, %d dists, %d deadlines, %d actuals",
+			n, len(dists), len(deadlines), len(actuals))
+	}
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Name: names[i], Dist: dists[i], Deadline: deadlines[i], Actual: actuals[i]}
+	}
+	return jobs, nil
 }
 
 func identity(n int) []int {

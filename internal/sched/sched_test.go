@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -155,5 +156,44 @@ func TestPoliciesArePermutations(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestCompareParallelMatchesCompare(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	jobs := make([]Job, 24)
+	for i := range jobs {
+		mu := 0.5 + r.Float64()*3
+		jobs[i] = job(fmt.Sprintf("j%d", i), mu, mu*0.2, mu*2.5, mu+r.NormFloat64()*mu*0.2)
+	}
+	policies := []Policy{FCFS{}, SJFMean{}, SJFQuantile{Q: 0.9}, EDF{}, RiskSlack{Q: 0.9}}
+	serial := Compare(jobs, policies...)
+	parallel := CompareParallel(jobs, policies...)
+	if len(parallel) != len(serial) {
+		t.Fatalf("got %d metric sets, want %d", len(parallel), len(serial))
+	}
+	for i := range serial {
+		if parallel[i] != serial[i] {
+			t.Errorf("policy %s: parallel %+v != serial %+v",
+				serial[i].Policy, parallel[i], serial[i])
+		}
+	}
+}
+
+func TestMakeJobs(t *testing.T) {
+	names := []string{"a", "b"}
+	dists := []stats.Normal{stats.NewNormal(1, 0.1), stats.NewNormal(2, 0.2)}
+	deadlines := []float64{3, 5}
+	actuals := []float64{1.1, 1.9}
+	jobs, err := MakeJobs(names, dists, deadlines, actuals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 || jobs[1].Name != "b" || jobs[1].Dist.Mu != 2 ||
+		jobs[0].Deadline != 3 || jobs[0].Actual != 1.1 {
+		t.Errorf("MakeJobs = %+v", jobs)
+	}
+	if _, err := MakeJobs(names, dists[:1], deadlines, actuals); err == nil {
+		t.Error("expected mismatch error")
 	}
 }

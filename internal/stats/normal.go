@@ -72,19 +72,33 @@ func (n Normal) Prob(a, b float64) float64 {
 	return n.CDF(b) - n.CDF(a)
 }
 
-// Quantile returns the p-th quantile (inverse CDF), p in (0,1).
+// Quantile returns the p-th quantile (inverse CDF), p in [0,1]. The
+// boundary cases are the distribution's true infima/suprema: for sigma >
+// 0, Quantile(0) is -Inf and Quantile(1) is +Inf; a point mass returns
+// its mean for every p.
 func (n Normal) Quantile(p float64) float64 {
-	if p <= 0 || p >= 1 {
-		panic(fmt.Sprintf("stats: quantile probability %v out of (0,1)", p))
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("stats: quantile probability %v out of [0,1]", p))
+	}
+	if n.Sigma == 0 {
+		return n.Mu
+	}
+	switch p {
+	case 0:
+		return math.Inf(-1)
+	case 1:
+		return math.Inf(1)
 	}
 	return n.Mu + n.Sigma*StdNormalQuantile(p)
 }
 
 // Interval returns the central interval [lo, hi] containing probability
-// mass p, e.g. p = 0.95 gives the familiar ±1.96 sigma band.
+// mass p, e.g. p = 0.95 gives the familiar ±1.96 sigma band. The
+// boundary cases follow Quantile: Interval(0) collapses to the median
+// and Interval(1) spans (-Inf, +Inf) for sigma > 0.
 func (n Normal) Interval(p float64) (lo, hi float64) {
-	if p <= 0 || p >= 1 {
-		panic(fmt.Sprintf("stats: interval mass %v out of (0,1)", p))
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("stats: interval mass %v out of [0,1]", p))
 	}
 	half := (1 - p) / 2
 	return n.Quantile(half), n.Quantile(1 - half)
