@@ -18,12 +18,21 @@ vet:
 
 # race runs only the concurrency-focused suites, for a quick signal.
 race:
-	$(GO) test -race -count=1 -run 'Concurrent|Parallel|Batch|LRU' ./...
+	$(GO) test -race -count=1 -run 'Concurrent|Parallel|Batch|LRU|Sharded|Admission|Drain|Dispatcher|Feedback|SharedCache|Grid' ./...
 
-# bench exercises the batched-prediction throughput benchmark with
-# allocation reporting (BENCH_* trajectory input).
+# bench runs the batched-prediction and serve-path benchmarks with
+# allocation reporting and records the parsed results in
+# BENCH_batch.json (the BENCH_* trajectory). The raw output goes
+# through a temp file so a failing bench run aborts before clobbering
+# the trajectory.
 bench:
-	$(GO) test -run '^$$' -bench 'PredictBatch|PredictorLatency' -benchmem .
+	$(GO) test -run '^$$' -bench 'PredictBatch|PredictorLatency|Serve' -benchmem . ./internal/serve/ > bench.out \
+		|| { cat bench.out; rm -f bench.out; exit 1; }
+	cat bench.out
+	$(GO) run ./internal/tools/benchjson < bench.out > BENCH_batch.json.tmp \
+		|| { rm -f bench.out BENCH_batch.json.tmp; exit 1; }
+	mv BENCH_batch.json.tmp BENCH_batch.json
+	rm bench.out
 
 fmt:
 	gofmt -l -w .

@@ -36,19 +36,21 @@
 // of queries out over a bounded worker pool and returns predictions in
 // input order, byte-identical to a serial Predict loop regardless of
 // BatchOptions.Workers. Structurally identical plans additionally share
-// one sampling pass through an internal LRU memo keyed by the plan's
+// one sampling pass through a sharded LRU memo keyed by the plan's
 // canonical signature — concurrent requests for the same signature are
 // coalesced onto a single pass — which pays off whenever the same plan
-// is predicted repeatedly, within a batch or across calls.
+// is predicted repeatedly, within a batch or across calls. Setting
+// Config.Cache to a shared EstimateCache extends that sharing across
+// Systems: tenants whose configurations generate the same database and
+// samples reuse each other's passes, the substrate of the multi-tenant
+// serving layer in internal/serve.
 package uaqetp
 
 import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
-	"sync"
 
-	"repro/internal/cache"
 	"repro/internal/calibrate"
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -57,6 +59,7 @@ import (
 	"repro/internal/hardware"
 	"repro/internal/plan"
 	"repro/internal/sample"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -120,6 +123,13 @@ type Config struct {
 	Variant Variant
 	// Seed drives all randomness deterministically.
 	Seed int64
+	// Cache, when non-nil, is a shared sampling-pass cache backing this
+	// System instead of a private per-System memo. Multiple Systems may
+	// share one cache: keys are namespaced by everything that determines
+	// a sampling pass (DB kind, sampling ratio, seed), so tenants over
+	// the same generated database and samples share passes while
+	// incompatible tenants never collide.
+	Cache *EstimateCache
 }
 
 // DefaultConfig returns a uniform "1 GB" database on PC1 with a 5%
@@ -149,19 +159,12 @@ type System struct {
 	cal     *calibrate.Result
 	samples *sample.DB
 	pred    *core.Predictor
-	memo    *cache.LRU[string, *sample.Estimates]
 
-	// flight coalesces concurrent sampling passes for the same plan
-	// signature onto one computation (see estimates).
-	flightMu sync.Mutex
-	flight   map[string]*estFlight
-}
-
-// estFlight is one in-progress sampling pass; waiters block on done.
-type estFlight struct {
-	done chan struct{}
-	est  *sample.Estimates
-	err  error
+	// estCache memoizes sampling passes (shared across Systems when
+	// Config.Cache is set); estNS prefixes this System's keys so only
+	// compatible Systems share entries.
+	estCache *EstimateCache
+	estNS    string
 }
 
 // Open generates the database, builds statistics, calibrates the cost
@@ -187,50 +190,85 @@ func Open(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	estCache := cfg.Cache
+	if estCache == nil {
+		estCache = NewEstimateCache(estimateMemoSize)
+	}
 	return &System{
-		cfg:     cfg,
-		db:      db,
-		cat:     cat,
-		profile: profile,
-		cal:     cal,
-		samples: samples,
-		pred:    core.New(cat, cal.Units, core.Config{Variant: cfg.Variant}),
-		memo:    cache.NewLRU[string, *sample.Estimates](estimateMemoSize),
-		flight:  make(map[string]*estFlight),
+		cfg:      cfg,
+		db:       db,
+		cat:      cat,
+		profile:  profile,
+		cal:      cal,
+		samples:  samples,
+		pred:     core.New(cat, cal.Units, core.Config{Variant: cfg.Variant}),
+		estCache: estCache,
+		estNS:    estimateNamespace(cfg),
 	}, nil
+}
+
+// WithVariant returns a System predicting with variant v but sharing
+// everything else with s — database, catalog, calibration, samples, and
+// the estimate cache. Deriving a variant is cheap (no regeneration), so
+// ablation grids can fan a single Open out across all variants.
+func (s *System) WithVariant(v Variant) *System {
+	if v == s.cfg.Variant {
+		return s
+	}
+	cfg := s.cfg
+	cfg.Variant = v
+	derived := *s
+	derived.cfg = cfg
+	derived.pred = core.New(s.cat, s.cal.Units, core.Config{Variant: v})
+	return &derived
+}
+
+// WithSamplingRatio returns a System with freshly drawn samples at
+// ratio sr, sharing the generated database, catalog, calibration, and
+// estimate cache with s. Sampling-ratio sweeps (Section 6 grids) can
+// thus reuse one expensive Open per (DB, machine, seed) environment.
+// The derived System's cache keys include the new ratio, so it never
+// shares sampling passes with differently-sampled tenants.
+func (s *System) WithSamplingRatio(sr float64) (*System, error) {
+	if sr == s.cfg.SamplingRatio {
+		return s, nil
+	}
+	if sr <= 0 {
+		return nil, fmt.Errorf("uaqetp: sampling ratio %g out of (0, 1]", sr)
+	}
+	cfg := s.cfg
+	cfg.SamplingRatio = sr
+	samples, err := sample.Build(s.db, sr, sample.DefaultCopies, cfg.Seed+2)
+	if err != nil {
+		return nil, err
+	}
+	derived := *s
+	derived.cfg = cfg
+	derived.samples = samples
+	derived.estNS = estimateNamespace(cfg)
+	return &derived, nil
 }
 
 // estimates runs the sampling pass for a finalized plan, memoized by the
 // plan's canonical signature: structurally identical plans (same
-// operators, predicates, and join order) share one pass. Concurrent
-// callers with the same signature are coalesced onto a single
-// computation rather than racing to fill the memo. Estimates are
-// immutable once built, so a cached value may be served to any number of
-// concurrent readers.
+// operators, predicates, and join order) share one pass — across
+// Systems too, when a shared Config.Cache is in use and the Systems'
+// databases and samples coincide. Concurrent callers with the same
+// signature are coalesced onto a single computation rather than racing
+// to fill the memo. Estimates are immutable once built, so a cached
+// value may be served to any number of concurrent readers.
 func (s *System) estimates(p *engine.Node) (*sample.Estimates, error) {
-	key := p.String()
-	if est, ok := s.memo.Get(key); ok {
-		return est, nil
-	}
-	s.flightMu.Lock()
-	if f, ok := s.flight[key]; ok {
-		s.flightMu.Unlock()
-		<-f.done
-		return f.est, f.err
-	}
-	f := &estFlight{done: make(chan struct{})}
-	s.flight[key] = f
-	s.flightMu.Unlock()
+	return s.estimatesSig(p, p.String())
+}
 
-	f.est, f.err = sample.Estimate(p, s.samples, s.cat)
-	if f.err == nil {
-		s.memo.Put(key, f.est)
-	}
-	s.flightMu.Lock()
-	delete(s.flight, key)
-	s.flightMu.Unlock()
-	close(f.done)
-	return f.est, f.err
+// estimatesSig is estimates with the plan signature already rendered,
+// for callers that need the signature anyway (PredictPlanned): the
+// recursive String() walk then happens once per request.
+func (s *System) estimatesSig(p *engine.Node, sig string) (*sample.Estimates, error) {
+	key := s.estNS + "\x00" + sig
+	return s.estCache.getOrCompute(key, func() (*sample.Estimates, error) {
+		return sample.Estimate(p, s.samples, s.cat)
+	})
 }
 
 // execSeed derives the deterministic per-call RNG seed for Execute from
@@ -261,15 +299,20 @@ func (s *System) Plan(q *Query) (string, error) {
 // Predict returns the distribution of likely running times for the
 // query: the paper's t_q ~ N(E[t_q], Var[t_q]).
 func (s *System) Predict(q *Query) (*Prediction, error) {
-	p, err := plan.Build(q, s.cat)
+	pred, _, err := s.PredictPlanned(q)
+	return pred, err
+}
+
+// runMeasured executes a built plan and measures it with the
+// deterministic per-call stream — the single implementation behind
+// Execute and Measure, so their measured times cannot diverge.
+func (s *System) runMeasured(q *Query, p *engine.Node) (*engine.OpResult, float64, error) {
+	res, err := engine.Run(s.db, p)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	est, err := s.estimates(p)
-	if err != nil {
-		return nil, err
-	}
-	return s.pred.Predict(p, est)
+	rng := rand.New(rand.NewSource(execSeed(s.cfg.Seed, q.Name, p.String())))
+	return res, s.profile.MeasurePlan(res, rng), nil
 }
 
 // Execute runs the query on the simulated hardware and returns the
@@ -279,12 +322,8 @@ func (s *System) Execute(q *Query) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, err := engine.Run(s.db, p)
-	if err != nil {
-		return 0, err
-	}
-	rng := rand.New(rand.NewSource(execSeed(s.cfg.Seed, q.Name, p.String())))
-	return s.profile.MeasurePlan(res, rng), nil
+	_, actual, err := s.runMeasured(q, p)
+	return actual, err
 }
 
 // PredictAndRun is a convenience helper returning both the prediction
@@ -348,6 +387,12 @@ func (s *System) ChoosePlan(q *Query, quantile float64, maxAlts int) (best PlanC
 		}
 	}
 	return all[bestIdx], all, nil
+}
+
+// UnitDists returns the calibrated cost-unit distributions in hardware
+// unit order (cs, cr, ct, ci, co) — the numeric content of Table 1.
+func (s *System) UnitDists() [hardware.NumUnits]stats.Normal {
+	return s.cal.Units
 }
 
 // CostUnits returns the calibrated cost-unit means and standard

@@ -2,9 +2,9 @@ package uaqetp
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
+
+	"repro/internal/plan"
+	"repro/internal/pool"
 )
 
 // BatchOptions configures PredictBatch and ExecuteBatch.
@@ -13,39 +13,6 @@ type BatchOptions struct {
 	// 0 selects GOMAXPROCS, 1 degenerates to a serial loop. The returned
 	// results are byte-identical for every value.
 	Workers int
-}
-
-// runBatch dispatches item indices 0..n-1 to a bounded worker pool and
-// returns the per-item errors. do(i) must write its result to slot i of
-// a caller-owned slice; slots are distinct, so no locking is needed.
-func runBatch(n, workers int, do func(i int) error) []error {
-	errs := make([]error, n)
-	if n == 0 {
-		return errs
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				errs[i] = do(i)
-			}
-		}()
-	}
-	wg.Wait()
-	return errs
 }
 
 // firstBatchError returns the lowest-index error, wrapped with the
@@ -73,7 +40,7 @@ func firstBatchError(op string, queries []*Query, errs []error) error {
 // that succeeded are still returned, with nil entries at failed indexes.
 func (s *System) PredictBatch(queries []*Query, opts BatchOptions) ([]*Prediction, error) {
 	preds := make([]*Prediction, len(queries))
-	errs := runBatch(len(queries), opts.Workers, func(i int) error {
+	errs := pool.Run(len(queries), opts.Workers, func(i int) error {
 		if queries[i] == nil {
 			return fmt.Errorf("nil query")
 		}
@@ -90,7 +57,7 @@ func (s *System) PredictBatch(queries []*Query, opts BatchOptions) ([]*Predictio
 // on Workers. Error semantics match PredictBatch.
 func (s *System) ExecuteBatch(queries []*Query, opts BatchOptions) ([]float64, error) {
 	times := make([]float64, len(queries))
-	errs := runBatch(len(queries), opts.Workers, func(i int) error {
+	errs := pool.Run(len(queries), opts.Workers, func(i int) error {
 		if queries[i] == nil {
 			return fmt.Errorf("nil query")
 		}
@@ -101,9 +68,39 @@ func (s *System) ExecuteBatch(queries []*Query, opts BatchOptions) ([]float64, e
 	return times, firstBatchError("ExecuteBatch", queries, errs)
 }
 
-// MemoStats reports the hit/miss counters of the internal plan-signature
-// memo, for observability in batch-serving deployments.
-func (s *System) MemoStats() (hits, misses uint64) { return s.memo.Stats() }
+// MemoStats reports the hit/miss counters of the plan-signature memo,
+// for observability in batch-serving deployments. When the System runs
+// on a shared EstimateCache the counters aggregate over every sharer;
+// CacheStats exposes the full snapshot.
+func (s *System) MemoStats() (hits, misses uint64) {
+	cs := s.estCache.Stats()
+	return cs.Hits, cs.Misses
+}
+
+// CacheStats snapshots the estimate cache backing this System —
+// aggregated across shards, and across tenants when the cache is shared.
+func (s *System) CacheStats() CacheStats { return s.estCache.Stats() }
+
+// PredictPlanned returns the prediction together with the plan's
+// canonical signature, so serving-path callers that need both (e.g. for
+// per-signature feedback) build the physical plan once instead of
+// calling Predict and Plan separately.
+func (s *System) PredictPlanned(q *Query) (*Prediction, string, error) {
+	p, err := plan.Build(q, s.cat)
+	if err != nil {
+		return nil, "", err
+	}
+	sig := p.String()
+	est, err := s.estimatesSig(p, sig)
+	if err != nil {
+		return nil, "", err
+	}
+	pred, err := s.pred.Predict(p, est)
+	if err != nil {
+		return nil, "", err
+	}
+	return pred, sig, nil
+}
 
 func queryName(q *Query) string {
 	if q == nil {

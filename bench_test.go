@@ -4,7 +4,7 @@
 // iteration, so `go test -bench=. -benchmem` leaves a full reproduction
 // transcript. Results are memoized inside the shared Lab, so the grid
 // tables (4-9) reuse the runs the figures already triggered.
-package uaqetp
+package uaqetp_test
 
 import (
 	"bytes"
@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	uaqetp "repro"
 	"repro/internal/exper"
 )
 
@@ -119,15 +120,15 @@ func BenchmarkTable9LargeErrCorrelation(b *testing.B) { runReport(b, "table9") }
 // cost is dominated by the sample pass, the same as the point-estimate
 // predictor of [48].
 func BenchmarkPredictorLatency(b *testing.B) {
-	sys, err := Open(DefaultConfig())
+	sys, err := uaqetp.Open(uaqetp.DefaultConfig())
 	if err != nil {
 		b.Fatal(err)
 	}
-	q := &Query{
+	q := &uaqetp.Query{
 		Name:   "bench-3way",
 		Tables: []string{"customer", "orders", "lineitem"},
-		Preds:  []Predicate{{Col: "o_orderdate", Op: Le, Lo: 1500}},
-		Joins: []JoinCond{
+		Preds:  []uaqetp.Predicate{{Col: "o_orderdate", Op: uaqetp.Le, Lo: 1500}},
+		Joins: []uaqetp.JoinCond{
 			{LeftTable: "customer", LeftCol: "c_custkey", RightTable: "orders", RightCol: "o_custkey"},
 			{LeftTable: "orders", LeftCol: "o_orderkey", RightTable: "lineitem", RightCol: "l_orderkey"},
 		},
@@ -147,34 +148,34 @@ var benchBatchSalt atomic.Int64
 
 // benchBatchQueries builds a 64-query batch mixing scans, 2-way and
 // 3-way joins, with salted predicate constants.
-func benchBatchQueries(n int) []*Query {
+func benchBatchQueries(n int) []*uaqetp.Query {
 	salt := benchBatchSalt.Add(1)
-	qs := make([]*Query, n)
+	qs := make([]*uaqetp.Query, n)
 	for i := 0; i < n; i++ {
 		price := int64(10000 + ((salt*int64(n)+int64(i))*911)%40000)
 		switch i % 3 {
 		case 0:
-			qs[i] = &Query{
+			qs[i] = &uaqetp.Query{
 				Name:   fmt.Sprintf("b-scan-%d-%d", salt, i),
 				Tables: []string{"lineitem"},
-				Preds:  []Predicate{{Col: "l_extendedprice", Op: Le, Lo: price}},
+				Preds:  []uaqetp.Predicate{{Col: "l_extendedprice", Op: uaqetp.Le, Lo: price}},
 			}
 		case 1:
-			qs[i] = &Query{
+			qs[i] = &uaqetp.Query{
 				Name:   fmt.Sprintf("b-join-%d-%d", salt, i),
 				Tables: []string{"orders", "lineitem"},
-				Preds:  []Predicate{{Col: "o_totalprice", Op: Le, Lo: price}},
-				Joins: []JoinCond{{
+				Preds:  []uaqetp.Predicate{{Col: "o_totalprice", Op: uaqetp.Le, Lo: price}},
+				Joins: []uaqetp.JoinCond{{
 					LeftTable: "orders", LeftCol: "o_orderkey",
 					RightTable: "lineitem", RightCol: "l_orderkey",
 				}},
 			}
 		default:
-			qs[i] = &Query{
+			qs[i] = &uaqetp.Query{
 				Name:   fmt.Sprintf("b-3way-%d-%d", salt, i),
 				Tables: []string{"customer", "orders", "lineitem"},
-				Preds:  []Predicate{{Col: "o_totalprice", Op: Le, Lo: price}},
-				Joins: []JoinCond{
+				Preds:  []uaqetp.Predicate{{Col: "o_totalprice", Op: uaqetp.Le, Lo: price}},
+				Joins: []uaqetp.JoinCond{
 					{LeftTable: "customer", LeftCol: "c_custkey", RightTable: "orders", RightCol: "o_custkey"},
 					{LeftTable: "orders", LeftCol: "o_orderkey", RightTable: "lineitem", RightCol: "l_orderkey"},
 				},
@@ -191,7 +192,7 @@ func benchBatchQueries(n int) []*Query {
 // only scheduling overhead, so the pooled targets approach serial
 // throughput on one core and scale with cores elsewhere.
 func BenchmarkPredictBatch(b *testing.B) {
-	sys, err := Open(DefaultConfig())
+	sys, err := uaqetp.Open(uaqetp.DefaultConfig())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func BenchmarkPredictBatch(b *testing.B) {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := sys.PredictBatch(benchBatchQueries(batch), BatchOptions{Workers: workers}); err != nil {
+				if _, err := sys.PredictBatch(benchBatchQueries(batch), uaqetp.BatchOptions{Workers: workers}); err != nil {
 					b.Fatal(err)
 				}
 			}

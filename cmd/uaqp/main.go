@@ -4,6 +4,7 @@
 //	uaqp experiment <id> [flags]   regenerate one table or figure
 //	uaqp demo [flags]              predict-and-run a benchmark workload
 //	uaqp batch [flags]             batched concurrent prediction throughput demo
+//	uaqp serve [flags]             multi-tenant HTTP prediction service
 //
 // Flags:
 //
@@ -14,11 +15,16 @@
 //	-machine M   demo machine: PC1 | PC2
 //	-sr R        demo sampling ratio (default 0.05)
 //	-workers W   batch worker pool size (default GOMAXPROCS)
+//	-addr A      serve listen address (default :8080)
+//	-tenants T   serve tenant names, comma-separated (default "alpha,beta")
+//	-confidence  serve SLO admission confidence (default 0.95)
+//	-deadline D  serve default deadline in virtual seconds (default 1.0)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -27,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/exper"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -46,6 +53,8 @@ func main() {
 		err = demo(args)
 	case "batch":
 		err = batch(args)
+	case "serve":
+		err = serveCmd(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -61,7 +70,50 @@ func usage() {
   uaqp list
   uaqp experiment <id> [-queries N] [-seed S]
   uaqp demo [-bench B] [-db D] [-machine M] [-sr R] [-queries N] [-seed S]
-  uaqp batch [-bench B] [-db D] [-machine M] [-sr R] [-queries N] [-seed S] [-workers W]`)
+  uaqp batch [-bench B] [-db D] [-machine M] [-sr R] [-queries N] [-seed S] [-workers W]
+  uaqp serve [-addr A] [-db D] [-machine M] [-sr R] [-seed S] [-tenants T] [-confidence C] [-deadline D]`)
+}
+
+// serveCmd starts the multi-tenant HTTP prediction service: one System
+// per tenant over a shared sampling-pass cache, deadline-aware
+// admission, and a background dispatcher draining admitted work.
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	db := fs.String("db", "uniform-1G", "database kind (all tenants)")
+	machine := fs.String("machine", "PC1", "machine profile")
+	sr := fs.Float64("sr", 0.05, "sampling ratio")
+	seed := fs.Int64("seed", 1, "master seed")
+	tenants := fs.String("tenants", "alpha,beta", "comma-separated tenant names")
+	confidence := fs.Float64("confidence", 0.95, "SLO admission confidence")
+	deadline := fs.Float64("deadline", 1.0, "default deadline (virtual seconds)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	kind, err := parseDB(*db)
+	if err != nil {
+		return err
+	}
+
+	srv := serve.New(serve.Config{})
+	slo := serve.SLO{Confidence: *confidence, DefaultDeadline: *deadline}
+	for _, name := range strings.Split(*tenants, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, err := srv.AddTenant(name, uaqetp.Config{
+			DB: kind, Machine: *machine, SamplingRatio: *sr, Seed: *seed,
+		}, slo); err != nil {
+			return err
+		}
+		fmt.Printf("tenant %q ready (%v on %s, SR=%g)\n", name, kind, *machine, *sr)
+	}
+	stop := srv.StartDispatcher(50 * time.Millisecond)
+	defer stop()
+
+	fmt.Printf("serving on %s — POST /predict /submit /drain, GET /stats /healthz\n", *addr)
+	return http.ListenAndServe(*addr, srv.Handler())
 }
 
 // batch demonstrates the concurrent batched prediction pipeline: it

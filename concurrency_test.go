@@ -8,6 +8,7 @@ package uaqetp
 import (
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -205,6 +206,38 @@ func TestPredictBatchErrors(t *testing.T) {
 		t.Error("expected an error for a nil query")
 	}
 	empty, err := sys.PredictBatch(nil, BatchOptions{})
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty batch: %v, %v", empty, err)
+	}
+}
+
+// TestExecuteBatchErrors mirrors the PredictBatch error contract on the
+// execution path: nil and invalid queries mid-batch fail without taking
+// down the healthy entries, and the reported error is the first in
+// input order, naming the query.
+func TestExecuteBatchErrors(t *testing.T) {
+	sys := testSystem(t)
+	queries := []*Query{
+		stressQueries()[0],
+		nil,
+		{Name: "broken", Tables: []string{"no_such_table"}},
+		stressQueries()[1],
+	}
+	times, err := sys.ExecuteBatch(queries, BatchOptions{Workers: 2})
+	if err == nil {
+		t.Fatal("expected an error for the nil query")
+	}
+	if !strings.Contains(err.Error(), "query 1") {
+		t.Errorf("error %q does not name the first failing index", err)
+	}
+	if times[0] <= 0 || times[3] <= 0 {
+		t.Errorf("healthy queries lost their measurements: %v", times)
+	}
+	if times[1] != 0 || times[2] != 0 {
+		t.Errorf("failed queries produced measurements: %v", times)
+	}
+
+	empty, err := sys.ExecuteBatch(nil, BatchOptions{})
 	if err != nil || len(empty) != 0 {
 		t.Errorf("empty batch: %v, %v", empty, err)
 	}

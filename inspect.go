@@ -1,0 +1,66 @@
+package uaqetp
+
+import (
+	"repro/internal/plan"
+)
+
+// OpDetail pairs one selective operator's estimated selectivity
+// distribution with its ground truth from an actual run.
+type OpDetail struct {
+	EstSel   float64 // sampling-estimated selectivity
+	EstSigma float64 // estimated standard deviation of the selectivity
+	TrueSel  float64 // observed selectivity
+}
+
+// Measurement is the instrumented counterpart of Execute: the measured
+// running time plus the ground truth the experiment harness needs — the
+// simulated cost of the sampling pass vs. the full run (Section 6.4
+// overhead) and the per-operator selectivity observations (Tables 6-9).
+// It is independent of the predictor variant, so ablation grids can
+// measure once per query and reuse.
+type Measurement struct {
+	Actual     float64 // measured running time in seconds (same as Execute)
+	SampleCost float64 // simulated cost of the sampling pass
+	FullCost   float64 // simulated cost of the full run
+	Ops        []OpDetail
+}
+
+// Measure executes the query like Execute — same deterministic per-call
+// seeding, so Measure(q).Actual equals Execute(q) — and additionally
+// reports the sampling overhead and per-operator selectivity ground
+// truth.
+func (s *System) Measure(q *Query) (*Measurement, error) {
+	p, err := plan.Build(q, s.cat)
+	if err != nil {
+		return nil, err
+	}
+	est, err := s.estimates(p)
+	if err != nil {
+		return nil, err
+	}
+	res, actual, err := s.runMeasured(q, p)
+	if err != nil {
+		return nil, err
+	}
+	m := &Measurement{
+		Actual:     actual,
+		SampleCost: s.profile.ExpectedCost(est.TotalSampleCounts()),
+		FullCost:   s.profile.ExpectedCost(res.TotalCounts()),
+	}
+	for _, opRes := range res.Results() {
+		n := opRes.Node
+		if !n.Kind.IsScan() && !n.Kind.IsJoin() {
+			continue
+		}
+		oe, err := est.Get(n)
+		if err != nil || oe.FromOptimizer {
+			continue
+		}
+		m.Ops = append(m.Ops, OpDetail{
+			EstSel:   oe.Rho,
+			EstSigma: oe.Sigma(),
+			TrueSel:  opRes.Selectivity,
+		})
+	}
+	return m, nil
+}

@@ -1,12 +1,13 @@
 // Integration tests: end-to-end invariants across the whole stack
 // (generator -> catalog -> samples -> calibration -> plans -> predictor
 // -> simulated execution).
-package uaqetp
+package uaqetp_test
 
 import (
 	"math"
 	"testing"
 
+	uaqetp "repro"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/exper"
@@ -135,16 +136,16 @@ func TestScaleConsistency(t *testing.T) {
 // the tables themselves, so scan selectivity estimates are exact and
 // scan-only predictions carry (almost) no X-variance.
 func TestFullSamplingNearExactSelectivities(t *testing.T) {
-	cfg := DefaultConfig()
+	cfg := uaqetp.DefaultConfig()
 	cfg.SamplingRatio = 1.0
-	sys, err := Open(cfg)
+	sys, err := uaqetp.Open(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := &Query{
+	q := &uaqetp.Query{
 		Name:   "full-sample-scan",
 		Tables: []string{"lineitem"},
-		Preds:  []Predicate{{Col: "l_quantity", Op: Le, Lo: 25}},
+		Preds:  []uaqetp.Predicate{{Col: "l_quantity", Op: uaqetp.Le, Lo: 25}},
 	}
 	pred, actual, err := sys.PredictAndRun(q)
 	if err != nil {

@@ -1,7 +1,8 @@
-// Package cache provides a small concurrency-safe LRU map used to
-// memoize expensive per-plan computations (sampling passes keyed by the
-// plan's canonical signature). It is deliberately minimal: fixed
-// capacity, strict LRU eviction, and hit/miss counters for
+// Package cache provides the concurrency-safe LRU maps used to memoize
+// expensive per-plan computations (sampling passes keyed by the plan's
+// canonical signature): a minimal single-lock LRU and a sharded variant
+// (Sharded) for multi-tenant serving, where one lock would serialize
+// every tenant's cache traffic. Both keep hit/miss/eviction counters for
 // observability.
 package cache
 
@@ -10,14 +11,34 @@ import (
 	"sync"
 )
 
+// Stats is a point-in-time snapshot of a cache's counters.
+type Stats struct {
+	Hits, Misses uint64
+	// Evictions counts entries dropped to make room, excluding
+	// overwrites of an existing key.
+	Evictions uint64
+	// Entries is the current number of cached values.
+	Entries int
+}
+
+// Add accumulates other into s, for aggregating per-shard snapshots.
+func (s *Stats) Add(other Stats) {
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Evictions += other.Evictions
+	s.Entries += other.Entries
+}
+
 // LRU is a fixed-capacity least-recently-used cache safe for concurrent
 // use by multiple goroutines.
 type LRU[K comparable, V any] struct {
-	mu           sync.Mutex
-	capacity     int
-	ll           *list.List
-	items        map[K]*list.Element
-	hits, misses uint64
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List
+	items     map[K]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 type entry[K comparable, V any] struct {
@@ -67,6 +88,7 @@ func (c *LRU[K, V]) Put(key K, val V) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*entry[K, V]).key)
+		c.evictions++
 	}
 }
 
@@ -82,4 +104,11 @@ func (c *LRU[K, V]) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Snapshot returns all counters at once.
+func (c *LRU[K, V]) Snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.ll.Len()}
 }

@@ -91,6 +91,11 @@ type Prediction struct {
 	// VarOps vs CovOpsUb).
 	CovDirect float64
 	CovBound  float64
+	// PerUnit breaks E[t_q] down by cost unit: PerUnit[u] is the mean
+	// time in seconds attributable to unit u (hardware unit order). The
+	// serving layer's feedback loop uses this to attribute calibration
+	// drift to the unit dominating each query.
+	PerUnit [hardware.NumUnits]float64
 }
 
 // Mean returns the point estimate E[t_q].
@@ -101,6 +106,18 @@ func (p *Prediction) Sigma() float64 { return p.Dist.Sigma }
 
 // Interval returns the central interval containing probability mass q.
 func (p *Prediction) Interval(q float64) (lo, hi float64) { return p.Dist.Interval(q) }
+
+// DominantUnit returns the cost unit contributing the most to the
+// predicted mean (ties break toward the lower unit index).
+func (p *Prediction) DominantUnit() hardware.Unit {
+	best := 0
+	for u := 1; u < hardware.NumUnits; u++ {
+		if p.PerUnit[u] > p.PerUnit[best] {
+			best = u
+		}
+	}
+	return hardware.Unit(best)
+}
 
 // varInfo is everything the covariance engine needs about one
 // selectivity random variable (one scan/join/aggregate operator).
@@ -214,12 +231,15 @@ func (p *Predictor) Predict(root *engine.Node, est *sample.Estimates) (*Predicti
 		}
 	}
 
-	// E[t_q] = sum_k sum_c E[f_kc] E[c]; per-operator means alongside.
+	// E[t_q] = sum_k sum_c E[f_kc] E[c]; per-operator and per-unit means
+	// alongside.
 	var mean float64
+	var perUnit [hardware.NumUnits]float64
 	for _, it := range items {
 		t := it.mean * ec[it.unit]
 		mean += t
 		perOp[it.opID].Mean += t
+		perUnit[it.unit] += t
 	}
 
 	// Var[t_q] = sum over all ordered pairs of Cov(t_i, t_j)
@@ -260,6 +280,7 @@ func (p *Predictor) Predict(root *engine.Node, est *sample.Estimates) (*Predicti
 		Dist:      stats.NormalFromVar(mean, variance),
 		CovDirect: covDirect,
 		CovBound:  covBound,
+		PerUnit:   perUnit,
 	}
 	for _, id := range order {
 		pred.PerOperator = append(pred.PerOperator, *perOp[id])

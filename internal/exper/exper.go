@@ -11,17 +11,12 @@ package exper
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sync"
 
-	"repro/internal/calibrate"
-	"repro/internal/catalog"
+	uaqetp "repro"
 	"repro/internal/core"
 	"repro/internal/datagen"
-	"repro/internal/engine"
-	"repro/internal/hardware"
-	"repro/internal/plan"
-	"repro/internal/sample"
+	"repro/internal/pool"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -105,163 +100,242 @@ func (r *RunResult) NormalizedErrors() []float64 {
 	return stats.NormalizedErrors(actual, mean, sigma)
 }
 
-// env is the memoized per-(database, machine) environment.
-type env struct {
-	db  *engine.DB
-	cat *catalog.Catalog
-	hw  *hardware.Profile
-	cal *calibrate.Result
+// baseKey identifies one expensive environment: a generated database
+// plus a calibrated machine. Sampling ratios and predictor variants are
+// cheap derivations of a base System (WithSamplingRatio, WithVariant).
+type baseKey struct {
+	DB      datagen.DBKind
+	Machine string
+	Seed    int64
 }
 
-// Lab memoizes databases, catalogs, and calibrations across settings so
-// grid experiments (Table 4 and friends) do not rebuild the world per
-// cell. A Lab is safe for concurrent use.
+// sysKey identifies one fully-sampled System.
+type sysKey struct {
+	baseKey
+	SR float64
+}
+
+// measKey identifies one variant-independent query measurement. The
+// workload size is part of the key because generated query content
+// depends on it (e.g. Micro predicates scale with n), so a same-named
+// query from a different-sized workload must not reuse the measurement.
+type measKey struct {
+	sysKey
+	Bench workload.Benchmark
+	N     int
+	Name  string
+}
+
+// onceSys, onceMeas, and onceRun coalesce concurrent grid cells onto a
+// single computation per key, so RunGrid never duplicates work.
+type onceSys struct {
+	once sync.Once
+	sys  *uaqetp.System
+	err  error
+}
+
+type onceMeas struct {
+	once sync.Once
+	m    *uaqetp.Measurement
+	err  error
+}
+
+type onceRun struct {
+	once sync.Once
+	res  *RunResult
+	err  error
+}
+
+// Lab runs experiment grids on top of the public System API. It
+// memoizes the expensive layers across settings — base environments per
+// (database, machine, seed), sampled Systems per sampling ratio, and
+// variant-independent measurements per query — and shares one estimate
+// cache across every System it opens, so ablation cells over the same
+// database reuse each other's sampling passes exactly like co-located
+// tenants in the serving layer. A Lab is safe for concurrent use;
+// results are deterministic per Setting regardless of cell
+// interleaving, because every source of randomness derives from the
+// setting's own seed (per-cell seeds, per-query measurement streams)
+// rather than shared RNG state.
 type Lab struct {
-	mu   sync.Mutex
-	envs map[string]*env
-	// resCache memoizes executed plans per (db, query) so repeated
-	// settings over the same database skip re-execution.
-	resCache map[string]*engine.OpResult
+	cache *uaqetp.EstimateCache
+
+	mu      sync.Mutex
+	bases   map[baseKey]*onceSys
+	systems map[sysKey]*onceSys
+	meas    map[measKey]*onceMeas
 	// runCache memoizes whole settings so different report generators
 	// (e.g. Table 4 and Table 5 over the same grid) share work.
-	runCache map[Setting]*RunResult
+	runCache map[Setting]*onceRun
 }
+
+// labCacheCapacity bounds the Lab's shared estimate cache: grids touch
+// many (database, SR) namespaces, each with tens of distinct plans.
+const labCacheCapacity = 4096
 
 // NewLab returns an empty lab.
 func NewLab() *Lab {
 	return &Lab{
-		envs:     make(map[string]*env),
-		resCache: make(map[string]*engine.OpResult),
-		runCache: make(map[Setting]*RunResult),
+		cache:    uaqetp.NewEstimateCache(labCacheCapacity),
+		bases:    make(map[baseKey]*onceSys),
+		systems:  make(map[sysKey]*onceSys),
+		meas:     make(map[measKey]*onceMeas),
+		runCache: make(map[Setting]*onceRun),
 	}
 }
 
-func (l *Lab) envFor(kind datagen.DBKind, machine string, seed int64) (*env, error) {
-	key := fmt.Sprintf("%v/%s/%d", kind, machine, seed)
+// baseFor opens (once) the base System for an environment. The first
+// requester's sampling ratio seeds the base; other ratios derive from
+// it without regenerating the database or recalibrating.
+func (l *Lab) baseFor(k baseKey, sr float64) (*uaqetp.System, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if e, ok := l.envs[key]; ok {
-		return e, nil
+	e, ok := l.bases[k]
+	if !ok {
+		e = &onceSys{}
+		l.bases[k] = e
 	}
-	hw, err := hardware.ProfileByName(machine)
-	if err != nil {
-		return nil, err
-	}
-	db := datagen.Generate(datagen.ConfigFor(kind, seed))
-	cat := catalog.Build(db)
-	cal, err := calibrate.Run(hw, calibrate.DefaultConfig(seed+1))
-	if err != nil {
-		return nil, err
-	}
-	e := &env{db: db, cat: cat, hw: hw, cal: cal}
-	l.envs[key] = e
-	return e, nil
+	l.mu.Unlock()
+	e.once.Do(func() {
+		e.sys, e.err = uaqetp.Open(uaqetp.Config{
+			DB: k.DB, Machine: k.Machine, SamplingRatio: sr,
+			Variant: core.All, Seed: k.Seed, Cache: l.cache,
+		})
+	})
+	return e.sys, e.err
 }
 
-func (l *Lab) runPlan(key string, db *engine.DB, p *engine.Node) (*engine.OpResult, error) {
+// systemFor returns the (memoized) System for a setting's environment
+// and sampling ratio, with the complete predictor; variants are derived
+// by the caller via WithVariant.
+func (l *Lab) systemFor(s Setting) (*uaqetp.System, error) {
+	k := sysKey{baseKey{s.DB, s.Machine, s.Seed}, s.SR}
 	l.mu.Lock()
-	if res, ok := l.resCache[key]; ok {
-		l.mu.Unlock()
-		return res, nil
+	e, ok := l.systems[k]
+	if !ok {
+		e = &onceSys{}
+		l.systems[k] = e
 	}
 	l.mu.Unlock()
-	res, err := engine.Run(db, p)
-	if err != nil {
-		return nil, err
-	}
+	e.once.Do(func() {
+		base, err := l.baseFor(k.baseKey, s.SR)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.sys, e.err = base.WithSamplingRatio(s.SR)
+	})
+	return e.sys, e.err
+}
+
+// measureFor measures one query (once) through the instrumented execute
+// path. Measurements are variant-independent, so every ablation cell
+// over the same environment shares them.
+func (l *Lab) measureFor(sys *uaqetp.System, k measKey, q *uaqetp.Query) (*uaqetp.Measurement, error) {
 	l.mu.Lock()
-	l.resCache[key] = res
+	e, ok := l.meas[k]
+	if !ok {
+		e = &onceMeas{}
+		l.meas[k] = e
+	}
 	l.mu.Unlock()
-	return res, nil
+	e.once.Do(func() {
+		e.m, e.err = sys.Measure(q)
+	})
+	return e.m, e.err
+}
+
+// fanOut runs do(0..n-1) on a bounded worker pool and returns the
+// lowest-index error.
+func fanOut(n, workers int, do func(i int) error) error {
+	return pool.FirstError(pool.Run(n, workers, do))
 }
 
 // Run executes one experimental setting, memoizing the result.
+// Concurrent calls with the same setting share one execution.
 func (l *Lab) Run(s Setting) (*RunResult, error) {
 	if s.NumQueries <= 0 {
 		s.NumQueries = 24
 	}
 	l.mu.Lock()
-	if r, ok := l.runCache[s]; ok {
-		l.mu.Unlock()
-		return r, nil
+	e, ok := l.runCache[s]
+	if !ok {
+		e = &onceRun{}
+		l.runCache[s] = e
 	}
 	l.mu.Unlock()
-	r, err := l.run(s)
-	if err != nil {
-		return nil, err
-	}
-	l.mu.Lock()
-	l.runCache[s] = r
-	l.mu.Unlock()
-	return r, nil
+	e.once.Do(func() {
+		e.res, e.err = l.run(s)
+	})
+	return e.res, e.err
+}
+
+// RunGrid executes every setting, fanning the cells out over a bounded
+// worker pool (workers <= 0 selects GOMAXPROCS). Results arrive in
+// input order and match a serial Run loop: each cell's randomness
+// derives from its own setting, never from shared state, so the
+// interleaving cannot change the numbers.
+func (l *Lab) RunGrid(settings []Setting, workers int) ([]*RunResult, error) {
+	out := make([]*RunResult, len(settings))
+	err := fanOut(len(settings), workers, func(i int) error {
+		r, err := l.Run(settings[i])
+		out[i] = r
+		return err
+	})
+	return out, err
 }
 
 func (l *Lab) run(s Setting) (*RunResult, error) {
-	e, err := l.envFor(s.DB, s.Machine, s.Seed)
+	sys, err := l.systemFor(s)
 	if err != nil {
 		return nil, err
 	}
-	sdb, err := sample.Build(e.db, s.SR, sample.DefaultCopies, s.Seed+2)
+	vsys := sys.WithVariant(s.Variant)
+	queries, err := sys.GenerateWorkload(s.Bench, s.NumQueries)
 	if err != nil {
 		return nil, err
 	}
-	queries, err := workload.Generate(s.Bench, e.cat, s.NumQueries, s.Seed+3)
+
+	// Predictions ride the batched concurrent pipeline; measurements fan
+	// out below it, memoized across variants.
+	preds, err := vsys.PredictBatch(queries, uaqetp.BatchOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("exper: %w", err)
+	}
+	sk := sysKey{baseKey{s.DB, s.Machine, s.Seed}, s.SR}
+	ms := make([]*uaqetp.Measurement, len(queries))
+	err = fanOut(len(queries), 0, func(i int) error {
+		m, err := l.measureFor(sys, measKey{sk, s.Bench, s.NumQueries, queries[i].Name}, queries[i])
+		if err != nil {
+			return fmt.Errorf("exper: %s: %w", queries[i].Name, err)
+		}
+		ms[i] = m
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	pred := core.New(e.cat, e.cal.Units, core.Config{Variant: s.Variant})
-	measureRng := rand.New(rand.NewSource(s.Seed + 4))
 
 	res := &RunResult{Setting: s}
 	var overheads []float64
-	for _, q := range queries {
-		p, err := plan.Build(q, e.cat)
-		if err != nil {
-			return nil, fmt.Errorf("exper: %s: %w", q.Name, err)
-		}
-		est, err := sample.Estimate(p, sdb, e.cat)
-		if err != nil {
-			return nil, fmt.Errorf("exper: %s: %w", q.Name, err)
-		}
-		pr, err := pred.Predict(p, est)
-		if err != nil {
-			return nil, fmt.Errorf("exper: %s: %w", q.Name, err)
-		}
-		key := fmt.Sprintf("%v/%d/%s", s.DB, s.Seed, q.Name)
-		runRes, err := l.runPlan(key, e.db, p)
-		if err != nil {
-			return nil, fmt.Errorf("exper: %s: %w", q.Name, err)
-		}
-		actual := e.hw.MeasurePlan(runRes, measureRng)
-
+	for i, q := range queries {
+		pr, m := preds[i], ms[i]
 		out := QueryOutcome{
-			Name:      q.Name,
-			Actual:    actual,
-			PredMean:  pr.Mean(),
-			PredSigma: pr.Sigma(),
-			Err:       math.Abs(pr.Mean() - actual),
+			Name:       q.Name,
+			Actual:     m.Actual,
+			PredMean:   pr.Mean(),
+			PredSigma:  pr.Sigma(),
+			Err:        math.Abs(pr.Mean() - m.Actual),
+			SampleCost: m.SampleCost,
+			FullCost:   m.FullCost,
 		}
-		// Overhead: simulated cost of the sampling pass vs the full run.
-		out.SampleCost = e.hw.ExpectedCost(est.TotalSampleCounts())
-		out.FullCost = e.hw.ExpectedCost(runRes.TotalCounts())
 		if out.FullCost > 0 {
 			overheads = append(overheads, out.SampleCost/out.FullCost)
 		}
-		// Per-operator selectivity observations (selective operators
-		// estimated via sampling only).
-		for _, opRes := range runRes.Results() {
-			n := opRes.Node
-			if !n.Kind.IsScan() && !n.Kind.IsJoin() {
-				continue
-			}
-			oe, err := est.Get(n)
-			if err != nil || oe.FromOptimizer {
-				continue
-			}
+		for _, od := range m.Ops {
 			out.Ops = append(out.Ops, OpObservation{
-				EstSel:   oe.Rho,
-				EstSigma: oe.Sigma(),
-				TrueSel:  opRes.Selectivity,
+				EstSel:   od.EstSel,
+				EstSigma: od.EstSigma,
+				TrueSel:  od.TrueSel,
 			})
 		}
 		res.Outcomes = append(res.Outcomes, out)
@@ -273,6 +347,10 @@ func (l *Lab) run(s Setting) (*RunResult, error) {
 	res.MeanOverhead = stats.Mean(overheads)
 	return res, nil
 }
+
+// CacheStats snapshots the lab's shared estimate cache — the same
+// cross-tenant sharing observability the serving layer exposes.
+func (l *Lab) CacheStats() uaqetp.CacheStats { return l.cache.Stats() }
 
 // SelectivityMetrics computes the Table 6-9 statistics over all
 // per-operator observations of a run: correlations between estimated

@@ -106,18 +106,115 @@ func TestLabMemoization(t *testing.T) {
 	if _, err := lab.Run(smallSetting(workload.Micro, core.All, 0.05)); err != nil {
 		t.Fatal(err)
 	}
-	if len(lab.envs) != 1 {
-		t.Errorf("envs=%d, want 1", len(lab.envs))
+	if len(lab.bases) != 1 || len(lab.systems) != 1 {
+		t.Errorf("bases=%d systems=%d, want 1/1", len(lab.bases), len(lab.systems))
 	}
-	// Same DB+machine, different variant: env reused.
+	nMeas := len(lab.meas)
+	if nMeas == 0 {
+		t.Fatal("measurement cache empty")
+	}
+	missesAfterFirst := lab.CacheStats().Misses
+
+	// Same DB+machine+SR, different variant: environment, System, and
+	// measurements all reused; the ablation cell triggers no fresh
+	// sampling passes — it hits the shared estimate cache instead.
 	if _, err := lab.Run(smallSetting(workload.Micro, core.NoVarC, 0.05)); err != nil {
 		t.Fatal(err)
 	}
-	if len(lab.envs) != 1 {
-		t.Errorf("envs=%d after second run, want 1", len(lab.envs))
+	if len(lab.bases) != 1 || len(lab.systems) != 1 {
+		t.Errorf("bases=%d systems=%d after variant run, want 1/1", len(lab.bases), len(lab.systems))
 	}
-	if len(lab.resCache) == 0 {
-		t.Error("plan result cache empty")
+	if len(lab.meas) != nMeas {
+		t.Errorf("variant run re-measured: %d -> %d entries", nMeas, len(lab.meas))
+	}
+	st := lab.CacheStats()
+	if st.Misses != missesAfterFirst {
+		t.Errorf("variant run ran %d fresh sampling passes", st.Misses-missesAfterFirst)
+	}
+	if st.Hits == 0 {
+		t.Error("no cross-variant cache hits")
+	}
+
+	// A different sampling ratio derives a new System from the same base
+	// environment (no second Open).
+	if _, err := lab.Run(smallSetting(workload.Micro, core.All, 0.02)); err != nil {
+		t.Fatal(err)
+	}
+	if len(lab.bases) != 1 {
+		t.Errorf("bases=%d after SR change, want 1", len(lab.bases))
+	}
+	if len(lab.systems) != 2 {
+		t.Errorf("systems=%d after SR change, want 2", len(lab.systems))
+	}
+}
+
+// TestMeasurementsNotSharedAcrossWorkloadSizes pins the measKey
+// contract: Micro query content depends on the workload size, so a
+// same-named query from a different-sized run on the same Lab must be
+// re-measured, not served from the memo.
+func TestMeasurementsNotSharedAcrossWorkloadSizes(t *testing.T) {
+	shared := NewLab()
+	small := smallSetting(workload.Micro, core.All, 0.05)
+	big := small
+	big.NumQueries = 24
+	if _, err := shared.Run(small); err != nil {
+		t.Fatal(err)
+	}
+	got, err := shared.Run(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewLab().Run(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Outcomes {
+		g, w := got.Outcomes[i], want.Outcomes[i]
+		if g.Name != w.Name || g.Actual != w.Actual || g.SampleCost != w.SampleCost {
+			t.Errorf("outcome %d (%s) served stale measurement: %+v vs fresh %+v",
+				i, w.Name, g, w)
+		}
+	}
+}
+
+// TestRunGridMatchesSerial fans an ablation grid out over a worker pool
+// and checks the cells against a serial Run loop on a fresh lab — the
+// per-cell seed contract: interleaving cannot change the numbers.
+func TestRunGridMatchesSerial(t *testing.T) {
+	settings := []Setting{
+		smallSetting(workload.Micro, core.All, 0.05),
+		smallSetting(workload.Micro, core.NoVarC, 0.05),
+		smallSetting(workload.SelJoin, core.All, 0.05),
+		smallSetting(workload.SelJoin, core.NoCov, 0.02),
+	}
+	grid, err := NewLab().RunGrid(settings, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialLab := NewLab()
+	eq := func(x, y float64) bool {
+		return math.Abs(x-y) <= 1e-12*math.Max(1, math.Max(math.Abs(x), math.Abs(y)))
+	}
+	for i, s := range settings {
+		serial, err := serialLab.Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := grid[i]
+		if len(g.Outcomes) != len(serial.Outcomes) {
+			t.Fatalf("cell %d: %d vs %d outcomes", i, len(g.Outcomes), len(serial.Outcomes))
+		}
+		for j := range g.Outcomes {
+			a, b := g.Outcomes[j], serial.Outcomes[j]
+			if a.Name != b.Name || a.Actual != b.Actual ||
+				!eq(a.PredMean, b.PredMean) || !eq(a.PredSigma, b.PredSigma) {
+				t.Errorf("cell %d query %d differs: %+v vs %+v", i, j, a, b)
+			}
+		}
+		if !eq(g.RS, serial.RS) || !eq(g.RP, serial.RP) || !eq(g.Dn, serial.Dn) {
+			t.Errorf("cell %d metrics differ: (%v,%v,%v) vs (%v,%v,%v)",
+				i, g.RS, g.RP, g.Dn, serial.RS, serial.RP, serial.Dn)
+		}
 	}
 }
 

@@ -49,12 +49,13 @@ func Table1CostUnits(w io.Writer, lab *Lab, z Sizing) error {
 	fmt.Fprintln(w, "Table 1: calibrated cost units (seconds per operation)")
 	fmt.Fprintf(w, "%-8s %-6s %-14s %-14s\n", "machine", "unit", "mean", "stddev")
 	for _, m := range machines {
-		e, err := lab.envFor(datagen.Uniform1G, m, z.Seed)
+		sys, err := lab.systemFor(z.setting(workload.Micro, datagen.Uniform1G, m, standardSRs[1], core.All))
 		if err != nil {
 			return err
 		}
+		units := sys.UnitDists()
 		for i, u := range []string{"cs", "cr", "ct", "ci", "co"} {
-			d := e.cal.Units[i]
+			d := units[i]
 			fmt.Fprintf(w, "%-8s %-6s %-14.4g %-14.4g\n", m, u, d.Mu, d.Sigma)
 		}
 	}

@@ -1,0 +1,55 @@
+// Package pool provides the bounded worker-pool primitive shared by the
+// batch API and the experiment harness: fan item indices out over a
+// fixed number of goroutines, each writing to its own slot, so results
+// land in input order without locking.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run dispatches do(0..n-1) to a bounded worker pool and returns the
+// per-item errors. workers <= 0 selects GOMAXPROCS; 1 degenerates to a
+// serial loop. do(i) must confine its writes to slot i of caller-owned
+// slices — slots are distinct, so no locking is needed.
+func Run(n, workers int, do func(i int) error) []error {
+	errs := make([]error, n)
+	if n == 0 {
+		return errs
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = do(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
+}
+
+// FirstError returns the lowest-index non-nil error, or nil.
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"container/heap"
+	"fmt"
+
+	uaqetp "repro"
+)
+
+// Request is one incoming query with a deadline.
+type Request struct {
+	Tenant string        `json:"tenant"`
+	Query  *uaqetp.Query `json:"query"`
+	// Deadline is the time budget in virtual seconds, measured from
+	// admission; 0 selects the tenant's default.
+	Deadline float64 `json:"deadline"`
+}
+
+// Decision is the admission controller's verdict on one request. For a
+// fixed seed the verdict is a pure function of (tenant config, query,
+// deadline) plus queue occupancy: the prediction is deterministic, so
+// replaying the same submission sequence reproduces the same decisions.
+type Decision struct {
+	ID       uint64 `json:"id"`
+	Admitted bool   `json:"admitted"`
+	// Reason explains a rejection ("" when admitted).
+	Reason string `json:"reason,omitempty"`
+	// PMeet is the predicted probability of finishing within the
+	// deadline, P(T <= d) under the predicted distribution.
+	PMeet float64 `json:"p_meet"`
+	// Deadline is the effective relative deadline in virtual seconds.
+	Deadline  float64 `json:"deadline"`
+	PredMean  float64 `json:"pred_mean"`
+	PredSigma float64 `json:"pred_sigma"`
+	// QueueLen is the queue occupancy after this decision.
+	QueueLen int `json:"queue_len"`
+}
+
+// queued is one admitted request awaiting execution.
+type queued struct {
+	id          uint64
+	tenant      *Tenant
+	query       *uaqetp.Query
+	pred        *uaqetp.Prediction
+	plansig     string
+	absDeadline float64 // virtual clock value the query must finish by
+	slack       float64 // absDeadline - Quantile(T, slo.Quantile): the priority key
+}
+
+// requestHeap orders admitted work by risk-adjusted slack (smallest
+// first), ties by admission order — the incremental counterpart of
+// sched.RiskSlack.
+type requestHeap []*queued
+
+func (h requestHeap) Len() int { return len(h) }
+func (h requestHeap) Less(i, j int) bool {
+	if h[i].slack != h[j].slack {
+		return h[i].slack < h[j].slack
+	}
+	return h[i].id < h[j].id
+}
+func (h requestHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *requestHeap) Push(x any)   { *h = append(*h, x.(*queued)) }
+func (h *requestHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Submit runs the admission rule on one request: predict the running
+// time, admit iff the predicted probability of meeting the deadline
+// clears the tenant's SLO confidence (and the queue has room), and
+// enqueue admitted work by risk-adjusted slack.
+func (s *Server) Submit(req Request) (Decision, error) {
+	t, err := s.Tenant(req.Tenant)
+	if err != nil {
+		return Decision{}, err
+	}
+	if req.Query == nil {
+		return Decision{}, fmt.Errorf("serve: nil query")
+	}
+	if req.Deadline < 0 {
+		return Decision{}, fmt.Errorf("serve: negative deadline %g", req.Deadline)
+	}
+	deadline := req.Deadline
+	if deadline == 0 {
+		deadline = t.slo.DefaultDeadline
+	}
+
+	t.predictions.Add(1)
+	pred, plansig, err := t.sys.PredictPlanned(req.Query)
+	if err != nil {
+		// An unpredictable query is a rejected submission: keep
+		// admitted+rejected reconcilable against submission traffic.
+		t.rejected.Add(1)
+		return Decision{}, fmt.Errorf("serve: predict %q: %w", req.Query.Name, err)
+	}
+
+	d := Decision{
+		PMeet:     pred.Dist.CDF(deadline),
+		Deadline:  deadline,
+		PredMean:  pred.Mean(),
+		PredSigma: pred.Sigma(),
+	}
+
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	s.seq++
+	d.ID = s.seq
+	switch {
+	case d.PMeet < t.slo.Confidence:
+		d.Reason = fmt.Sprintf("P(T <= %.4g) = %.4f below SLO confidence %.4f",
+			deadline, d.PMeet, t.slo.Confidence)
+	case s.queue.Len() >= s.cfg.MaxQueue:
+		d.Reason = fmt.Sprintf("queue full (%d admitted requests pending)", s.queue.Len())
+	default:
+		d.Admitted = true
+	}
+	if !d.Admitted {
+		t.rejected.Add(1)
+		d.QueueLen = s.queue.Len()
+		return d, nil
+	}
+	t.admitted.Add(1)
+	heap.Push(&s.queue, &queued{
+		id:          d.ID,
+		tenant:      t,
+		query:       req.Query,
+		pred:        pred,
+		plansig:     plansig,
+		absDeadline: s.clock + deadline,
+		slack:       s.clock + deadline - pred.Dist.Quantile(t.slo.Quantile),
+	})
+	d.QueueLen = s.queue.Len()
+	return d, nil
+}
+
+// Outcome is the result of executing one admitted request.
+type Outcome struct {
+	ID      uint64  `json:"id"`
+	Tenant  string  `json:"tenant"`
+	Query   string  `json:"query"`
+	Start   float64 `json:"start"`   // virtual clock at execution start
+	Finish  float64 `json:"finish"`  // virtual clock at completion
+	Elapsed float64 `json:"elapsed"` // measured running time in seconds
+	// Deadline is the absolute virtual deadline; Met reports whether the
+	// query finished by it (queue wait counts against the budget).
+	Deadline  float64 `json:"deadline"`
+	Met       bool    `json:"met"`
+	PredMean  float64 `json:"pred_mean"`
+	PredSigma float64 `json:"pred_sigma"`
+}
+
+// DrainOne executes the highest-priority admitted request (smallest
+// risk-adjusted slack), advances the virtual clock, records the
+// observation in the tenant's feedback loop, and returns the outcome —
+// or (nil, nil) when the queue is empty. Drains are serialized on their
+// own lock (the virtual clock models a single execution server), so a
+// background dispatcher racing an explicit /drain cannot reorder work
+// or perturb deadline outcomes; Submit stays responsive because it only
+// needs the brief queue lock.
+func (s *Server) DrainOne() (*Outcome, error) {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+
+	s.qmu.Lock()
+	if s.queue.Len() == 0 {
+		s.qmu.Unlock()
+		return nil, nil
+	}
+	it := heap.Pop(&s.queue).(*queued)
+	s.qmu.Unlock()
+
+	elapsed, err := it.tenant.sys.Execute(it.query)
+	if err != nil {
+		// The request is consumed either way: count the failure so
+		// admitted == executed + failed + queued stays balanced, and
+		// surface the error to the caller.
+		it.tenant.execFailed.Add(1)
+		return nil, fmt.Errorf("serve: execute %q: %w", it.query.Name, err)
+	}
+
+	s.qmu.Lock()
+	out := &Outcome{
+		ID:        it.id,
+		Tenant:    it.tenant.name,
+		Query:     it.query.Name,
+		Start:     s.clock,
+		Finish:    s.clock + elapsed,
+		Elapsed:   elapsed,
+		Deadline:  it.absDeadline,
+		PredMean:  it.pred.Mean(),
+		PredSigma: it.pred.Sigma(),
+	}
+	out.Met = out.Finish <= it.absDeadline
+	s.clock = out.Finish
+	s.qmu.Unlock()
+
+	it.tenant.executed.Add(1)
+	if out.Met {
+		it.tenant.deadlinesMet.Add(1)
+	} else {
+		it.tenant.deadlinesMissed.Add(1)
+	}
+	it.tenant.feedback.record(it.pred, elapsed, it.plansig)
+	return out, nil
+}
+
+// Drain executes every queued request in priority order and returns the
+// outcomes.
+func (s *Server) Drain() ([]Outcome, error) {
+	var outs []Outcome
+	for {
+		out, err := s.DrainOne()
+		if err != nil {
+			return outs, err
+		}
+		if out == nil {
+			return outs, nil
+		}
+		outs = append(outs, *out)
+	}
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"testing"
+
+	uaqetp "repro"
+	"repro/internal/workload"
+)
+
+// BenchmarkServeSubmit measures the serve-path cost of one admission
+// decision — predict through the shared cache, run the SLO rule,
+// enqueue — with a warmed cache, cycling through a small workload. The
+// queue is drained outside the timer whenever it fills.
+func BenchmarkServeSubmit(b *testing.B) {
+	srv := New(Config{MaxQueue: 1 << 16})
+	tn, err := srv.AddTenant("bench", uaqetp.DefaultConfig(),
+		SLO{Confidence: 0.9, DefaultDeadline: 5, Quantile: 0.9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := tn.sys.GenerateWorkload(workload.SelJoin, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the sampling-pass cache.
+	for _, q := range qs {
+		if _, err := srv.Predict("bench", q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := srv.Submit(Request{Tenant: "bench", Query: qs[i%len(qs)], Deadline: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.QueueLen >= 1<<16 {
+			b.StopTimer()
+			if _, err := srv.Drain(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkServePredict measures a cache-hot prediction through the
+// serving façade.
+func BenchmarkServePredict(b *testing.B) {
+	srv := New(Config{})
+	tn, err := srv.AddTenant("bench", uaqetp.DefaultConfig(), SLO{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := tn.sys.GenerateWorkload(workload.SelJoin, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, q := range qs {
+		if _, err := srv.Predict("bench", q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Predict("bench", qs[i%len(qs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+
+	uaqetp "repro"
+	"repro/internal/hardware"
+)
+
+// coverageLevels are the nominal central-interval masses the feedback
+// loop tracks: a well-calibrated predictor sees ~50%, ~90%, and ~95% of
+// observations inside the corresponding predicted intervals.
+var coverageLevels = []float64{0.5, 0.9, 0.95}
+
+const (
+	// driftMinSamples is the minimum number of observations in a cost
+	// unit's bucket before its drift is considered evidence.
+	driftMinSamples = 16
+	// driftTolerance is the allowed |observed - nominal| coverage gap
+	// before recalibration is advised.
+	driftTolerance = 0.12
+	// maxTrackedSignatures bounds the per-plan-signature map for
+	// long-lived servers; observations beyond the cap still count in
+	// the unit buckets, just not per signature.
+	maxTrackedSignatures = 4096
+	// reportTopSignatures is how many of the hottest signatures the
+	// drift report lists.
+	reportTopSignatures = 12
+)
+
+// feedback accumulates observed running times against their predicted
+// distributions. Each observation is attributed to the cost unit that
+// dominates the query's predicted mean, so persistent mis-coverage in a
+// bucket points at the unit whose calibration (internal/calibrate)
+// drifted.
+type feedback struct {
+	mu    sync.Mutex
+	units [hardware.NumUnits]unitAgg
+	sigs  map[string]*sigAgg
+}
+
+type unitAgg struct {
+	n      int
+	within [3]int // per coverageLevels entry
+	sumZ   float64
+}
+
+// sigAgg tracks per-plan-signature observations.
+type sigAgg struct {
+	n               int
+	sumObs, sumPred float64
+}
+
+func newFeedback() *feedback {
+	return &feedback{sigs: make(map[string]*sigAgg)}
+}
+
+// record adds one (prediction, observation) pair for a plan signature.
+func (f *feedback) record(pred *uaqetp.Prediction, observed float64, plansig string) {
+	unit := pred.DominantUnit()
+	var z float64
+	if s := pred.Sigma(); s > 0 {
+		z = (observed - pred.Mean()) / s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	u := &f.units[unit]
+	u.n++
+	u.sumZ += z
+	for i, level := range coverageLevels {
+		lo, hi := pred.Dist.Interval(level)
+		if observed >= lo && observed <= hi {
+			u.within[i]++
+		}
+	}
+	sg := f.sigs[plansig]
+	if sg == nil {
+		if len(f.sigs) >= maxTrackedSignatures {
+			return
+		}
+		sg = &sigAgg{}
+		f.sigs[plansig] = sg
+	}
+	sg.n++
+	sg.sumObs += observed
+	sg.sumPred += pred.Mean()
+}
+
+// CoveragePoint compares nominal and observed central-interval coverage.
+type CoveragePoint struct {
+	Nominal  float64 `json:"nominal"`
+	Observed float64 `json:"observed"`
+	Drift    float64 `json:"drift"` // Observed - Nominal
+}
+
+// UnitDrift is the calibration-drift summary for one cost unit's bucket
+// (queries whose predicted mean that unit dominates).
+type UnitDrift struct {
+	Unit     string          `json:"unit"`
+	N        int             `json:"n"`
+	Coverage []CoveragePoint `json:"coverage"`
+	// MeanZ is the mean standardized residual (observed - mean)/sigma; a
+	// well-calibrated bucket sits near 0.
+	MeanZ float64 `json:"mean_z"`
+	// RecalibrationAdvised is set once the bucket has enough samples and
+	// any coverage level drifts beyond tolerance.
+	RecalibrationAdvised bool `json:"recalibration_advised"`
+}
+
+// SignatureDrift summarizes the observations of one plan signature:
+// how far, on average, reality sits from the prediction for that exact
+// plan shape.
+type SignatureDrift struct {
+	Signature     string  `json:"signature"`
+	N             int     `json:"n"`
+	MeanObserved  float64 `json:"mean_observed"`
+	MeanPredicted float64 `json:"mean_predicted"`
+	// Bias is MeanObserved - MeanPredicted (positive: the plan runs
+	// slower than predicted).
+	Bias float64 `json:"bias"`
+}
+
+// DriftReport is the feedback loop's verdict on prediction calibration.
+type DriftReport struct {
+	Observations   int         `json:"observations"`
+	PlanSignatures int         `json:"plan_signatures"`
+	PerUnit        []UnitDrift `json:"per_unit"`
+	// TopSignatures lists the most-observed plan signatures with their
+	// mean prediction bias, hottest first.
+	TopSignatures []SignatureDrift `json:"top_signatures,omitempty"`
+	// RecalibrationAdvised is the disjunction over units: some cost
+	// unit's observed coverage has drifted enough from nominal that a
+	// recalibration pass (internal/calibrate) is warranted.
+	RecalibrationAdvised bool `json:"recalibration_advised"`
+}
+
+// report summarizes the accumulated observations.
+func (f *feedback) report() DriftReport {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rep := DriftReport{PlanSignatures: len(f.sigs)}
+	for ui := range f.units {
+		u := &f.units[ui]
+		if u.n == 0 {
+			continue
+		}
+		rep.Observations += u.n
+		ud := UnitDrift{
+			Unit:  hardware.Unit(ui).String(),
+			N:     u.n,
+			MeanZ: u.sumZ / float64(u.n),
+		}
+		for i, level := range coverageLevels {
+			obs := float64(u.within[i]) / float64(u.n)
+			drift := obs - level
+			ud.Coverage = append(ud.Coverage, CoveragePoint{Nominal: level, Observed: obs, Drift: drift})
+			if u.n >= driftMinSamples && (drift > driftTolerance || drift < -driftTolerance) {
+				ud.RecalibrationAdvised = true
+			}
+		}
+		if ud.RecalibrationAdvised {
+			rep.RecalibrationAdvised = true
+		}
+		rep.PerUnit = append(rep.PerUnit, ud)
+	}
+	for sig, sg := range f.sigs {
+		rep.TopSignatures = append(rep.TopSignatures, SignatureDrift{
+			Signature:     sig,
+			N:             sg.n,
+			MeanObserved:  sg.sumObs / float64(sg.n),
+			MeanPredicted: sg.sumPred / float64(sg.n),
+			Bias:          (sg.sumObs - sg.sumPred) / float64(sg.n),
+		})
+	}
+	// Hottest first; ties by signature so the report is deterministic.
+	sort.Slice(rep.TopSignatures, func(i, j int) bool {
+		a, b := rep.TopSignatures[i], rep.TopSignatures[j]
+		if a.N != b.N {
+			return a.N > b.N
+		}
+		return a.Signature < b.Signature
+	})
+	if len(rep.TopSignatures) > reportTopSignatures {
+		rep.TopSignatures = rep.TopSignatures[:reportTopSignatures]
+	}
+	return rep
+}

@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	uaqetp "repro"
+)
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	out.ReadFrom(resp.Body)
+	return resp, out.Bytes()
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	srv, qs := newTestServer(t, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// /healthz lists both tenants.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status  string   `json:"status"`
+		Tenants []string `json:"tenants"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || len(health.Tenants) != 2 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	// /predict returns the distribution.
+	resp, body := postJSON(t, ts, "/predict", predictRequest{Tenant: "alpha", Query: qs[0]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d: %s", resp.StatusCode, body)
+	}
+	var pr predictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Mean <= 0 || pr.Sigma < 0 || pr.P95 < pr.P50 || pr.DominantUnit == "" {
+		t.Fatalf("implausible prediction %+v", pr)
+	}
+
+	// /submit admits a generous deadline...
+	resp, body = postJSON(t, ts, "/submit", Request{Tenant: "alpha", Query: qs[0], Deadline: 5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	var d Decision
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Admitted || d.QueueLen != 1 {
+		t.Fatalf("decision %+v", d)
+	}
+	// ...and rejects an impossible one with 429.
+	resp, body = postJSON(t, ts, "/submit", Request{Tenant: "alpha", Query: qs[0], Deadline: 1e-9})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("hopeless submit status %d: %s", resp.StatusCode, body)
+	}
+
+	// /drain executes the one admitted query.
+	resp, body = postJSON(t, ts, "/drain", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain status %d: %s", resp.StatusCode, body)
+	}
+	var drain struct {
+		Executed int       `json:"executed"`
+		Outcomes []Outcome `json:"outcomes"`
+	}
+	if err := json.Unmarshal(body, &drain); err != nil {
+		t.Fatal(err)
+	}
+	if drain.Executed != 1 || len(drain.Outcomes) != 1 || drain.Outcomes[0].Elapsed <= 0 {
+		t.Fatalf("drain = %+v", drain)
+	}
+
+	// /stats reflects the traffic.
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(st.Tenants) != 2 || st.QueueLen != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	var alpha TenantStats
+	for _, tn := range st.Tenants {
+		if tn.Name == "alpha" {
+			alpha = tn
+		}
+	}
+	if alpha.Executed != 1 || alpha.Admitted != 1 || alpha.Rejected != 1 {
+		t.Fatalf("alpha stats = %+v", alpha)
+	}
+	if alpha.Drift.Observations != 1 {
+		t.Fatalf("feedback did not see the drained execution: %+v", alpha.Drift)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	srv, qs := newTestServer(t, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, _ := postJSON(t, ts, "/predict", predictRequest{Tenant: "nobody", Query: qs[0]})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown tenant: status %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts, "/predict", predictRequest{Tenant: "alpha"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("nil query: status %d, want 400", resp.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+"/submit", "application/json", bytes.NewBufferString("{nonsense"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /predict: status %d, want 405", resp.StatusCode)
+	}
+	bad := &uaqetp.Query{Name: "bad", Tables: []string{"no-such-table"}}
+	resp, _ = postJSON(t, ts, "/submit", Request{Tenant: "alpha", Query: bad})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid query: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestDispatcherDrainsQueue(t *testing.T) {
+	srv, qs := newTestServer(t, Config{})
+	stop := srv.StartDispatcher(time.Millisecond)
+	for _, q := range qs[:3] {
+		if _, err := srv.Submit(Request{Tenant: "alpha", Query: q, Deadline: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop() // stop drains a final time, so the queue must be empty now
+	if st := srv.Stats(); st.QueueLen != 0 {
+		t.Errorf("queue not drained: %d pending", st.QueueLen)
+	}
+}

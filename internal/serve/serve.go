@@ -1,0 +1,335 @@
+// Package serve is the online prediction service: a long-lived,
+// multi-tenant serving layer over the prediction stack. It owns one
+// System per tenant behind a single façade and realizes the paper's
+// online use cases (Section 5) as a service:
+//
+//   - a shared, sharded plan-signature cache (uaqetp.EstimateCache), so
+//     tenants over the same generated database and samples share
+//     sampling passes instead of each paying for its own;
+//   - a deadline-aware admission controller (ActiveSLA-style, Section
+//     6.5.3): a query is admitted only when the predicted probability of
+//     meeting its deadline clears the tenant's SLO confidence, and
+//     admitted work is ordered by risk-adjusted slack — deadline minus
+//     the SLO quantile of the predicted running time — the same
+//     distribution-based priority internal/sched's RiskSlack policy uses
+//     for batch scheduling;
+//   - a runtime feedback loop that records observed Execute times per
+//     plan signature and reports calibration drift — observed vs.
+//     predicted quantile coverage, attributed to the cost unit
+//     dominating each query — surfacing when recalibration via
+//     internal/calibrate is warranted;
+//   - an HTTP/JSON front end (net/http) with /predict, /submit, /drain,
+//     /stats, and /healthz.
+//
+// Time is virtual: the simulated hardware returns running times in
+// seconds, and the server advances a virtual clock as it executes
+// queued work, so deadline outcomes (like everything else here) are
+// deterministic for a fixed seed.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	uaqetp "repro"
+)
+
+// SLO is one tenant's service-level objective.
+type SLO struct {
+	// Confidence is the minimum predicted probability of meeting the
+	// deadline required to admit a query; 0 selects 0.95.
+	Confidence float64 `json:"confidence"`
+	// DefaultDeadline (virtual seconds) applies to requests that carry
+	// none; 0 selects 1.0.
+	DefaultDeadline float64 `json:"default_deadline"`
+	// Quantile is the risk quantile used to order admitted work by
+	// slack; 0 selects 0.9.
+	Quantile float64 `json:"quantile"`
+}
+
+// normalized fills zero fields with defaults and rejects out-of-range
+// values: a zero field means "use the default", but an explicit
+// Confidence or Quantile outside (0, 1) is an error rather than being
+// silently replaced with something looser.
+func (s SLO) normalized() (SLO, error) {
+	if s.Confidence == 0 {
+		s.Confidence = 0.95
+	}
+	if s.DefaultDeadline == 0 {
+		s.DefaultDeadline = 1.0
+	}
+	if s.Quantile == 0 {
+		s.Quantile = 0.9
+	}
+	if s.Confidence <= 0 || s.Confidence >= 1 {
+		return SLO{}, fmt.Errorf("serve: SLO confidence %g out of (0, 1)", s.Confidence)
+	}
+	if s.Quantile <= 0 || s.Quantile >= 1 {
+		return SLO{}, fmt.Errorf("serve: SLO quantile %g out of (0, 1)", s.Quantile)
+	}
+	if s.DefaultDeadline <= 0 {
+		return SLO{}, fmt.Errorf("serve: SLO default deadline %g must be positive", s.DefaultDeadline)
+	}
+	return s, nil
+}
+
+// Config sizes the server.
+type Config struct {
+	// CacheCapacity bounds the shared estimate cache (sampling passes
+	// across all tenants); 0 selects 1024.
+	CacheCapacity int
+	// MaxQueue bounds admitted-but-unexecuted requests; a full queue
+	// rejects further admissions (backpressure). 0 selects 1024.
+	MaxQueue int
+}
+
+func (c Config) normalized() Config {
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = 1024
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 1024
+	}
+	return c
+}
+
+// Tenant is one served database: a System plus its SLO and counters.
+type Tenant struct {
+	name     string
+	slo      SLO
+	sys      *uaqetp.System
+	feedback *feedback
+
+	predictions     atomic.Uint64
+	admitted        atomic.Uint64
+	rejected        atomic.Uint64
+	executed        atomic.Uint64
+	execFailed      atomic.Uint64
+	deadlinesMet    atomic.Uint64
+	deadlinesMissed atomic.Uint64
+}
+
+// Name returns the tenant's name.
+func (t *Tenant) Name() string { return t.name }
+
+// SLO returns the tenant's normalized SLO.
+func (t *Tenant) SLO() SLO { return t.slo }
+
+// System returns the tenant's underlying prediction System (e.g. for
+// generating demo workloads against its catalog).
+func (t *Tenant) System() *uaqetp.System { return t.sys }
+
+// Server is the multi-tenant serving façade. All methods are safe for
+// concurrent use.
+type Server struct {
+	cfg   Config
+	cache *uaqetp.EstimateCache
+
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+	// systems shares one System among tenants with identical configs
+	// (Systems are immutable and concurrency-safe), so co-located
+	// tenants don't each regenerate the database and calibration.
+	systems map[uaqetp.Config]*uaqetp.System
+
+	// qmu guards the admitted-work queue and the virtual clock; drainMu
+	// serializes whole pop-execute-advance drain steps (see DrainOne).
+	qmu     sync.Mutex
+	drainMu sync.Mutex
+	queue   requestHeap
+	seq     uint64
+	clock   float64
+}
+
+// New returns an empty server with a fresh shared estimate cache.
+func New(cfg Config) *Server {
+	cfg = cfg.normalized()
+	return &Server{
+		cfg:     cfg,
+		cache:   uaqetp.NewEstimateCache(cfg.CacheCapacity),
+		tenants: make(map[string]*Tenant),
+		systems: make(map[uaqetp.Config]*uaqetp.System),
+	}
+}
+
+// AddTenant opens a System for the tenant on the server's shared cache.
+// The Cache field of sysCfg is overridden; everything else is honored.
+// Tenants with identical configs share one System instance, and the
+// expensive Open runs outside the server lock, so adding a tenant never
+// stalls requests already being served.
+func (s *Server) AddTenant(name string, sysCfg uaqetp.Config, slo SLO) (*Tenant, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: empty tenant name")
+	}
+	nslo, err := slo.normalized()
+	if err != nil {
+		return nil, err
+	}
+	sysCfg.Cache = s.cache
+	// Apply Open's own defaulting before the dedup lookup, so
+	// equivalent but differently-spelled configs share one System.
+	if sysCfg.Machine == "" {
+		sysCfg.Machine = "PC1"
+	}
+	if sysCfg.SamplingRatio <= 0 {
+		sysCfg.SamplingRatio = 0.05
+	}
+
+	s.mu.RLock()
+	_, exists := s.tenants[name]
+	sys := s.systems[sysCfg]
+	s.mu.RUnlock()
+	if exists {
+		return nil, fmt.Errorf("serve: tenant %q already exists", name)
+	}
+	if sys == nil {
+		// Open without the lock; a concurrent AddTenant with the same
+		// config may race to a second Open, in which case one deterministic
+		// duplicate wins the map and the other is dropped — harmless.
+		if sys, err = uaqetp.Open(sysCfg); err != nil {
+			return nil, fmt.Errorf("serve: open tenant %q: %w", name, err)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tenants[name]; ok {
+		return nil, fmt.Errorf("serve: tenant %q already exists", name)
+	}
+	if prev, ok := s.systems[sysCfg]; ok {
+		sys = prev
+	} else {
+		s.systems[sysCfg] = sys
+	}
+	t := &Tenant{name: name, slo: nslo, sys: sys, feedback: newFeedback()}
+	s.tenants[name] = t
+	return t, nil
+}
+
+// ErrUnknownTenant reports a request against a tenant that was never
+// added; the HTTP layer maps it to 404.
+var ErrUnknownTenant = errors.New("unknown tenant")
+
+// Tenant returns the named tenant.
+func (s *Server) Tenant(name string) (*Tenant, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tenants[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: %w %q", ErrUnknownTenant, name)
+	}
+	return t, nil
+}
+
+// TenantNames returns the tenant names in sorted order.
+func (s *Server) TenantNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tenants))
+	for n := range s.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Predict returns the running-time distribution of q for the tenant,
+// through the shared cache.
+func (s *Server) Predict(tenant string, q *uaqetp.Query) (*uaqetp.Prediction, error) {
+	t, err := s.Tenant(tenant)
+	if err != nil {
+		return nil, err
+	}
+	if q == nil {
+		return nil, fmt.Errorf("serve: nil query")
+	}
+	t.predictions.Add(1)
+	return t.sys.Predict(q)
+}
+
+// TenantStats summarizes one tenant's traffic and calibration drift.
+type TenantStats struct {
+	Name            string      `json:"name"`
+	Predictions     uint64      `json:"predictions"`
+	Admitted        uint64      `json:"admitted"`
+	Rejected        uint64      `json:"rejected"`
+	Executed        uint64      `json:"executed"`
+	ExecFailed      uint64      `json:"exec_failed"`
+	DeadlinesMet    uint64      `json:"deadlines_met"`
+	DeadlinesMissed uint64      `json:"deadlines_missed"`
+	Drift           DriftReport `json:"drift"`
+}
+
+// Stats is a point-in-time snapshot of the whole server.
+type Stats struct {
+	Cache    uaqetp.CacheStats `json:"cache"`
+	QueueLen int               `json:"queue_len"`
+	Clock    float64           `json:"clock"`
+	Tenants  []TenantStats     `json:"tenants"`
+}
+
+// Stats snapshots the shared cache, the queue, and every tenant.
+func (s *Server) Stats() Stats {
+	s.qmu.Lock()
+	qlen, clock := s.queue.Len(), s.clock
+	s.qmu.Unlock()
+
+	st := Stats{Cache: s.cache.Stats(), QueueLen: qlen, Clock: clock}
+	s.mu.RLock()
+	for _, t := range s.tenants {
+		st.Tenants = append(st.Tenants, TenantStats{
+			Name:            t.name,
+			Predictions:     t.predictions.Load(),
+			Admitted:        t.admitted.Load(),
+			Rejected:        t.rejected.Load(),
+			Executed:        t.executed.Load(),
+			ExecFailed:      t.execFailed.Load(),
+			DeadlinesMet:    t.deadlinesMet.Load(),
+			DeadlinesMissed: t.deadlinesMissed.Load(),
+			Drift:           t.feedback.report(),
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(st.Tenants, func(i, j int) bool { return st.Tenants[i].Name < st.Tenants[j].Name })
+	return st
+}
+
+// StartDispatcher launches a goroutine draining the queue every
+// interval and returns a function that stops it (draining a final
+// time). It is the long-lived-service counterpart of calling Drain
+// explicitly.
+func (s *Server) StartDispatcher(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		drain := func() {
+			if _, err := s.Drain(); err != nil {
+				log.Printf("serve: dispatcher: %v", err)
+			}
+		}
+		for {
+			select {
+			case <-ticker.C:
+				drain()
+			case <-done:
+				drain()
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}

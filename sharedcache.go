@@ -1,0 +1,108 @@
+package uaqetp
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/sample"
+)
+
+// DefaultCacheShards is the shard count of an EstimateCache: enough to
+// keep a handful of tenants from contending on one lock without wasting
+// capacity granularity.
+const DefaultCacheShards = 16
+
+// CacheStats is a point-in-time snapshot of an EstimateCache's counters,
+// aggregated across shards.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Shards    int    `json:"shards"`
+}
+
+// EstimateCache memoizes sampling passes by namespaced plan signature in
+// a sharded LRU. A single cache may back many Systems: tenants whose
+// configurations generate the same database and samples (same DB kind,
+// sampling ratio, and seed) share sampling passes, which is the point of
+// multi-tenant serving over a common catalog. Concurrent requests for
+// the same key — from one System or several — are coalesced onto a
+// single computation.
+//
+// Estimates are immutable once built, so a cached value may be served to
+// any number of concurrent readers.
+type EstimateCache struct {
+	lru *cache.Sharded[*sample.Estimates]
+
+	// flight coalesces concurrent sampling passes per key.
+	flightMu sync.Mutex
+	flight   map[string]*estFlight
+}
+
+// estFlight is one in-progress sampling pass; waiters block on done.
+type estFlight struct {
+	done chan struct{}
+	est  *sample.Estimates
+	err  error
+}
+
+// NewEstimateCache returns a sharded estimate cache holding at most
+// capacity sampling passes across DefaultCacheShards shards; capacity
+// < 1 selects the per-System default.
+func NewEstimateCache(capacity int) *EstimateCache {
+	if capacity < 1 {
+		capacity = estimateMemoSize
+	}
+	return &EstimateCache{
+		lru:    cache.NewSharded[*sample.Estimates](capacity, DefaultCacheShards),
+		flight: make(map[string]*estFlight),
+	}
+}
+
+// getOrCompute returns the cached estimates for key, computing and
+// caching them via compute on a miss. Concurrent callers with the same
+// key wait for one computation instead of racing.
+func (c *EstimateCache) getOrCompute(key string, compute func() (*sample.Estimates, error)) (*sample.Estimates, error) {
+	if est, ok := c.lru.Get(key); ok {
+		return est, nil
+	}
+	c.flightMu.Lock()
+	if f, ok := c.flight[key]; ok {
+		c.flightMu.Unlock()
+		<-f.done
+		return f.est, f.err
+	}
+	f := &estFlight{done: make(chan struct{})}
+	c.flight[key] = f
+	c.flightMu.Unlock()
+
+	f.est, f.err = compute()
+	if f.err == nil {
+		c.lru.Put(key, f.est)
+	}
+	c.flightMu.Lock()
+	delete(c.flight, key)
+	c.flightMu.Unlock()
+	close(f.done)
+	return f.est, f.err
+}
+
+// Stats aggregates the hit/miss/eviction counters across shards.
+func (c *EstimateCache) Stats() CacheStats {
+	s := c.lru.Snapshot()
+	return CacheStats{
+		Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions,
+		Entries: s.Entries, Shards: c.lru.NumShards(),
+	}
+}
+
+// estimateNamespace fingerprints everything that determines a sampling
+// pass besides the plan itself: the generated database (DB kind + seed)
+// and the offline samples drawn from it (sampling ratio). Machine and
+// predictor variant do not enter — estimates are identical across them,
+// so tenants differing only there still share passes.
+func estimateNamespace(cfg Config) string {
+	return fmt.Sprintf("%v|%g|%d", cfg.DB, cfg.SamplingRatio, cfg.Seed)
+}
