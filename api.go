@@ -1,55 +1,81 @@
 // Package uaqetp (Uncertainty-Aware Query Execution Time Prediction) is
 // the public API of this reproduction of Wu, Wu, Hacıgümüş and
-// Naughton's VLDB 2014 paper. It assembles the internal subsystems —
-// synthetic database generation, catalog statistics, simulated hardware,
-// cost-unit calibration, sampling-based selectivity estimation, logical
-// cost-function fitting, and the variance-propagating predictor — behind
-// a single System type.
+// Naughton's VLDB 2014 paper. Instead of a point estimate, the
+// predictor returns the distribution of a query's likely running time,
+// t_q ~ N(E[t_q], Var[t_q]).
 //
-// A typical session:
+// # The pipeline
+//
+// A System is an assembly of four explicit stages, each behind an
+// interface with the paper's implementation as the default:
+//
+//   - Planner    — query → physical plan(s) (left-deep join orders)
+//   - Estimator  — plan → per-operator selectivity distributions
+//     (sampling pass, memoized per plan and per subplan)
+//   - Predictor  — plan + estimates → running-time distribution
+//     (variance propagation over calibrated cost units)
+//   - Executor   — plan → measured seconds (simulated hardware)
+//
+// Open assembles the defaults; any stage can be overridden through the
+// corresponding Config field or swapped on a derived façade via
+// System.With. The Predictor stage additionally sits behind an
+// atomically swappable handle (SwapPredictor, Recalibrate), so a
+// serving layer can recalibrate cost units live without dropping
+// in-flight queries.
+//
+// # Calls
+//
+// The v2 entry points take a context.Context and per-call functional
+// options:
 //
 //	sys, err := uaqetp.Open(uaqetp.DefaultConfig())
-//	pred, err := sys.Predict(&uaqetp.Query{
-//	    Name:   "my-query",
-//	    Tables: []string{"orders", "lineitem"},
-//	    Joins: []uaqetp.JoinCond{{
-//	        LeftTable: "orders", LeftCol: "o_orderkey",
-//	        RightTable: "lineitem", RightCol: "l_orderkey",
-//	    }},
-//	})
-//	lo, hi := pred.Interval(0.95)   // 95% confidence interval in seconds
-//	actual, err := sys.Execute(...) // run it on the simulated hardware
+//	pred, err := sys.PredictContext(ctx, q)
+//	best, all, err := sys.ChoosePlanContext(ctx, q,
+//	    uaqetp.WithMaxAlts(4), uaqetp.WithQuantile(0.9))
+//	actual, err := sys.ExecuteContext(ctx, q,
+//	    uaqetp.WithPlanHint(best.Plan))
+//
+// Cancellation propagates through every stage and through the batch
+// worker pool (PredictBatchContext, ExecuteBatchContext), which returns
+// promptly with ctx.Err once the context fires. The v1 methods
+// (Predict, Execute, Alternatives, ChoosePlan, PredictBatch, ...)
+// remain as thin deprecated wrappers over the context forms.
 //
 // # Concurrency
 //
 // A System is safe for concurrent use by multiple goroutines: all state
-// assembled by Open (database, catalog, samples, calibrated predictor)
-// is immutable afterwards, and every per-call source of randomness is
-// derived deterministically from Config.Seed plus a fingerprint of the
-// query at hand rather than drawn from a shared stream. Consequently
-// results are reproducible for a fixed seed no matter how many
-// goroutines are in flight or in which order calls interleave: Predict
-// and PredictBatch are pure functions of (Config, Query), and Execute
-// returns the same measured time for the same query on the same System.
+// assembled by Open is immutable afterwards — the one deliberate
+// exception is the predictor handle, which changes only by atomic swap
+// — and every per-call source of randomness is derived
+// deterministically from Config.Seed plus a fingerprint of the query at
+// hand rather than drawn from a shared stream. Consequently results are
+// reproducible for a fixed seed no matter how many goroutines are in
+// flight or in which order calls interleave: predictions are pure
+// functions of (Config, Query), and Execute returns the same measured
+// time for the same query on the same System.
 //
-// PredictBatch is the throughput-oriented entry point: it fans a batch
-// of queries out over a bounded worker pool and returns predictions in
-// input order, byte-identical to a serial Predict loop regardless of
-// BatchOptions.Workers. Structurally identical plans additionally share
-// one sampling pass through a sharded LRU memo keyed by the plan's
-// canonical signature — concurrent requests for the same signature are
-// coalesced onto a single pass — which pays off whenever the same plan
-// is predicted repeatedly, within a batch or across calls. Setting
-// Config.Cache to a shared EstimateCache extends that sharing across
-// Systems: tenants whose configurations generate the same database and
-// samples reuse each other's passes, the substrate of the multi-tenant
-// serving layer in internal/serve.
+// PredictBatchContext is the throughput-oriented entry point: it fans a
+// batch of queries out over a bounded worker pool and returns
+// predictions in input order, byte-identical to a serial loop
+// regardless of WithWorkers. The default Estimator memoizes sampling
+// passes at two granularities through a sharded LRU: whole plans by
+// canonical signature (concurrent requests for the same signature are
+// coalesced onto a single pass), and individual subplans by subtree
+// signature, so the alternative join orders enumerated inside one
+// AlternativesContext or ChoosePlanContext call share their common
+// subtrees' passes. Setting Config.Cache to a shared EstimateCache
+// extends both levels of sharing across Systems: tenants whose
+// configurations generate the same database and samples reuse each
+// other's passes, the substrate of the multi-tenant serving layer in
+// internal/serve.
 package uaqetp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
-	"math/rand"
+	"sort"
 
 	"repro/internal/calibrate"
 	"repro/internal/catalog"
@@ -110,6 +136,17 @@ const (
 	Skewed10G  = datagen.Skewed10G
 )
 
+// Typed failures of plan selection.
+var (
+	// ErrNoPlans reports that the planner produced no candidate plans
+	// for a query (possible with a custom Planner stage; the built-in
+	// planner always returns at least the default plan).
+	ErrNoPlans = errors.New("no candidate plans")
+	// ErrPlanHintNotFound reports that no enumerated alternative matched
+	// the signature given via WithPlanHint.
+	ErrPlanHintNotFound = errors.New("plan hint matched no alternative")
+)
+
 // Config describes how to assemble a System.
 type Config struct {
 	// DB selects the synthetic database (size and skew).
@@ -130,6 +167,21 @@ type Config struct {
 	// the same generated database and samples share passes while
 	// incompatible tenants never collide.
 	Cache *EstimateCache
+
+	// Planner, Estimator, Predictor, and Executor override the
+	// corresponding pipeline stage; nil selects the built-in
+	// implementation. Predictor and Executor stages can be implemented
+	// from scratch (their outputs are public types); custom Planner and
+	// Estimator stages are decorators over the built-in ones, so install
+	// them after Open via sys.With(WithPlanner(...)) wrapping
+	// sys.Planner() / sys.Estimator() rather than through these fields.
+	// Stage values should be pointer types when the Config may be
+	// compared (internal/serve dedups tenant configs with all four left
+	// nil).
+	Planner   Planner
+	Estimator Estimator
+	Predictor Predictor
+	Executor  Executor
 }
 
 // DefaultConfig returns a uniform "1 GB" database on PC1 with a 5%
@@ -148,9 +200,12 @@ func DefaultConfig() Config {
 // keyed by canonical plan signature.
 const estimateMemoSize = 256
 
-// System is an assembled prediction stack over a synthetic database and
-// simulated hardware. All fields are immutable after Open; see the
-// package documentation for the concurrency contract.
+// System is an assembled prediction pipeline over a synthetic database
+// and simulated hardware: four stages (Planner, Estimator, Predictor,
+// Executor) over shared immutable layers. All fields are immutable
+// after Open except the predictor handle, which changes only by atomic
+// swap (SwapPredictor, Recalibrate); see the package documentation for
+// the concurrency contract.
 type System struct {
 	cfg     Config
 	db      *engine.DB
@@ -158,7 +213,13 @@ type System struct {
 	profile *hardware.Profile
 	cal     *calibrate.Result
 	samples *sample.DB
-	pred    *core.Predictor
+
+	planner   Planner
+	estimator Estimator
+	executor  Executor
+	// pred is the hot-swappable predictor stage; each façade derived by
+	// With gets its own handle.
+	pred *predictorHandle
 
 	// estCache memoizes sampling passes (shared across Systems when
 	// Config.Cache is set); estNS prefixes this System's keys so only
@@ -168,7 +229,8 @@ type System struct {
 }
 
 // Open generates the database, builds statistics, calibrates the cost
-// units against the simulated machine, and draws the offline samples.
+// units against the simulated machine, draws the offline samples, and
+// wires the four pipeline stages (built-in unless overridden in cfg).
 func Open(cfg Config) (*System, error) {
 	if cfg.Machine == "" {
 		cfg.Machine = "PC1"
@@ -194,33 +256,59 @@ func Open(cfg Config) (*System, error) {
 	if estCache == nil {
 		estCache = NewEstimateCache(estimateMemoSize)
 	}
-	return &System{
+	s := &System{
 		cfg:      cfg,
 		db:       db,
 		cat:      cat,
 		profile:  profile,
 		cal:      cal,
 		samples:  samples,
-		pred:     core.New(cat, cal.Units, core.Config{Variant: cfg.Variant}),
 		estCache: estCache,
 		estNS:    estimateNamespace(cfg),
-	}, nil
+	}
+	s.planner = cfg.Planner
+	if s.planner == nil {
+		s.planner = defaultPlanner{cat: cat}
+	}
+	s.estimator = cfg.Estimator
+	if s.estimator == nil {
+		s.estimator = &defaultEstimator{samples: samples, cat: cat, cache: estCache, ns: s.estNS}
+	}
+	s.executor = cfg.Executor
+	if s.executor == nil {
+		s.executor = simExecutor{db: db, profile: profile, seed: cfg.Seed}
+	}
+	if cfg.Predictor != nil {
+		s.pred = newPredictorHandle(&predictorState{stage: cfg.Predictor})
+	} else {
+		s.pred = newPredictorHandle(defaultPredictorState(cat, cal.Units, cfg.Variant))
+	}
+	return s, nil
 }
+
+// Config returns a copy of the configuration this System was opened
+// with (after Open's defaulting).
+func (s *System) Config() Config { return s.cfg }
 
 // WithVariant returns a System predicting with variant v but sharing
 // everything else with s — database, catalog, calibration, samples, and
 // the estimate cache. Deriving a variant is cheap (no regeneration), so
-// ablation grids can fan a single Open out across all variants.
+// ablation grids can fan a single Open out across all variants. The
+// derived System's predictor is the built-in stage for v over the
+// current units (recalibrated units carry over; a custom stage does
+// not).
 func (s *System) WithVariant(v Variant) *System {
 	if v == s.cfg.Variant {
 		return s
 	}
-	cfg := s.cfg
-	cfg.Variant = v
-	derived := *s
-	derived.cfg = cfg
-	derived.pred = core.New(s.cat, s.cal.Units, core.Config{Variant: v})
-	return &derived
+	units := s.cal.Units
+	if st := s.pred.load(); st.units != nil {
+		units = *st.units
+	}
+	derived := s.With()
+	derived.cfg.Variant = v
+	derived.pred = newPredictorHandle(defaultPredictorState(s.cat, units, v))
+	return derived
 }
 
 // WithSamplingRatio returns a System with freshly drawn samples at
@@ -228,7 +316,9 @@ func (s *System) WithVariant(v Variant) *System {
 // estimate cache with s. Sampling-ratio sweeps (Section 6 grids) can
 // thus reuse one expensive Open per (DB, machine, seed) environment.
 // The derived System's cache keys include the new ratio, so it never
-// shares sampling passes with differently-sampled tenants.
+// shares sampling passes with differently-sampled tenants. A custom
+// Estimator stage is carried over unchanged; the built-in one is
+// rebuilt on the new samples.
 func (s *System) WithSamplingRatio(sr float64) (*System, error) {
 	if sr == s.cfg.SamplingRatio {
 		return s, nil
@@ -236,39 +326,20 @@ func (s *System) WithSamplingRatio(sr float64) (*System, error) {
 	if sr <= 0 {
 		return nil, fmt.Errorf("uaqetp: sampling ratio %g out of (0, 1]", sr)
 	}
-	cfg := s.cfg
-	cfg.SamplingRatio = sr
-	samples, err := sample.Build(s.db, sr, sample.DefaultCopies, cfg.Seed+2)
+	samples, err := sample.Build(s.db, sr, sample.DefaultCopies, s.cfg.Seed+2)
 	if err != nil {
 		return nil, err
 	}
-	derived := *s
-	derived.cfg = cfg
+	derived := s.With()
+	derived.cfg.SamplingRatio = sr
 	derived.samples = samples
-	derived.estNS = estimateNamespace(cfg)
-	return &derived, nil
-}
-
-// estimates runs the sampling pass for a finalized plan, memoized by the
-// plan's canonical signature: structurally identical plans (same
-// operators, predicates, and join order) share one pass — across
-// Systems too, when a shared Config.Cache is in use and the Systems'
-// databases and samples coincide. Concurrent callers with the same
-// signature are coalesced onto a single computation rather than racing
-// to fill the memo. Estimates are immutable once built, so a cached
-// value may be served to any number of concurrent readers.
-func (s *System) estimates(p *engine.Node) (*sample.Estimates, error) {
-	return s.estimatesSig(p, p.String())
-}
-
-// estimatesSig is estimates with the plan signature already rendered,
-// for callers that need the signature anyway (PredictPlanned): the
-// recursive String() walk then happens once per request.
-func (s *System) estimatesSig(p *engine.Node, sig string) (*sample.Estimates, error) {
-	key := s.estNS + "\x00" + sig
-	return s.estCache.getOrCompute(key, func() (*sample.Estimates, error) {
-		return sample.Estimate(p, s.samples, s.cat)
-	})
+	derived.estNS = estimateNamespace(derived.cfg)
+	if _, ok := s.estimator.(*defaultEstimator); ok {
+		derived.estimator = &defaultEstimator{
+			samples: samples, cat: s.cat, cache: s.estCache, ns: derived.estNS,
+		}
+	}
+	return derived, nil
 }
 
 // execSeed derives the deterministic per-call RNG seed for Execute from
@@ -287,120 +358,254 @@ func execSeed(seed int64, qname, plansig string) int64 {
 	return int64(z)
 }
 
-// Plan compiles a query into a physical plan and renders it.
-func (s *System) Plan(q *Query) (string, error) {
-	p, err := plan.Build(q, s.cat)
-	if err != nil {
-		return "", err
+// resolvePlan picks the plan a call operates on: the planner's default
+// plan, or — under WithPlanHint — the enumerated alternative whose
+// signature matches the hint.
+func (s *System) resolvePlan(ctx context.Context, q *Query, o callOpts) (*Plan, error) {
+	if q == nil {
+		return nil, fmt.Errorf("uaqetp: nil query")
 	}
-	return p.String(), nil
-}
-
-// Predict returns the distribution of likely running times for the
-// query: the paper's t_q ~ N(E[t_q], Var[t_q]).
-func (s *System) Predict(q *Query) (*Prediction, error) {
-	pred, _, err := s.PredictPlanned(q)
-	return pred, err
-}
-
-// runMeasured executes a built plan and measures it with the
-// deterministic per-call stream — the single implementation behind
-// Execute and Measure, so their measured times cannot diverge.
-func (s *System) runMeasured(q *Query, p *engine.Node) (*engine.OpResult, float64, error) {
-	res, err := engine.Run(s.db, p)
-	if err != nil {
-		return nil, 0, err
+	if o.planHint == "" {
+		p, err := s.planner.BuildPlan(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		return p, p.valid()
 	}
-	rng := rand.New(rand.NewSource(execSeed(s.cfg.Seed, q.Name, p.String())))
-	return res, s.profile.MeasurePlan(res, rng), nil
-}
-
-// Execute runs the query on the simulated hardware and returns the
-// measured running time in seconds (the 5-run average the paper uses).
-func (s *System) Execute(q *Query) (float64, error) {
-	p, err := plan.Build(q, s.cat)
-	if err != nil {
-		return 0, err
-	}
-	_, actual, err := s.runMeasured(q, p)
-	return actual, err
-}
-
-// PredictAndRun is a convenience helper returning both the prediction
-// and the measured time.
-func (s *System) PredictAndRun(q *Query) (*Prediction, float64, error) {
-	pred, err := s.Predict(q)
-	if err != nil {
-		return nil, 0, err
-	}
-	actual, err := s.Execute(q)
-	if err != nil {
-		return nil, 0, err
-	}
-	return pred, actual, nil
-}
-
-// PlanChoice pairs one candidate physical plan with its predicted
-// running-time distribution.
-type PlanChoice struct {
-	Plan string // rendered plan tree
-	Pred *Prediction
-}
-
-// Alternatives enumerates up to maxAlts alternative join orders for the
-// query and predicts each one's running-time distribution — the raw
-// material for least-expected-cost plan selection (Section 6.5.1).
-func (s *System) Alternatives(q *Query, maxAlts int) ([]PlanChoice, error) {
-	plans, err := plan.Alternatives(q, s.cat, maxAlts)
+	alts, err := s.planner.Alternatives(ctx, q, o.maxAlts)
 	if err != nil {
 		return nil, err
 	}
+	for _, p := range alts {
+		if p != nil && p.sig == o.planHint {
+			return p, p.valid()
+		}
+	}
+	return nil, fmt.Errorf("uaqetp: %q: %w (among %d alternatives)",
+		queryName(q), ErrPlanHintNotFound, len(alts))
+}
+
+// predictResolved runs plan → estimate → predict for an already
+// resolved plan on one consistent predictor stage.
+func (s *System) predictResolved(ctx context.Context, p *Plan, stage Predictor) (*Prediction, error) {
+	est, err := s.estimator.Estimate(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return stage.Predict(ctx, p, est)
+}
+
+// PredictContext returns the distribution of likely running times for
+// the query — the paper's t_q ~ N(E[t_q], Var[t_q]) — by routing the
+// query through the Planner, Estimator, and Predictor stages.
+// WithPlanHint predicts a specific alternative instead of the default
+// plan.
+func (s *System) PredictContext(ctx context.Context, q *Query, opts ...CallOption) (*Prediction, error) {
+	pred, _, err := s.PredictPlannedContext(ctx, q, opts...)
+	return pred, err
+}
+
+// PredictPlannedContext returns the prediction together with the plan's
+// canonical signature, so serving-path callers that need both (e.g. for
+// per-signature feedback) resolve the physical plan once.
+func (s *System) PredictPlannedContext(ctx context.Context, q *Query, opts ...CallOption) (*Prediction, string, error) {
+	o := newCallOpts(opts)
+	p, err := s.resolvePlan(ctx, q, o)
+	if err != nil {
+		return nil, "", err
+	}
+	pred, err := s.predictResolved(ctx, p, s.Predictor())
+	if err != nil {
+		return nil, "", err
+	}
+	return pred, p.sig, nil
+}
+
+// ExecuteContext runs the query through the Executor stage (by default
+// the simulated hardware, measuring the 5-run average the paper uses)
+// and returns the measured running time in seconds. WithPlanHint
+// executes a specific alternative instead of the default plan.
+func (s *System) ExecuteContext(ctx context.Context, q *Query, opts ...CallOption) (float64, error) {
+	o := newCallOpts(opts)
+	p, err := s.resolvePlan(ctx, q, o)
+	if err != nil {
+		return 0, err
+	}
+	return s.executor.Execute(ctx, q, p)
+}
+
+// PlanChoice pairs one candidate physical plan with its predicted
+// running-time distribution. Plan is the plan's canonical signature,
+// replayable through WithPlanHint.
+type PlanChoice struct {
+	Plan string // rendered plan tree (canonical signature)
+	Pred *Prediction
+}
+
+// AlternativesContext enumerates alternative plans for the query
+// (bounded by WithMaxAlts) and predicts each one's running-time
+// distribution — the raw material for least-expected-cost plan
+// selection (Section 6.5.1). Alternatives sharing subtrees share those
+// subtrees' sampling passes through the estimator's subplan memo.
+func (s *System) AlternativesContext(ctx context.Context, q *Query, opts ...CallOption) ([]PlanChoice, error) {
+	o := newCallOpts(opts)
+	if q == nil {
+		return nil, fmt.Errorf("uaqetp: nil query")
+	}
+	plans, err := s.planner.Alternatives(ctx, q, o.maxAlts)
+	if err != nil {
+		return nil, err
+	}
+	stage := s.Predictor()
 	choices := make([]PlanChoice, 0, len(plans))
 	for _, p := range plans {
-		est, err := s.estimates(p)
+		if err := p.valid(); err != nil {
+			return nil, err
+		}
+		pred, err := s.predictResolved(ctx, p, stage)
 		if err != nil {
 			return nil, err
 		}
-		pred, err := s.pred.Predict(p, est)
-		if err != nil {
-			return nil, err
-		}
-		choices = append(choices, PlanChoice{Plan: p.String(), Pred: pred})
+		choices = append(choices, PlanChoice{Plan: p.sig, Pred: pred})
 	}
 	return choices, nil
 }
 
-// ChoosePlan picks among the query's alternative plans by the given
-// risk quantile of the predicted distribution (quantile 0.5 approximates
-// least expected cost; 0.9 is a risk-averse choice). It returns the
-// chosen plan and all considered alternatives.
-func (s *System) ChoosePlan(q *Query, quantile float64, maxAlts int) (best PlanChoice, all []PlanChoice, err error) {
-	all, err = s.Alternatives(q, maxAlts)
+// ChoosePlanContext picks among the query's alternative plans by the
+// risk quantile of the predicted distribution (WithQuantile; 0.5
+// approximates least expected cost, 0.9 is risk-averse). It returns the
+// chosen plan and all considered alternatives. A planner that produces
+// no candidates yields ErrNoPlans.
+func (s *System) ChoosePlanContext(ctx context.Context, q *Query, opts ...CallOption) (best PlanChoice, all []PlanChoice, err error) {
+	o := newCallOpts(opts)
+	if o.quantile <= 0 || o.quantile >= 1 {
+		return PlanChoice{}, nil, fmt.Errorf("uaqetp: risk quantile %g out of (0, 1)", o.quantile)
+	}
+	all, err = s.AlternativesContext(ctx, q, opts...)
 	if err != nil {
 		return PlanChoice{}, nil, err
 	}
+	if len(all) == 0 {
+		return PlanChoice{}, nil, fmt.Errorf("uaqetp: ChoosePlan %q: %w", queryName(q), ErrNoPlans)
+	}
 	bestIdx := 0
-	bestCost := all[0].Pred.Dist.Quantile(quantile)
+	bestCost := all[0].Pred.Dist.Quantile(o.quantile)
 	for i := 1; i < len(all); i++ {
-		if c := all[i].Pred.Dist.Quantile(quantile); c < bestCost {
+		if c := all[i].Pred.Dist.Quantile(o.quantile); c < bestCost {
 			bestIdx, bestCost = i, c
 		}
 	}
 	return all[bestIdx], all, nil
 }
 
-// UnitDists returns the calibrated cost-unit distributions in hardware
-// unit order (cs, cr, ct, ci, co) — the numeric content of Table 1.
+// PredictAndRunContext is a convenience helper returning both the
+// prediction and the measured time.
+func (s *System) PredictAndRunContext(ctx context.Context, q *Query, opts ...CallOption) (*Prediction, float64, error) {
+	pred, err := s.PredictContext(ctx, q, opts...)
+	if err != nil {
+		return nil, 0, err
+	}
+	actual, err := s.ExecuteContext(ctx, q, opts...)
+	if err != nil {
+		return nil, 0, err
+	}
+	return pred, actual, nil
+}
+
+// Plan compiles a query into a physical plan and returns its canonical
+// signature.
+func (s *System) Plan(q *Query) (string, error) {
+	p, err := s.planner.BuildPlan(context.Background(), q)
+	if err != nil {
+		return "", err
+	}
+	return p.String(), nil
+}
+
+// ---------------------------------------------------------------------
+// v1 wrappers. These predate the context API and remain as thin
+// wrappers so existing callers keep working unchanged.
+
+// Predict returns the distribution of likely running times for the
+// query.
+//
+// Deprecated: use PredictContext, which adds cancellation and per-call
+// options. Predict(q) is PredictContext(context.Background(), q).
+func (s *System) Predict(q *Query) (*Prediction, error) {
+	return s.PredictContext(context.Background(), q)
+}
+
+// Execute runs the query on the simulated hardware and returns the
+// measured running time in seconds.
+//
+// Deprecated: use ExecuteContext. Execute(q) is
+// ExecuteContext(context.Background(), q).
+func (s *System) Execute(q *Query) (float64, error) {
+	return s.ExecuteContext(context.Background(), q)
+}
+
+// PredictAndRun returns both the prediction and the measured time.
+//
+// Deprecated: use PredictAndRunContext.
+func (s *System) PredictAndRun(q *Query) (*Prediction, float64, error) {
+	return s.PredictAndRunContext(context.Background(), q)
+}
+
+// Alternatives enumerates up to maxAlts alternative join orders and
+// predicts each one's running-time distribution. maxAlts < 1 keeps the
+// v1 behavior of returning only the default plan (WithMaxAlts would
+// instead fall back to DefaultMaxAlts).
+//
+// Deprecated: use AlternativesContext with WithMaxAlts.
+func (s *System) Alternatives(q *Query, maxAlts int) ([]PlanChoice, error) {
+	if maxAlts < 1 {
+		maxAlts = 1
+	}
+	return s.AlternativesContext(context.Background(), q, WithMaxAlts(maxAlts))
+}
+
+// ChoosePlan picks among the query's alternative plans by the given
+// risk quantile of the predicted distribution. maxAlts < 1 keeps the
+// v1 behavior of considering only the default plan.
+//
+// Deprecated: use ChoosePlanContext with WithQuantile and WithMaxAlts.
+func (s *System) ChoosePlan(q *Query, quantile float64, maxAlts int) (best PlanChoice, all []PlanChoice, err error) {
+	if maxAlts < 1 {
+		maxAlts = 1
+	}
+	return s.ChoosePlanContext(context.Background(), q,
+		WithQuantile(quantile), WithMaxAlts(maxAlts))
+}
+
+// ---------------------------------------------------------------------
+// Introspection over the shared layers.
+
+// runMeasured executes a built plan and measures it with the
+// deterministic per-call stream (see runSimulated); Measure uses it so
+// its Actual equals the default Executor's Execute.
+func (s *System) runMeasured(q *Query, root *engine.Node) (*engine.OpResult, float64, error) {
+	return runSimulated(s.db, s.profile, s.cfg.Seed, q, root)
+}
+
+// UnitDists returns the cost-unit distributions behind the current
+// predictor stage in hardware unit order (cs, cr, ct, ci, co) — the
+// numeric content of Table 1, reflecting the latest Recalibrate. With a
+// custom Predictor stage installed it reports the Open-time
+// calibration.
 func (s *System) UnitDists() [hardware.NumUnits]stats.Normal {
+	if st := s.pred.load(); st.units != nil {
+		return *st.units
+	}
 	return s.cal.Units
 }
 
 // CostUnits returns the calibrated cost-unit means and standard
 // deviations as formatted strings (Table 1 content).
 func (s *System) CostUnits() []string {
+	units := s.UnitDists()
 	out := make([]string, 0, hardware.NumUnits)
 	for i, u := range hardware.Units {
-		d := s.cal.Units[i]
+		d := units[i]
 		out = append(out, fmt.Sprintf("%s: mean=%.4g stddev=%.4g s/op", u, d.Mu, d.Sigma))
 	}
 	return out
@@ -413,11 +618,13 @@ func (s *System) GenerateWorkload(b workload.Benchmark, n int) ([]*Query, error)
 	return workload.Generate(b, s.cat, n, s.cfg.Seed+5)
 }
 
-// TableNames returns the names of the generated tables.
+// TableNames returns the names of the generated tables in sorted
+// (deterministic) order.
 func (s *System) TableNames() []string {
 	names := make([]string, 0, len(s.db.Tables))
 	for n := range s.db.Tables {
 		names = append(names, n)
 	}
+	sort.Strings(names)
 	return names
 }

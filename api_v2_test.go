@@ -1,0 +1,422 @@
+package uaqetp
+
+// Tests for the v2 pipeline seams: stage injection via Config and With,
+// per-call options, context cancellation through the batch pool, the
+// hot-swappable predictor, and subtree-granular estimate memoization.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/stats"
+)
+
+// stubPredictor returns a fixed distribution and counts its calls.
+type stubPredictor struct {
+	calls atomic.Int64
+	mu    float64
+}
+
+func (p *stubPredictor) Predict(ctx context.Context, pl *Plan, est *Estimates) (*Prediction, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p.calls.Add(1)
+	return &Prediction{Dist: stats.Normal{Mu: p.mu, Sigma: 1}}, nil
+}
+
+// blockingPredictor parks every call until its context fires.
+type blockingPredictor struct {
+	started chan struct{} // closed once the first call is inside
+	once    atomic.Bool
+}
+
+func (p *blockingPredictor) Predict(ctx context.Context, pl *Plan, est *Estimates) (*Prediction, error) {
+	if p.once.CompareAndSwap(false, true) {
+		close(p.started)
+	}
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// emptyPlanner produces no candidate plans at all.
+type emptyPlanner struct{}
+
+func (emptyPlanner) BuildPlan(ctx context.Context, q *Query) (*Plan, error) {
+	return nil, fmt.Errorf("emptyPlanner has no default plan")
+}
+func (emptyPlanner) Alternatives(ctx context.Context, q *Query, maxAlts int) ([]*Plan, error) {
+	return nil, nil
+}
+
+// fourWayJoinQuery joins customer-orders-lineitem-supplier so
+// Alternatives has join orders to permute.
+func fourWayJoinQuery() *Query {
+	return &Query{
+		Name:   "v2-4way",
+		Tables: []string{"customer", "orders", "lineitem", "supplier"},
+		Preds:  []Predicate{{Col: "c_acctbal", Op: Le, Lo: 5000}},
+		Joins: []JoinCond{
+			{LeftTable: "customer", LeftCol: "c_custkey", RightTable: "orders", RightCol: "o_custkey"},
+			{LeftTable: "orders", LeftCol: "o_orderkey", RightTable: "lineitem", RightCol: "l_orderkey"},
+			{LeftTable: "lineitem", LeftCol: "l_suppkey", RightTable: "supplier", RightCol: "s_suppkey"},
+		},
+	}
+}
+
+// TestStubPredictorViaConfig proves the façade routes every prediction
+// through the injected stage: Predict, PredictBatch, and Alternatives
+// all report the stub's distribution, and the stub sees every call.
+func TestStubPredictorViaConfig(t *testing.T) {
+	stub := &stubPredictor{mu: 42}
+	cfg := DefaultConfig()
+	cfg.Predictor = stub
+	sys, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := joinQuery()
+	p, err := sys.Predict(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mean() != 42 {
+		t.Errorf("Predict did not route through the stub: mean %v", p.Mean())
+	}
+	preds, err := sys.PredictBatchContext(context.Background(), []*Query{q, q, q}, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pr := range preds {
+		if pr.Mean() != 42 {
+			t.Errorf("batch[%d] mean %v, want 42", i, pr.Mean())
+		}
+	}
+	alts, err := sys.AlternativesContext(context.Background(), q, WithMaxAlts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(1 + 3 + len(alts))
+	if got := stub.calls.Load(); got != want {
+		t.Errorf("stub saw %d calls, want %d", got, want)
+	}
+
+	// With() swaps it back out without touching the original façade.
+	def, err := Open(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived := def.With(WithPredictor(stub))
+	dp, err := derived.Predict(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Mean() != 42 {
+		t.Errorf("derived façade ignored WithPredictor: mean %v", dp.Mean())
+	}
+	op, err := def.Predict(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Mean() == 42 {
+		t.Error("original façade was mutated by With(WithPredictor)")
+	}
+}
+
+// TestPredictBatchContextCancel pins prompt cancellation mid-batch: a
+// predictor stage blocks on ctx, the batch is canceled, and the call
+// returns ctx.Err() instead of hanging.
+func TestPredictBatchContextCancel(t *testing.T) {
+	blocker := &blockingPredictor{started: make(chan struct{})}
+	cfg := DefaultConfig()
+	cfg.Predictor = blocker
+	sys, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]*Query, 8)
+	for i := range queries {
+		q := *joinQuery()
+		q.Name = fmt.Sprintf("cancel-%d", i)
+		queries[i] = &q
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-blocker.started // at least one query is mid-predict
+		cancel()
+	}()
+	preds, err := sys.PredictBatchContext(ctx, queries, WithWorkers(2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, p := range preds {
+		if p != nil {
+			t.Errorf("canceled batch returned prediction %d", i)
+		}
+	}
+	// A pre-canceled context never reaches the stages at all.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	if _, err := sys.PredictBatchContext(pre, queries); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled err = %v", err)
+	}
+}
+
+// TestChoosePlanNoPlans pins the satellite fix: a planner producing zero
+// plans yields ErrNoPlans instead of the old index-out-of-range panic.
+func TestChoosePlanNoPlans(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Planner = emptyPlanner{}
+	sys, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = sys.ChoosePlan(joinQuery(), 0.9, 4)
+	if !errors.Is(err, ErrNoPlans) {
+		t.Fatalf("err = %v, want ErrNoPlans", err)
+	}
+	// The same seam through the context API, and quantile validation.
+	_, _, err = sys.ChoosePlanContext(context.Background(), joinQuery(), WithQuantile(0.5))
+	if !errors.Is(err, ErrNoPlans) {
+		t.Fatalf("ctx err = %v, want ErrNoPlans", err)
+	}
+	def, err := Open(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := def.ChoosePlanContext(context.Background(), joinQuery(), WithQuantile(1.5)); err == nil {
+		t.Error("quantile 1.5 accepted")
+	}
+}
+
+// TestTableNamesDeterministic pins the satellite fix: sorted output,
+// identical across calls and Systems.
+func TestTableNamesDeterministic(t *testing.T) {
+	sys := testSystem(t)
+	names := sys.TableNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("TableNames not sorted: %v", names)
+	}
+	sys2, err := Open(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		again := sys.TableNames()
+		other := sys2.TableNames()
+		for j := range names {
+			if again[j] != names[j] || other[j] != names[j] {
+				t.Fatalf("TableNames unstable: %v vs %v vs %v", names, again, other)
+			}
+		}
+	}
+}
+
+// TestPlanHint replays a chosen plan through Predict and Execute.
+func TestPlanHint(t *testing.T) {
+	sys := testSystem(t)
+	ctx := context.Background()
+	q := fourWayJoinQuery()
+	best, all, err := sys.ChoosePlanContext(ctx, q, WithQuantile(0.9), WithMaxAlts(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 2 {
+		t.Fatalf("only %d alternatives; hint test needs a choice", len(all))
+	}
+	// Hint at a non-default alternative and check the prediction matches
+	// the choice's (same plan → same deterministic prediction).
+	var target PlanChoice
+	for _, c := range all {
+		if c.Plan != all[0].Plan {
+			target = c
+			break
+		}
+	}
+	pred, sig, err := sys.PredictPlannedContext(ctx, q, WithPlanHint(target.Plan), WithMaxAlts(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig != target.Plan {
+		t.Errorf("hint resolved to %q, want %q", sig, target.Plan)
+	}
+	if pred.Mean() != target.Pred.Mean() || pred.Sigma() != target.Pred.Sigma() {
+		t.Errorf("hinted prediction (%v,%v) differs from choice (%v,%v)",
+			pred.Mean(), pred.Sigma(), target.Pred.Mean(), target.Pred.Sigma())
+	}
+	if _, err := sys.ExecuteContext(ctx, q, WithPlanHint(best.Plan), WithMaxAlts(6)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.PredictContext(ctx, q, WithPlanHint("no such plan")); !errors.Is(err, ErrPlanHintNotFound) {
+		t.Fatalf("bogus hint err = %v, want ErrPlanHintNotFound", err)
+	}
+}
+
+// TestSubtreeMemoSharesAcrossAlternatives is the acceptance check for
+// subtree-granular memoization: across the alternatives of a 4-way
+// join, sampling passes are computed once per distinct subplan
+// signature and every further occurrence is a cache hit.
+func TestSubtreeMemoSharesAcrossAlternatives(t *testing.T) {
+	sys := testSystem(t)
+	q := fourWayJoinQuery()
+
+	// Ground truth from the planner: total sampled subtrees (scans and
+	// joins) across all alternatives, and how many are distinct.
+	nodes, err := plan.Alternatives(q, sys.cat, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) < 2 {
+		t.Fatalf("only %d alternatives", len(nodes))
+	}
+	total := 0
+	distinct := map[string]bool{}
+	for _, root := range nodes {
+		for _, n := range root.Nodes() {
+			if n.Kind.IsScan() || n.Kind.IsJoin() {
+				total++
+				distinct[n.String()] = true
+			}
+		}
+	}
+	if total == len(distinct) {
+		t.Fatalf("alternatives share no subtrees; query too simple (total=%d)", total)
+	}
+
+	before := sys.CacheStats()
+	if _, err := sys.AlternativesContext(context.Background(), q, WithMaxAlts(6)); err != nil {
+		t.Fatal(err)
+	}
+	after := sys.CacheStats()
+	hits := after.SubtreeHits - before.SubtreeHits
+	misses := after.SubtreeMisses - before.SubtreeMisses
+	if misses != uint64(len(distinct)) {
+		t.Errorf("subtree passes computed %d times, want once per %d distinct subplans", misses, len(distinct))
+	}
+	if hits != uint64(total-len(distinct)) {
+		t.Errorf("subtree hits = %d, want %d (total %d - distinct %d)",
+			hits, total-len(distinct), total, len(distinct))
+	}
+	if hits == 0 {
+		t.Error("no shared-subtree hits for a 4-way join's alternatives")
+	}
+}
+
+// TestRecalibrateDeterministicSwap checks the root-level hot swap: same
+// seed → same units and predictions, derived façades isolated.
+func TestRecalibrateDeterministicSwap(t *testing.T) {
+	q := joinQuery()
+	run := func() (before, after float64, units string) {
+		sys := testSystem(t)
+		derived := sys.With() // own handle, shared layers
+		p, err := sys.Predict(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before = p.Mean()
+		if _, err := derived.Recalibrate(99); err != nil {
+			t.Fatal(err)
+		}
+		pa, err := derived.Predict(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after = pa.Mean()
+		// The parent façade is untouched by the derived swap.
+		pp, err := sys.Predict(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pp.Mean() != before {
+			t.Errorf("parent prediction moved with derived recalibration: %v vs %v", pp.Mean(), before)
+		}
+		return before, after, fmt.Sprint(derived.UnitDists())
+	}
+	b1, a1, u1 := run()
+	b2, a2, u2 := run()
+	if b1 != b2 || a1 != a2 || u1 != u2 {
+		t.Errorf("recalibration not deterministic: (%v,%v) vs (%v,%v)", b1, a1, b2, a2)
+	}
+	if a1 == b1 {
+		t.Error("recalibration with a different seed left predictions unchanged")
+	}
+
+	// A custom stage has no units to recalibrate.
+	sys := testSystem(t)
+	custom := sys.With(WithPredictor(&stubPredictor{mu: 1}))
+	if _, err := custom.Recalibrate(1); err == nil {
+		t.Error("Recalibrate on a custom predictor stage succeeded")
+	}
+	// SwapPredictor returns the previous stage and installs the new one.
+	stub := &stubPredictor{mu: 7}
+	old := sys.With().SwapPredictor(stub)
+	if old == nil {
+		t.Error("SwapPredictor returned nil previous stage")
+	}
+}
+
+// cappingPlanner demonstrates the supported custom-Planner shape: a
+// decorator over the built-in stage (Plan values can only originate
+// there), here capping alternatives to the default plan.
+type cappingPlanner struct{ inner Planner }
+
+func (p cappingPlanner) BuildPlan(ctx context.Context, q *Query) (*Plan, error) {
+	return p.inner.BuildPlan(ctx, q)
+}
+func (p cappingPlanner) Alternatives(ctx context.Context, q *Query, maxAlts int) ([]*Plan, error) {
+	alts, err := p.inner.Alternatives(ctx, q, maxAlts)
+	if err != nil || len(alts) <= 1 {
+		return alts, err
+	}
+	return alts[:1], nil
+}
+
+// TestPlannerDecorator wires a decorating planner via With and checks
+// the façade routes through it.
+func TestPlannerDecorator(t *testing.T) {
+	sys := testSystem(t)
+	capped := sys.With(WithPlanner(cappingPlanner{inner: sys.Planner()}))
+	all, err := capped.AlternativesContext(context.Background(), fourWayJoinQuery(), WithMaxAlts(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 {
+		t.Errorf("decorating planner not routed: %d alternatives", len(all))
+	}
+	full, err := sys.AlternativesContext(context.Background(), fourWayJoinQuery(), WithMaxAlts(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 2 {
+		t.Errorf("original façade affected by derived planner: %d alternatives", len(full))
+	}
+}
+
+// TestV1WrapperMaxAltsSemantics pins the v1 contract through the
+// wrappers: maxAlts < 1 returns only the default plan (not the v2
+// DefaultMaxAlts fallback).
+func TestV1WrapperMaxAltsSemantics(t *testing.T) {
+	sys := testSystem(t)
+	q := fourWayJoinQuery()
+	for _, k := range []int{0, -3, 1} {
+		choices, err := sys.Alternatives(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(choices) != 1 {
+			t.Errorf("Alternatives(q, %d) returned %d plans, want 1 (v1 semantics)", k, len(choices))
+		}
+		best, all, err := sys.ChoosePlan(q, 0.5, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(all) != 1 || best.Plan != all[0].Plan {
+			t.Errorf("ChoosePlan(q, 0.5, %d) considered %d plans, want 1", k, len(all))
+		}
+	}
+}

@@ -1,13 +1,14 @@
 package uaqetp
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/plan"
 	"repro/internal/pool"
 )
 
-// BatchOptions configures PredictBatch and ExecuteBatch.
+// BatchOptions configures the deprecated PredictBatch and ExecuteBatch
+// wrappers; the context entry points take WithWorkers instead.
 type BatchOptions struct {
 	// Workers bounds the goroutines working the batch concurrently;
 	// 0 selects GOMAXPROCS, 1 degenerates to a serial loop. The returned
@@ -26,52 +27,74 @@ func firstBatchError(op string, queries []*Query, errs []error) error {
 	return nil
 }
 
-// PredictBatch predicts the running-time distribution of every query in
-// the batch using a bounded worker pool and returns the predictions in
-// input order. It is the high-throughput counterpart of Predict for the
-// paper's batch consumers — admission control, scheduling, and
-// least-expected-cost plan selection — which need many predictions at
-// once.
+// PredictBatchContext predicts the running-time distribution of every
+// query in the batch using a bounded worker pool (sized by WithWorkers)
+// and returns the predictions in input order. It is the high-throughput
+// counterpart of PredictContext for the paper's batch consumers —
+// admission control, scheduling, and least-expected-cost plan selection
+// — which need many predictions at once.
 //
 // Prediction is deterministic, so the result for a fixed Config.Seed is
-// identical to calling Predict on each query serially, regardless of
-// Workers. Nil queries are rejected. If any query fails, PredictBatch
-// returns the first error in input order; predictions for the queries
-// that succeeded are still returned, with nil entries at failed indexes.
-func (s *System) PredictBatch(queries []*Query, opts BatchOptions) ([]*Prediction, error) {
+// identical to a serial PredictContext loop, regardless of the worker
+// count. Nil queries are rejected. If any query fails, the first error
+// in input order is returned; predictions for the queries that
+// succeeded are still returned, with nil entries at failed indexes.
+// Once ctx is done, queries not yet started are skipped with ctx.Err()
+// and the call returns promptly (errors.Is the returned error against
+// the context's error to distinguish cancellation from query failures).
+func (s *System) PredictBatchContext(ctx context.Context, queries []*Query, opts ...CallOption) ([]*Prediction, error) {
+	o := newCallOpts(opts)
 	preds := make([]*Prediction, len(queries))
-	errs := pool.Run(len(queries), opts.Workers, func(i int) error {
+	errs := pool.RunCtx(ctx, len(queries), o.workers, func(i int) error {
 		if queries[i] == nil {
 			return fmt.Errorf("nil query")
 		}
 		var err error
-		preds[i], err = s.Predict(queries[i])
+		preds[i], err = s.PredictContext(ctx, queries[i], opts...)
 		return err
 	})
 	return preds, firstBatchError("PredictBatch", queries, errs)
 }
 
-// ExecuteBatch runs every query on the simulated hardware with a bounded
-// worker pool, returning the measured times in input order. Execution is
-// deterministic per query (see Execute), so the result does not depend
-// on Workers. Error semantics match PredictBatch.
-func (s *System) ExecuteBatch(queries []*Query, opts BatchOptions) ([]float64, error) {
+// ExecuteBatchContext runs every query through the Executor stage with a
+// bounded worker pool, returning the measured times in input order.
+// Execution is deterministic per query (see ExecuteContext), so the
+// result does not depend on the worker count. Error and cancellation
+// semantics match PredictBatchContext.
+func (s *System) ExecuteBatchContext(ctx context.Context, queries []*Query, opts ...CallOption) ([]float64, error) {
+	o := newCallOpts(opts)
 	times := make([]float64, len(queries))
-	errs := pool.Run(len(queries), opts.Workers, func(i int) error {
+	errs := pool.RunCtx(ctx, len(queries), o.workers, func(i int) error {
 		if queries[i] == nil {
 			return fmt.Errorf("nil query")
 		}
 		var err error
-		times[i], err = s.Execute(queries[i])
+		times[i], err = s.ExecuteContext(ctx, queries[i], opts...)
 		return err
 	})
 	return times, firstBatchError("ExecuteBatch", queries, errs)
 }
 
-// MemoStats reports the hit/miss counters of the plan-signature memo,
-// for observability in batch-serving deployments. When the System runs
-// on a shared EstimateCache the counters aggregate over every sharer;
-// CacheStats exposes the full snapshot.
+// PredictBatch predicts every query in the batch over a bounded worker
+// pool.
+//
+// Deprecated: use PredictBatchContext with WithWorkers.
+func (s *System) PredictBatch(queries []*Query, opts BatchOptions) ([]*Prediction, error) {
+	return s.PredictBatchContext(context.Background(), queries, WithWorkers(opts.Workers))
+}
+
+// ExecuteBatch runs every query on the simulated hardware over a
+// bounded worker pool.
+//
+// Deprecated: use ExecuteBatchContext with WithWorkers.
+func (s *System) ExecuteBatch(queries []*Query, opts BatchOptions) ([]float64, error) {
+	return s.ExecuteBatchContext(context.Background(), queries, WithWorkers(opts.Workers))
+}
+
+// MemoStats reports the hit/miss counters of the whole-plan memo, for
+// observability in batch-serving deployments. When the System runs on a
+// shared EstimateCache the counters aggregate over every sharer;
+// CacheStats exposes the full snapshot including the subtree section.
 func (s *System) MemoStats() (hits, misses uint64) {
 	cs := s.estCache.Stats()
 	return cs.Hits, cs.Misses
@@ -82,24 +105,11 @@ func (s *System) MemoStats() (hits, misses uint64) {
 func (s *System) CacheStats() CacheStats { return s.estCache.Stats() }
 
 // PredictPlanned returns the prediction together with the plan's
-// canonical signature, so serving-path callers that need both (e.g. for
-// per-signature feedback) build the physical plan once instead of
-// calling Predict and Plan separately.
+// canonical signature.
+//
+// Deprecated: use PredictPlannedContext.
 func (s *System) PredictPlanned(q *Query) (*Prediction, string, error) {
-	p, err := plan.Build(q, s.cat)
-	if err != nil {
-		return nil, "", err
-	}
-	sig := p.String()
-	est, err := s.estimatesSig(p, sig)
-	if err != nil {
-		return nil, "", err
-	}
-	pred, err := s.pred.Predict(p, est)
-	if err != nil {
-		return nil, "", err
-	}
-	return pred, sig, nil
+	return s.PredictPlannedContext(context.Background(), q)
 }
 
 func queryName(q *Query) string {

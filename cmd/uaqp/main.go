@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -112,7 +113,7 @@ func serveCmd(args []string) error {
 	stop := srv.StartDispatcher(50 * time.Millisecond)
 	defer stop()
 
-	fmt.Printf("serving on %s — POST /predict /submit /drain, GET /stats /healthz\n", *addr)
+	fmt.Printf("serving on %s — POST /predict /submit /drain /recalibrate, GET /stats /healthz\n", *addr)
 	return http.ListenAndServe(*addr, srv.Handler())
 }
 
@@ -152,7 +153,7 @@ func batch(args []string) error {
 	}
 
 	t0 := time.Now()
-	preds, err := sys.PredictBatch(qs, uaqetp.BatchOptions{Workers: *workers})
+	preds, err := sys.PredictBatchContext(context.Background(), qs, uaqetp.WithWorkers(*workers))
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -72,7 +73,7 @@ func main() {
 	for i, c := range candidates {
 		queries[i] = c.q
 	}
-	preds, err := sys.PredictBatch(queries, uaqetp.BatchOptions{Workers: len(queries)})
+	preds, err := sys.PredictBatchContext(context.Background(), queries, uaqetp.WithWorkers(len(queries)))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,7 +36,8 @@ func main() {
 		},
 	}
 
-	choices, err := sys.Alternatives(q, 4)
+	ctx := context.Background()
+	choices, err := sys.AlternativesContext(ctx, q, uaqetp.WithMaxAlts(4))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,11 +47,11 @@ func main() {
 			i, c.Pred.Mean(), c.Pred.Sigma(), c.Pred.Dist.Quantile(0.9), c.Plan)
 	}
 
-	byMean, _, err := sys.ChoosePlan(q, 0.5, 4)
+	byMean, _, err := sys.ChoosePlanContext(ctx, q, uaqetp.WithQuantile(0.5), uaqetp.WithMaxAlts(4))
 	if err != nil {
 		log.Fatal(err)
 	}
-	byRisk, _, err := sys.ChoosePlan(q, 0.9, 4)
+	byRisk, _, err := sys.ChoosePlanContext(ctx, q, uaqetp.WithQuantile(0.9), uaqetp.WithMaxAlts(4))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,4 +62,13 @@ func main() {
 	} else {
 		fmt.Println("-> both criteria agree here; on riskier queries they diverge")
 	}
+
+	// The chosen plan's signature replays through the executor: run
+	// exactly the risk-chosen join order, not the planner's default.
+	actual, err := sys.ExecuteContext(ctx, q, uaqetp.WithPlanHint(byRisk.Plan), uaqetp.WithMaxAlts(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Executed the risk-chosen plan via WithPlanHint: %.4fs (predicted %.4fs)\n",
+		actual, byRisk.Pred.Mean())
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,7 +46,7 @@ func main() {
 	fmt.Print(planStr)
 	fmt.Println()
 
-	pred, actual, err := sys.PredictAndRun(q)
+	pred, actual, err := sys.PredictAndRunContext(context.Background(), q)
 	if err != nil {
 		log.Fatal(err)
 	}

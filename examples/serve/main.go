@@ -1,13 +1,15 @@
 // Command serve demonstrates the online prediction service in-process:
 // two tenants over the same generated catalog share one sharded
 // sampling-pass cache, the admission controller accepts or rejects
-// against per-tenant SLOs using predicted distributions (not point
-// estimates), admitted work drains in risk-slack order on a virtual
-// clock, and the runtime feedback loop reports calibration drift per
-// dominant cost unit.
+// against per-tenant SLOs using predicted distributions — queue backlog
+// included — admitted work drains in risk-slack order on a virtual
+// clock, the runtime feedback loop reports calibration drift per
+// dominant cost unit, and a live recalibration swaps fresh units into
+// one tenant's predictor without touching its neighbor.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	fmt.Println("Online prediction service demo (two tenants, shared sharded cache)")
 	fmt.Println()
 
@@ -38,16 +41,16 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("%-6s %-14s %-10s %-10s %-10s %-8s\n",
-		"tenant", "query", "mean(s)", "p_meet", "deadline", "admit?")
+	fmt.Printf("%-6s %-14s %-10s %-10s %-10s %-10s %-8s\n",
+		"tenant", "query", "mean(s)", "p_meet", "q_wait(s)", "deadline", "admit?")
 	for i, q := range qs {
 		for _, tenant := range []string{"alpha", "beta"} {
-			d, err := srv.Submit(serve.Request{Tenant: tenant, Query: q, Deadline: 0.2 + 0.1*float64(i%3)})
+			d, err := srv.Submit(ctx, serve.Request{Tenant: tenant, Query: q, Deadline: 0.2 + 0.1*float64(i%3)})
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("%-6s %-14s %-10.4f %-10.4f %-10.4f %-8v\n",
-				tenant, q.Name, d.PredMean, d.PMeet, d.Deadline, d.Admitted)
+			fmt.Printf("%-6s %-14s %-10.4f %-10.4f %-10.4f %-10.4f %-8v\n",
+				tenant, q.Name, d.PredMean, d.PMeet, d.QueueWaitMean, d.Deadline, d.Admitted)
 		}
 	}
 
@@ -78,4 +81,30 @@ func main() {
 			fmt.Printf("  recalibrate=%v\n", ud.RecalibrationAdvised)
 		}
 	}
+
+	// Close the loop: force a recalibration of alpha and show that beta
+	// — sharing the same underlying System — keeps its units. A fresh
+	// prediction on alpha picks up the swapped units immediately; no
+	// queries were dropped to make the swap.
+	before, err := srv.Predict(ctx, "alpha", qs[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := srv.Recalibrate(ctx, serve.RecalibrateRequest{Tenant: "alpha", Seed: 42, Force: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := srv.Predict(ctx, "alpha", qs[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	betaPred, err := srv.Predict(ctx, "beta", qs[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Printf("Recalibrated alpha (advised=%v, forced): %s -> %s\n",
+		rec.Advised, rec.UnitsBefore[0], rec.UnitsAfter[0])
+	fmt.Printf("alpha %s: mean %0.4fs before, %0.4fs after swap; beta untouched at %0.4fs\n",
+		qs[0].Name, before.Mean(), after.Mean(), betaPred.Mean())
 }

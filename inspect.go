@@ -1,7 +1,8 @@
 package uaqetp
 
 import (
-	"repro/internal/plan"
+	"context"
+	"fmt"
 )
 
 // OpDetail pairs one selective operator's estimated selectivity
@@ -25,20 +26,31 @@ type Measurement struct {
 	Ops        []OpDetail
 }
 
-// Measure executes the query like Execute — same deterministic per-call
-// seeding, so Measure(q).Actual equals Execute(q) — and additionally
-// reports the sampling overhead and per-operator selectivity ground
-// truth.
+// Measure executes the query on the built-in simulator with the same
+// deterministic per-call seeding as the default Executor — so
+// Measure(q).Actual equals Execute(q) unless a custom Executor stage is
+// installed — and additionally reports the sampling overhead and
+// per-operator selectivity ground truth. The plan comes from the
+// Planner stage and the estimates from the Estimator stage (which must
+// be, or wrap, the built-in sampling estimator).
 func (s *System) Measure(q *Query) (*Measurement, error) {
-	p, err := plan.Build(q, s.cat)
+	ctx := context.Background()
+	p, err := s.planner.BuildPlan(ctx, q)
 	if err != nil {
 		return nil, err
 	}
-	est, err := s.estimates(p)
+	if err := p.valid(); err != nil {
+		return nil, err
+	}
+	ests, err := s.estimator.Estimate(ctx, p)
 	if err != nil {
 		return nil, err
 	}
-	res, actual, err := s.runMeasured(q, p)
+	if ests == nil || ests.est == nil {
+		return nil, fmt.Errorf("uaqetp: Measure needs sampling estimates (custom Estimator returned none)")
+	}
+	est := ests.est
+	res, actual, err := s.runMeasured(q, p.root)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -297,7 +298,7 @@ func (l *Lab) run(s Setting) (*RunResult, error) {
 
 	// Predictions ride the batched concurrent pipeline; measurements fan
 	// out below it, memoized across variants.
-	preds, err := vsys.PredictBatch(queries, uaqetp.BatchOptions{})
+	preds, err := vsys.PredictBatchContext(context.Background(), queries)
 	if err != nil {
 		return nil, fmt.Errorf("exper: %w", err)
 	}

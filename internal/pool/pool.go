@@ -5,6 +5,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -15,9 +16,21 @@ import (
 // serial loop. do(i) must confine its writes to slot i of caller-owned
 // slices — slots are distinct, so no locking is needed.
 func Run(n, workers int, do func(i int) error) []error {
+	return RunCtx(context.Background(), n, workers, do)
+}
+
+// RunCtx is Run under a context: once ctx is done, workers stop invoking
+// do and every not-yet-started item's error slot is filled with
+// ctx.Err() instead, so a canceled batch drains promptly. Items already
+// inside do when the context fires run to completion (do may itself
+// observe ctx to cut long items short).
+func RunCtx(ctx context.Context, n, workers int, do func(i int) error) []error {
 	errs := make([]error, n)
 	if n == 0 {
 		return errs
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -35,6 +48,10 @@ func Run(n, workers int, do func(i int) error) []error {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
 				}
 				errs[i] = do(i)
 			}

@@ -1,0 +1,237 @@
+package sample
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+)
+
+// memoRecorder is a PassMemo over a plain map that counts hits/misses.
+type memoRecorder struct {
+	mu     sync.Mutex
+	m      map[string]*Pass
+	hits   int
+	misses int
+}
+
+func newMemoRecorder() *memoRecorder { return &memoRecorder{m: make(map[string]*Pass)} }
+
+func (r *memoRecorder) memo(key string, compute func() (*Pass, error)) (*Pass, error) {
+	r.mu.Lock()
+	if p, ok := r.m[key]; ok {
+		r.hits++
+		r.mu.Unlock()
+		return p, nil
+	}
+	r.mu.Unlock()
+	p, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.m[key] = p
+	r.misses++
+	r.mu.Unlock()
+	return p, nil
+}
+
+// subtreePlans returns plans spanning the estimator's cases: scans with
+// and without predicates, a 2-way join, a 3-way left-deep join, a plan
+// with a shared relation (two scans of r), a sort atop a join, and an
+// aggregate with a join above it (the tainted region).
+func subtreePlans() []*engine.Node {
+	pred := engine.Predicate{Col: "a", Op: engine.Le, Lo: 400}
+	mk := func(n *engine.Node) *engine.Node { n.Finalize(); return n }
+	return []*engine.Node{
+		mk(&engine.Node{Kind: engine.SeqScan, Table: "r"}),
+		mk(&engine.Node{Kind: engine.SeqScan, Table: "r", Preds: []engine.Predicate{pred}}),
+		mk(&engine.Node{
+			Kind: engine.HashJoin, LeftCol: "b", RightCol: "d",
+			Left:  &engine.Node{Kind: engine.SeqScan, Table: "r", Preds: []engine.Predicate{pred}},
+			Right: &engine.Node{Kind: engine.SeqScan, Table: "s"},
+		}),
+		mk(&engine.Node{
+			Kind: engine.HashJoin, LeftCol: "d", RightCol: "b",
+			Left: &engine.Node{
+				Kind: engine.HashJoin, LeftCol: "b", RightCol: "d",
+				Left:  &engine.Node{Kind: engine.SeqScan, Table: "r", Preds: []engine.Predicate{pred}},
+				Right: &engine.Node{Kind: engine.SeqScan, Table: "s"},
+			},
+			Right: &engine.Node{Kind: engine.SeqScan, Table: "r"},
+		}),
+		mk(&engine.Node{
+			Kind: engine.Sort,
+			Left: &engine.Node{
+				Kind: engine.MergeJoin, LeftCol: "b", RightCol: "d",
+				Left:  &engine.Node{Kind: engine.SeqScan, Table: "r"},
+				Right: &engine.Node{Kind: engine.SeqScan, Table: "s"},
+			},
+		}),
+		mk(&engine.Node{
+			Kind: engine.HashJoin, LeftCol: "b", RightCol: "d",
+			Left: &engine.Node{
+				Kind: engine.Aggregate, GroupCol: "b",
+				Left: &engine.Node{Kind: engine.SeqScan, Table: "r"},
+			},
+			Right: &engine.Node{Kind: engine.SeqScan, Table: "s"},
+		}),
+	}
+}
+
+// sameEstimates compares two Estimates field by field with a tight
+// relative tolerance (the underlying sums iterate Go maps, so exact bit
+// equality is not guaranteed across passes).
+func sameEstimates(t *testing.T, tag string, a, b *Estimates) {
+	t.Helper()
+	close := func(x, y float64) bool {
+		if x == y {
+			return true
+		}
+		scale := math.Max(math.Abs(x), math.Abs(y))
+		return math.Abs(x-y) <= 1e-12*scale
+	}
+	if len(a.ByID) != len(b.ByID) {
+		t.Fatalf("%s: %d vs %d estimates", tag, len(a.ByID), len(b.ByID))
+	}
+	for id, ea := range a.ByID {
+		eb, ok := b.ByID[id]
+		if !ok {
+			t.Fatalf("%s: node %d missing", tag, id)
+		}
+		if eb.Node == nil || eb.Node.ID != id {
+			t.Errorf("%s: node %d has wrong Node binding %+v", tag, id, eb.Node)
+		}
+		if !close(ea.Rho, eb.Rho) || !close(ea.Var, eb.Var) || !close(ea.EstCard, eb.EstCard) {
+			t.Errorf("%s: node %d rho/var/card (%v,%v,%v) vs (%v,%v,%v)",
+				tag, id, ea.Rho, ea.Var, ea.EstCard, eb.Rho, eb.Var, eb.EstCard)
+		}
+		if ea.FromOptimizer != eb.FromOptimizer {
+			t.Errorf("%s: node %d FromOptimizer %v vs %v", tag, id, ea.FromOptimizer, eb.FromOptimizer)
+		}
+		if len(ea.LeafComp) != len(eb.LeafComp) || len(ea.LeafN) != len(eb.LeafN) {
+			t.Fatalf("%s: node %d leaf maps sized (%d,%d) vs (%d,%d)",
+				tag, id, len(ea.LeafComp), len(ea.LeafN), len(eb.LeafComp), len(eb.LeafN))
+		}
+		for k, v := range ea.LeafComp {
+			if !close(v, eb.LeafComp[k]) {
+				t.Errorf("%s: node %d LeafComp[%d] %v vs %v", tag, id, k, v, eb.LeafComp[k])
+			}
+		}
+		for k, v := range ea.LeafN {
+			if v != eb.LeafN[k] {
+				t.Errorf("%s: node %d LeafN[%d] %d vs %d", tag, id, k, v, eb.LeafN[k])
+			}
+		}
+		if ea.SampleCounts != eb.SampleCounts {
+			t.Errorf("%s: node %d SampleCounts %+v vs %+v", tag, id, ea.SampleCounts, eb.SampleCounts)
+		}
+	}
+}
+
+// TestEstimateMemoMatchesEstimate runs both estimators over every plan
+// shape and requires identical per-operator distributions, with and
+// without a live memo.
+func TestEstimateMemoMatchesEstimate(t *testing.T) {
+	db := synthDB(1000, 800, 12, 3)
+	cat := catalog.Build(db)
+	sdb, err := Build(db, 0.2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := newMemoRecorder()
+	for i, p := range subtreePlans() {
+		want, err := Estimate(p, sdb, cat)
+		if err != nil {
+			t.Fatalf("plan %d: Estimate: %v", i, err)
+		}
+		got, err := EstimateMemo(context.Background(), p, sdb, cat, nil)
+		if err != nil {
+			t.Fatalf("plan %d: EstimateMemo: %v", i, err)
+		}
+		sameEstimates(t, "no-memo", want, got)
+		// Twice through the shared memo: cold then warm.
+		cold, err := EstimateMemo(context.Background(), p, sdb, cat, rec.memo)
+		if err != nil {
+			t.Fatalf("plan %d: EstimateMemo(memo): %v", i, err)
+		}
+		sameEstimates(t, "memo-cold", want, cold)
+		warm, err := EstimateMemo(context.Background(), p, sdb, cat, rec.memo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameEstimates(t, "memo-warm", want, warm)
+	}
+	if rec.hits == 0 || rec.misses == 0 {
+		t.Errorf("memo traffic hits=%d misses=%d, want both positive", rec.hits, rec.misses)
+	}
+}
+
+// TestEstimateMemoSharesSubtrees checks the point of the exercise: two
+// join orders over the same lower join share its pass through the memo.
+func TestEstimateMemoSharesSubtrees(t *testing.T) {
+	db := synthDB(1000, 800, 12, 3)
+	cat := catalog.Build(db)
+	sdb, err := Build(db, 0.2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	common := func() *engine.Node {
+		return &engine.Node{
+			Kind: engine.HashJoin, LeftCol: "b", RightCol: "d",
+			Left:  &engine.Node{Kind: engine.SeqScan, Table: "r"},
+			Right: &engine.Node{Kind: engine.SeqScan, Table: "s"},
+		}
+	}
+	planA := &engine.Node{
+		Kind: engine.HashJoin, LeftCol: "d", RightCol: "b",
+		Left: common(), Right: &engine.Node{Kind: engine.SeqScan, Table: "r", Preds: []engine.Predicate{{Col: "a", Op: engine.Le, Lo: 100}}},
+	}
+	planA.Finalize()
+	planB := &engine.Node{
+		Kind: engine.HashJoin, LeftCol: "d", RightCol: "b",
+		Left: common(), Right: &engine.Node{Kind: engine.SeqScan, Table: "r", Preds: []engine.Predicate{{Col: "a", Op: engine.Le, Lo: 700}}},
+	}
+	planB.Finalize()
+
+	rec := newMemoRecorder()
+	if _, err := EstimateMemo(context.Background(), planA, sdb, cat, rec.memo); err != nil {
+		t.Fatal(err)
+	}
+	missesAfterA := rec.misses
+	if rec.hits != 0 {
+		t.Fatalf("cold plan recorded %d hits", rec.hits)
+	}
+	if _, err := EstimateMemo(context.Background(), planB, sdb, cat, rec.memo); err != nil {
+		t.Fatal(err)
+	}
+	// Plan B shares the lower join and both its scans (3 passes); only
+	// its own filtered scan of r and the top join are new. The shared
+	// scan of r in the lower join uses copy 0 in both plans, while B's
+	// filtered r-scan is the second appearance (copy 1) — a distinct key.
+	if hits := rec.hits; hits != 3 {
+		t.Errorf("plan B hit %d shared passes, want 3", hits)
+	}
+	if news := rec.misses - missesAfterA; news != 2 {
+		t.Errorf("plan B computed %d fresh passes, want 2", news)
+	}
+}
+
+// TestEstimateMemoContextCancel pins prompt cancellation: a canceled
+// context aborts the pass with ctx.Err before any work.
+func TestEstimateMemoContextCancel(t *testing.T) {
+	db := synthDB(500, 500, 8, 1)
+	cat := catalog.Build(db)
+	sdb, err := Build(db, 0.2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EstimateMemo(ctx, subtreePlans()[3], sdb, cat, nil); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

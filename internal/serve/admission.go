@@ -2,9 +2,12 @@ package serve
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
+	"math"
 
 	uaqetp "repro"
+	"repro/internal/stats"
 )
 
 // Request is one incoming query with a deadline.
@@ -26,12 +29,20 @@ type Decision struct {
 	// Reason explains a rejection ("" when admitted).
 	Reason string `json:"reason,omitempty"`
 	// PMeet is the predicted probability of finishing within the
-	// deadline, P(T <= d) under the predicted distribution.
+	// deadline including the predicted queue wait ahead of this request:
+	// P(T_wait + T_q <= d), where T_wait ~ N(QueueWaitMean,
+	// QueueWaitSigma^2) aggregates the predicted mean and variance of
+	// admitted-but-unexecuted work (ROADMAP "Admission under queue
+	// delay"). With an empty queue this degenerates to P(T_q <= d).
 	PMeet float64 `json:"p_meet"`
 	// Deadline is the effective relative deadline in virtual seconds.
 	Deadline  float64 `json:"deadline"`
 	PredMean  float64 `json:"pred_mean"`
 	PredSigma float64 `json:"pred_sigma"`
+	// QueueWaitMean/QueueWaitSigma describe the predicted backlog this
+	// decision was made against.
+	QueueWaitMean  float64 `json:"queue_wait_mean"`
+	QueueWaitSigma float64 `json:"queue_wait_sigma"`
 	// QueueLen is the queue occupancy after this decision.
 	QueueLen int `json:"queue_len"`
 }
@@ -71,10 +82,14 @@ func (h *requestHeap) Pop() any {
 }
 
 // Submit runs the admission rule on one request: predict the running
-// time, admit iff the predicted probability of meeting the deadline
-// clears the tenant's SLO confidence (and the queue has room), and
-// enqueue admitted work by risk-adjusted slack.
-func (s *Server) Submit(req Request) (Decision, error) {
+// time, admit iff the predicted probability of meeting the deadline —
+// queue wait included, P(T_wait + T_q <= d) — clears the tenant's SLO
+// confidence (and the queue has room), and enqueue admitted work by
+// risk-adjusted slack. Under load the backlog term rejects borderline
+// queries that an empty-queue rule would have admitted only to miss
+// their deadlines waiting. The context propagates into the prediction
+// pipeline.
+func (s *Server) Submit(ctx context.Context, req Request) (Decision, error) {
 	t, err := s.Tenant(req.Tenant)
 	if err != nil {
 		return Decision{}, err
@@ -91,7 +106,7 @@ func (s *Server) Submit(req Request) (Decision, error) {
 	}
 
 	t.predictions.Add(1)
-	pred, plansig, err := t.sys.PredictPlanned(req.Query)
+	pred, plansig, err := t.sys.PredictPlannedContext(ctx, req.Query)
 	if err != nil {
 		// An unpredictable query is a rejected submission: keep
 		// admitted+rejected reconcilable against submission traffic.
@@ -100,7 +115,6 @@ func (s *Server) Submit(req Request) (Decision, error) {
 	}
 
 	d := Decision{
-		PMeet:     pred.Dist.CDF(deadline),
 		Deadline:  deadline,
 		PredMean:  pred.Mean(),
 		PredSigma: pred.Sigma(),
@@ -110,10 +124,19 @@ func (s *Server) Submit(req Request) (Decision, error) {
 	defer s.qmu.Unlock()
 	s.seq++
 	d.ID = s.seq
+	// T_wait + T_q under independence: means and variances add.
+	waitVar := math.Max(s.qWaitVar, 0)
+	d.QueueWaitMean = s.qWaitMean
+	d.QueueWaitSigma = math.Sqrt(waitVar)
+	total := stats.Normal{
+		Mu:    pred.Mean() + s.qWaitMean,
+		Sigma: math.Sqrt(pred.Sigma()*pred.Sigma() + waitVar),
+	}
+	d.PMeet = total.CDF(deadline)
 	switch {
 	case d.PMeet < t.slo.Confidence:
-		d.Reason = fmt.Sprintf("P(T <= %.4g) = %.4f below SLO confidence %.4f",
-			deadline, d.PMeet, t.slo.Confidence)
+		d.Reason = fmt.Sprintf("P(T_wait + T_q <= %.4g) = %.4f below SLO confidence %.4f (queue wait mean %.4g)",
+			deadline, d.PMeet, t.slo.Confidence, d.QueueWaitMean)
 	case s.queue.Len() >= s.cfg.MaxQueue:
 		d.Reason = fmt.Sprintf("queue full (%d admitted requests pending)", s.queue.Len())
 	default:
@@ -125,6 +148,8 @@ func (s *Server) Submit(req Request) (Decision, error) {
 		return d, nil
 	}
 	t.admitted.Add(1)
+	s.qWaitMean += pred.Mean()
+	s.qWaitVar += pred.Sigma() * pred.Sigma()
 	heap.Push(&s.queue, &queued{
 		id:          d.ID,
 		tenant:      t,
@@ -172,6 +197,14 @@ func (s *Server) DrainOne() (*Outcome, error) {
 		return nil, nil
 	}
 	it := heap.Pop(&s.queue).(*queued)
+	// The popped request leaves the predicted backlog; zero the
+	// aggregates when the queue empties so float drift cannot
+	// accumulate across busy periods.
+	s.qWaitMean -= it.pred.Mean()
+	s.qWaitVar -= it.pred.Sigma() * it.pred.Sigma()
+	if s.queue.Len() == 0 {
+		s.qWaitMean, s.qWaitVar = 0, 0
+	}
 	s.qmu.Unlock()
 
 	elapsed, err := it.tenant.sys.Execute(it.query)

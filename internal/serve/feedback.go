@@ -56,6 +56,16 @@ func newFeedback() *feedback {
 	return &feedback{sigs: make(map[string]*sigAgg)}
 }
 
+// reset clears the accumulators, e.g. after a recalibration swap: the
+// old observations judged the old units and would otherwise dilute the
+// next drift verdict.
+func (f *feedback) reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.units = [hardware.NumUnits]unitAgg{}
+	f.sigs = make(map[string]*sigAgg)
+}
+
 // record adds one (prediction, observation) pair for a plan signature.
 func (f *feedback) record(pred *uaqetp.Prediction, observed float64, plansig string) {
 	unit := pred.DominantUnit()

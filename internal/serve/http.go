@@ -10,20 +10,24 @@ import (
 
 // Handler returns the HTTP/JSON front end:
 //
-//	GET  /healthz  liveness + tenant roster
-//	POST /predict  {"tenant", "query"}              -> prediction
-//	POST /submit   {"tenant", "query", "deadline"}  -> admission decision
-//	POST /drain    execute queued work in priority order -> outcomes
-//	GET  /stats    cache/queue/tenant/drift snapshot
+//	GET  /healthz      liveness + tenant roster
+//	POST /predict      {"tenant", "query"}              -> prediction
+//	POST /submit       {"tenant", "query", "deadline"}  -> admission decision
+//	POST /drain        execute queued work in priority order -> outcomes
+//	POST /recalibrate  {"tenant", "seed", "force"}      -> recalibration report
+//	GET  /stats        cache/queue/tenant/drift snapshot
 //
 // Queries use the uaqetp.Query JSON shape (see the README for the
-// predicate operator codes).
+// predicate operator codes). Request contexts propagate into the
+// prediction pipeline: a client that disconnects mid-request cancels
+// its own prediction work.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /predict", s.handlePredict)
 	mux.HandleFunc("POST /submit", s.handleSubmit)
 	mux.HandleFunc("POST /drain", s.handleDrain)
+	mux.HandleFunc("POST /recalibrate", s.handleRecalibrate)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
 }
@@ -88,7 +92,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	pred, err := s.Predict(req.Tenant, req.Query)
+	pred, err := s.Predict(r.Context(), req.Tenant, req.Query)
 	if err != nil {
 		writeJSON(w, errStatus(err), httpError{Error: err.Error()})
 		return
@@ -111,7 +115,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	d, err := s.Submit(req)
+	d, err := s.Submit(r.Context(), req)
 	if err != nil {
 		writeJSON(w, errStatus(err), httpError{Error: err.Error()})
 		return
@@ -144,6 +148,19 @@ func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusInternalServerError
 	}
 	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleRecalibrate(w http.ResponseWriter, r *http.Request) {
+	var req RecalibrateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := s.Recalibrate(r.Context(), req)
+	if err != nil {
+		writeJSON(w, errStatus(err), httpError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -163,12 +164,49 @@ func TestDispatcherDrainsQueue(t *testing.T) {
 	srv, qs := newTestServer(t, Config{})
 	stop := srv.StartDispatcher(time.Millisecond)
 	for _, q := range qs[:3] {
-		if _, err := srv.Submit(Request{Tenant: "alpha", Query: q, Deadline: 5}); err != nil {
+		if _, err := srv.Submit(context.Background(), Request{Tenant: "alpha", Query: q, Deadline: 5}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	stop() // stop drains a final time, so the queue must be empty now
 	if st := srv.Stats(); st.QueueLen != 0 {
 		t.Errorf("queue not drained: %d pending", st.QueueLen)
+	}
+}
+
+// TestHTTPRecalibrate exercises the /recalibrate endpoint: a forced
+// recalibration reports the unit swap, and a quiet tenant without force
+// reports advised=false with units untouched.
+func TestHTTPRecalibrate(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts, "/recalibrate", RecalibrateRequest{Tenant: "alpha"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recalibrate status %d: %s", resp.StatusCode, body)
+	}
+	var r RecalibrateResponse
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Advised || r.Recalibrated || len(r.UnitsAfter) != 0 {
+		t.Fatalf("quiet tenant recalibrated over HTTP: %+v", r)
+	}
+
+	resp, body = postJSON(t, ts, "/recalibrate", RecalibrateRequest{Tenant: "alpha", Seed: 9, Force: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forced recalibrate status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Recalibrated || r.Seed != 9 || len(r.UnitsBefore) == 0 || len(r.UnitsAfter) == 0 {
+		t.Fatalf("forced recalibrate response %+v", r)
+	}
+
+	resp, _ = postJSON(t, ts, "/recalibrate", RecalibrateRequest{Tenant: "nobody", Force: true})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown tenant: status %d, want 404", resp.StatusCode)
 	}
 }

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestRecalibrateNotAdvisedWithoutForce: with a quiet feedback loop the
+// action is a no-op unless forced.
+func TestRecalibrateNotAdvisedWithoutForce(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	resp, err := srv.Recalibrate(context.Background(), RecalibrateRequest{Tenant: "alpha"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Advised || resp.Recalibrated {
+		t.Fatalf("quiet tenant recalibrated: %+v", resp)
+	}
+	if _, err := srv.Recalibrate(context.Background(), RecalibrateRequest{Tenant: "nobody"}); err == nil {
+		t.Error("unknown tenant accepted")
+	}
+}
+
+// TestRecalibrateSwapsUnitsLive is the acceptance scenario: /recalibrate
+// swaps units in without dropping in-flight queries, predictions before
+// and after the swap are deterministic for a fixed seed, and co-located
+// tenants sharing the underlying System keep their own units.
+func TestRecalibrateSwapsUnitsLive(t *testing.T) {
+	run := func() (before, after, beta float64, units []string) {
+		srv, qs := newTestServer(t, Config{})
+		q := qs[0]
+		ctx := context.Background()
+
+		p, err := srv.Predict(ctx, "alpha", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before = p.Mean()
+
+		// Keep predictions in flight across both tenants while the swap
+		// happens; none may fail (run under -race to check the handle).
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				tenant := []string{"alpha", "beta"}[g%2]
+				for i := 0; i < 4; i++ {
+					if _, err := srv.Predict(ctx, tenant, qs[i%len(qs)]); err != nil {
+						t.Errorf("in-flight predict %s: %v", tenant, err)
+					}
+				}
+			}(g)
+		}
+		close(start)
+		resp, err := srv.Recalibrate(ctx, RecalibrateRequest{Tenant: "alpha", Seed: 777, Force: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		if !resp.Recalibrated || resp.Seed != 777 {
+			t.Fatalf("forced recalibration did not run: %+v", resp)
+		}
+		if len(resp.UnitsBefore) == 0 || len(resp.UnitsAfter) == 0 {
+			t.Fatalf("units missing from response: %+v", resp)
+		}
+
+		pa, err := srv.Predict(ctx, "alpha", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after = pa.Mean()
+		pb, err := srv.Predict(ctx, "beta", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		beta = pb.Mean()
+
+		ta, _ := srv.Tenant("alpha")
+		return before, after, beta, append(resp.UnitsAfter, ta.sys.CostUnits()...)
+	}
+
+	b1, a1, beta1, u1 := run()
+	b2, a2, beta2, u2 := run()
+	if b1 != b2 || a1 != a2 || beta1 != beta2 {
+		t.Errorf("recalibration not deterministic: (%v,%v,%v) vs (%v,%v,%v)", b1, a1, beta1, b2, a2, beta2)
+	}
+	if a1 == b1 {
+		t.Errorf("prediction unchanged by recalibration: %v", a1)
+	}
+	if beta1 != b1 {
+		t.Errorf("beta's prediction moved with alpha's recalibration: %v vs %v", beta1, b1)
+	}
+	for i := range u1 {
+		if u1[i] != u2[i] {
+			t.Errorf("units differ across replays: %q vs %q", u1[i], u2[i])
+		}
+	}
+
+	// Stats surface the recalibration count.
+	srv, _ := newTestServer(t, Config{})
+	if _, err := srv.Recalibrate(context.Background(), RecalibrateRequest{Tenant: "alpha", Force: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range srv.Stats().Tenants {
+		want := uint64(0)
+		if ts.Name == "alpha" {
+			want = 1
+		}
+		if ts.Recalibrations != want {
+			t.Errorf("tenant %s recalibrations = %d, want %d", ts.Name, ts.Recalibrations, want)
+		}
+	}
+}

@@ -18,8 +18,15 @@
 //     predicted quantile coverage, attributed to the cost unit
 //     dominating each query — surfacing when recalibration via
 //     internal/calibrate is warranted;
+//   - a live recalibration action closing that loop: each tenant's
+//     System is a façade with its own hot-swappable predictor handle,
+//     so Recalibrate re-runs internal/calibrate off the drift report
+//     and swaps the fresh units in atomically, without dropping
+//     in-flight queries or touching co-located tenants;
 //   - an HTTP/JSON front end (net/http) with /predict, /submit, /drain,
-//     /stats, and /healthz.
+//     /recalibrate, /stats, and /healthz; request contexts propagate
+//     into the prediction pipeline, so a disconnecting client cancels
+//     its own prediction work.
 //
 // Time is virtual: the simulated hardware returns running times in
 // seconds, and the server advances a virtual clock as it executes
@@ -28,6 +35,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -98,12 +106,18 @@ func (c Config) normalized() Config {
 	return c
 }
 
-// Tenant is one served database: a System plus its SLO and counters.
+// Tenant is one served database: a System façade plus its SLO and
+// counters. The façade carries its own predictor handle, so
+// recalibrating this tenant never disturbs co-located tenants sharing
+// the same underlying layers.
 type Tenant struct {
 	name     string
 	slo      SLO
 	sys      *uaqetp.System
 	feedback *feedback
+
+	// recalMu serializes recalibrations of this tenant.
+	recalMu sync.Mutex
 
 	predictions     atomic.Uint64
 	admitted        atomic.Uint64
@@ -112,6 +126,7 @@ type Tenant struct {
 	execFailed      atomic.Uint64
 	deadlinesMet    atomic.Uint64
 	deadlinesMissed atomic.Uint64
+	recalibrations  atomic.Uint64
 }
 
 // Name returns the tenant's name.
@@ -137,13 +152,20 @@ type Server struct {
 	// tenants don't each regenerate the database and calibration.
 	systems map[uaqetp.Config]*uaqetp.System
 
-	// qmu guards the admitted-work queue and the virtual clock; drainMu
-	// serializes whole pop-execute-advance drain steps (see DrainOne).
+	// qmu guards the admitted-work queue, the virtual clock, and the
+	// queue's aggregate predicted backlog; drainMu serializes whole
+	// pop-execute-advance drain steps (see DrainOne).
 	qmu     sync.Mutex
 	drainMu sync.Mutex
 	queue   requestHeap
 	seq     uint64
 	clock   float64
+	// qWaitMean/qWaitVar aggregate the predicted mean and variance of
+	// admitted-but-unexecuted work: the predicted queue wait T_wait the
+	// admission rule folds into P(T_wait + T_q <= d). Maintained
+	// incrementally on push/pop (independence assumption).
+	qWaitMean float64
+	qWaitVar  float64
 }
 
 // New returns an empty server with a fresh shared estimate cache.
@@ -157,11 +179,21 @@ func New(cfg Config) *Server {
 	}
 }
 
+// hasCustomStages reports whether the config overrides any pipeline
+// stage. Such configs are opened fresh instead of being deduped: stage
+// values may not be comparable (map keys must be), and tenants with
+// bespoke stages should not silently share a System anyway.
+func hasCustomStages(cfg uaqetp.Config) bool {
+	return cfg.Planner != nil || cfg.Estimator != nil || cfg.Predictor != nil || cfg.Executor != nil
+}
+
 // AddTenant opens a System for the tenant on the server's shared cache.
 // The Cache field of sysCfg is overridden; everything else is honored.
-// Tenants with identical configs share one System instance, and the
-// expensive Open runs outside the server lock, so adding a tenant never
-// stalls requests already being served.
+// Tenants with identical stage-free configs share one underlying System
+// — each behind its own façade (uaqetp.System.With), so per-tenant
+// predictor swaps stay per-tenant — and the expensive Open runs outside
+// the server lock, so adding a tenant never stalls requests already
+// being served.
 func (s *Server) AddTenant(name string, sysCfg uaqetp.Config, slo SLO) (*Tenant, error) {
 	if name == "" {
 		return nil, fmt.Errorf("serve: empty tenant name")
@@ -179,10 +211,14 @@ func (s *Server) AddTenant(name string, sysCfg uaqetp.Config, slo SLO) (*Tenant,
 	if sysCfg.SamplingRatio <= 0 {
 		sysCfg.SamplingRatio = 0.05
 	}
+	dedup := !hasCustomStages(sysCfg)
 
+	var sys *uaqetp.System
 	s.mu.RLock()
 	_, exists := s.tenants[name]
-	sys := s.systems[sysCfg]
+	if dedup {
+		sys = s.systems[sysCfg]
+	}
 	s.mu.RUnlock()
 	if exists {
 		return nil, fmt.Errorf("serve: tenant %q already exists", name)
@@ -201,12 +237,16 @@ func (s *Server) AddTenant(name string, sysCfg uaqetp.Config, slo SLO) (*Tenant,
 	if _, ok := s.tenants[name]; ok {
 		return nil, fmt.Errorf("serve: tenant %q already exists", name)
 	}
-	if prev, ok := s.systems[sysCfg]; ok {
-		sys = prev
-	} else {
-		s.systems[sysCfg] = sys
+	if dedup {
+		if prev, ok := s.systems[sysCfg]; ok {
+			sys = prev
+		} else {
+			s.systems[sysCfg] = sys
+		}
 	}
-	t := &Tenant{name: name, slo: nslo, sys: sys, feedback: newFeedback()}
+	// Each tenant gets its own façade with an independent predictor
+	// handle over the shared layers.
+	t := &Tenant{name: name, slo: nslo, sys: sys.With(), feedback: newFeedback()}
 	s.tenants[name] = t
 	return t, nil
 }
@@ -239,8 +279,9 @@ func (s *Server) TenantNames() []string {
 }
 
 // Predict returns the running-time distribution of q for the tenant,
-// through the shared cache.
-func (s *Server) Predict(tenant string, q *uaqetp.Query) (*uaqetp.Prediction, error) {
+// through the shared cache. The context propagates into the prediction
+// pipeline: canceling it aborts the tenant's sampling/prediction work.
+func (s *Server) Predict(ctx context.Context, tenant string, q *uaqetp.Query) (*uaqetp.Prediction, error) {
 	t, err := s.Tenant(tenant)
 	if err != nil {
 		return nil, err
@@ -249,7 +290,7 @@ func (s *Server) Predict(tenant string, q *uaqetp.Query) (*uaqetp.Prediction, er
 		return nil, fmt.Errorf("serve: nil query")
 	}
 	t.predictions.Add(1)
-	return t.sys.Predict(q)
+	return t.sys.PredictContext(ctx, q)
 }
 
 // TenantStats summarizes one tenant's traffic and calibration drift.
@@ -262,6 +303,7 @@ type TenantStats struct {
 	ExecFailed      uint64      `json:"exec_failed"`
 	DeadlinesMet    uint64      `json:"deadlines_met"`
 	DeadlinesMissed uint64      `json:"deadlines_missed"`
+	Recalibrations  uint64      `json:"recalibrations"`
 	Drift           DriftReport `json:"drift"`
 }
 
@@ -270,16 +312,24 @@ type Stats struct {
 	Cache    uaqetp.CacheStats `json:"cache"`
 	QueueLen int               `json:"queue_len"`
 	Clock    float64           `json:"clock"`
-	Tenants  []TenantStats     `json:"tenants"`
+	// QueueWaitMean/QueueWaitVar are the predicted backlog aggregates
+	// the admission rule folds into P(T_wait + T_q <= d).
+	QueueWaitMean float64       `json:"queue_wait_mean"`
+	QueueWaitVar  float64       `json:"queue_wait_var"`
+	Tenants       []TenantStats `json:"tenants"`
 }
 
 // Stats snapshots the shared cache, the queue, and every tenant.
 func (s *Server) Stats() Stats {
 	s.qmu.Lock()
 	qlen, clock := s.queue.Len(), s.clock
+	waitMean, waitVar := s.qWaitMean, s.qWaitVar
 	s.qmu.Unlock()
 
-	st := Stats{Cache: s.cache.Stats(), QueueLen: qlen, Clock: clock}
+	st := Stats{
+		Cache: s.cache.Stats(), QueueLen: qlen, Clock: clock,
+		QueueWaitMean: waitMean, QueueWaitVar: waitVar,
+	}
 	s.mu.RLock()
 	for _, t := range s.tenants {
 		st.Tenants = append(st.Tenants, TenantStats{
@@ -291,6 +341,7 @@ func (s *Server) Stats() Stats {
 			ExecFailed:      t.execFailed.Load(),
 			DeadlinesMet:    t.deadlinesMet.Load(),
 			DeadlinesMissed: t.deadlinesMissed.Load(),
+			Recalibrations:  t.recalibrations.Load(),
 			Drift:           t.feedback.report(),
 		})
 	}

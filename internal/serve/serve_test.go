@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -39,7 +40,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, []*uaqetp.Query) {
 func TestTwoTenantsShareSamplingPasses(t *testing.T) {
 	srv, qs := newTestServer(t, Config{})
 	for _, q := range qs {
-		if _, err := srv.Predict("alpha", q); err != nil {
+		if _, err := srv.Predict(context.Background(), "alpha", q); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -48,7 +49,7 @@ func TestTwoTenantsShareSamplingPasses(t *testing.T) {
 		t.Fatal("tenant alpha ran no sampling passes")
 	}
 	for _, q := range qs {
-		if _, err := srv.Predict("beta", q); err != nil {
+		if _, err := srv.Predict(context.Background(), "beta", q); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -62,10 +63,12 @@ func TestTwoTenantsShareSamplingPasses(t *testing.T) {
 	}
 }
 
-// TestAdmissionBoundaryAtSLOQuantile pins the accept/reject boundary:
+// TestAdmissionBoundaryAtSLOQuantile pins the accept/reject boundary on
+// an empty queue (T_wait = 0, so the rule degenerates to P(T_q <= d)):
 // with deadline just above the confidence quantile of the predicted
 // distribution the query must be admitted, just below it must be
-// rejected.
+// rejected. The queue is drained after each admission so every decision
+// sees zero backlog.
 func TestAdmissionBoundaryAtSLOQuantile(t *testing.T) {
 	srv, qs := newTestServer(t, Config{})
 	tn, err := srv.Tenant("alpha")
@@ -73,27 +76,86 @@ func TestAdmissionBoundaryAtSLOQuantile(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, q := range qs[:4] {
-		pred, err := srv.Predict("alpha", q)
+		pred, err := srv.Predict(context.Background(), "alpha", q)
 		if err != nil {
 			t.Fatal(err)
 		}
 		boundary := pred.Dist.Quantile(tn.slo.Confidence)
 		eps := 1e-6 * boundary
 
-		d, err := srv.Submit(Request{Tenant: "alpha", Query: q, Deadline: boundary + eps})
+		d, err := srv.Submit(context.Background(), Request{Tenant: "alpha", Query: q, Deadline: boundary + eps})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !d.Admitted {
 			t.Errorf("%s: deadline above q%.2f rejected: %+v", q.Name, tn.slo.Confidence, d)
 		}
-		d, err = srv.Submit(Request{Tenant: "alpha", Query: q, Deadline: boundary - eps})
+		if _, err := srv.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		d, err = srv.Submit(context.Background(), Request{Tenant: "alpha", Query: q, Deadline: boundary - eps})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if d.Admitted {
 			t.Errorf("%s: deadline below q%.2f admitted: %+v", q.Name, tn.slo.Confidence, d)
 		}
+	}
+}
+
+// TestQueueAwareAdmissionRejectsEarlier pins the satellite behavior: a
+// deadline that clears the SLO on an empty queue stops clearing it once
+// predicted backlog accumulates — the same query is admitted first and
+// rejected under load, strictly because of the queue-wait term.
+func TestQueueAwareAdmissionRejectsEarlier(t *testing.T) {
+	srv, qs := newTestServer(t, Config{})
+	tn, err := srv.Tenant("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qs[0]
+	pred, err := srv.Predict(context.Background(), "alpha", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Just above the empty-queue admission boundary.
+	deadline := pred.Dist.Quantile(tn.slo.Confidence) * 1.001
+
+	first, err := srv.Submit(context.Background(), Request{Tenant: "alpha", Query: q, Deadline: deadline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Admitted || first.QueueWaitMean != 0 {
+		t.Fatalf("empty-queue submission not admitted cleanly: %+v", first)
+	}
+	// Same query, same deadline, but now one admitted request ahead:
+	// P(T_wait + T_q <= d) must fall below the confidence.
+	second, err := srv.Submit(context.Background(), Request{Tenant: "alpha", Query: q, Deadline: deadline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Admitted {
+		t.Fatalf("borderline submission admitted despite backlog: %+v", second)
+	}
+	if second.QueueWaitMean <= 0 {
+		t.Errorf("second decision saw no backlog: %+v", second)
+	}
+	if second.PMeet >= first.PMeet {
+		t.Errorf("PMeet did not fall under load: %v -> %v", first.PMeet, second.PMeet)
+	}
+	// Draining restores the empty-queue behavior.
+	if _, err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	third, err := srv.Submit(context.Background(), Request{Tenant: "alpha", Query: q, Deadline: deadline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.Admitted {
+		t.Errorf("post-drain submission rejected: %+v", third)
+	}
+	if third.PMeet != first.PMeet {
+		t.Errorf("post-drain PMeet %v differs from empty-queue PMeet %v", third.PMeet, first.PMeet)
 	}
 }
 
@@ -105,7 +167,7 @@ func TestAdmissionDeterministic(t *testing.T) {
 		srv, qs := newTestServer(t, Config{})
 		var ds []Decision
 		for i, q := range qs {
-			d, err := srv.Submit(Request{
+			d, err := srv.Submit(context.Background(), Request{
 				Tenant:   []string{"alpha", "beta"}[i%2],
 				Query:    q,
 				Deadline: deadlines[i%len(deadlines)],
@@ -132,7 +194,7 @@ func TestDrainPriorityAndClock(t *testing.T) {
 	srv, qs := newTestServer(t, Config{})
 	var admitted []Decision
 	for _, q := range qs {
-		d, err := srv.Submit(Request{Tenant: "alpha", Query: q, Deadline: 2.0})
+		d, err := srv.Submit(context.Background(), Request{Tenant: "alpha", Query: q, Deadline: 2.0})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -183,14 +245,14 @@ func TestDrainPriorityAndClock(t *testing.T) {
 
 func TestQueueFullBackpressure(t *testing.T) {
 	srv, qs := newTestServer(t, Config{MaxQueue: 1})
-	d1, err := srv.Submit(Request{Tenant: "alpha", Query: qs[0], Deadline: 5})
+	d1, err := srv.Submit(context.Background(), Request{Tenant: "alpha", Query: qs[0], Deadline: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !d1.Admitted {
 		t.Fatalf("first submission rejected: %+v", d1)
 	}
-	d2, err := srv.Submit(Request{Tenant: "beta", Query: qs[1], Deadline: 5})
+	d2, err := srv.Submit(context.Background(), Request{Tenant: "beta", Query: qs[1], Deadline: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +266,7 @@ func TestQueueFullBackpressure(t *testing.T) {
 	if _, err := srv.Drain(); err != nil {
 		t.Fatal(err)
 	}
-	d3, err := srv.Submit(Request{Tenant: "beta", Query: qs[1], Deadline: 5})
+	d3, err := srv.Submit(context.Background(), Request{Tenant: "beta", Query: qs[1], Deadline: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,17 +277,17 @@ func TestQueueFullBackpressure(t *testing.T) {
 
 func TestSubmitErrors(t *testing.T) {
 	srv, qs := newTestServer(t, Config{})
-	if _, err := srv.Submit(Request{Tenant: "nobody", Query: qs[0]}); err == nil {
+	if _, err := srv.Submit(context.Background(), Request{Tenant: "nobody", Query: qs[0]}); err == nil {
 		t.Error("unknown tenant accepted")
 	}
-	if _, err := srv.Submit(Request{Tenant: "alpha"}); err == nil {
+	if _, err := srv.Submit(context.Background(), Request{Tenant: "alpha"}); err == nil {
 		t.Error("nil query accepted")
 	}
-	if _, err := srv.Submit(Request{Tenant: "alpha", Query: qs[0], Deadline: -1}); err == nil {
+	if _, err := srv.Submit(context.Background(), Request{Tenant: "alpha", Query: qs[0], Deadline: -1}); err == nil {
 		t.Error("negative deadline accepted")
 	}
 	bad := &uaqetp.Query{Name: "bad", Tables: []string{"no-such-table"}}
-	if _, err := srv.Submit(Request{Tenant: "alpha", Query: bad}); err == nil {
+	if _, err := srv.Submit(context.Background(), Request{Tenant: "alpha", Query: bad}); err == nil {
 		t.Error("unknown table accepted")
 	}
 	if _, err := srv.AddTenant("alpha", uaqetp.DefaultConfig(), SLO{}); err == nil {
@@ -253,7 +315,7 @@ func TestServeCacheEvictionUnderConcurrentTenants(t *testing.T) {
 		go func(tenant string) {
 			defer wg.Done()
 			for _, q := range qs {
-				if _, err := srv.Predict(tenant, q); err != nil {
+				if _, err := srv.Predict(context.Background(), tenant, q); err != nil {
 					t.Errorf("%s/%s: %v", tenant, q.Name, err)
 				}
 			}

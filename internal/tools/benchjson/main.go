@@ -6,11 +6,20 @@
 //
 // Lines that are not benchmark results (package headers, PASS/ok) are
 // ignored.
+//
+// With -compare old.json the parsed results are additionally checked
+// against a previously recorded trajectory: any benchmark present in
+// both whose throughput (1/ns_per_op) fell by more than -threshold
+// (default 0.25, i.e. 25%) is reported on stderr and the process exits
+// nonzero — the `make bench-check` regression gate. Benchmarks present
+// on only one side are ignored (renames and new benchmarks are not
+// regressions).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -28,6 +37,10 @@ type Result struct {
 }
 
 func main() {
+	compare := flag.String("compare", "", "baseline JSON trajectory to compare against; exit nonzero on throughput regression")
+	threshold := flag.Float64("threshold", 0.25, "allowed fractional throughput drop vs the baseline (0.25 = 25%)")
+	flag.Parse()
+
 	// Non-nil so an empty run encodes as [], never null.
 	results := []Result{}
 	sc := bufio.NewScanner(os.Stdin)
@@ -48,6 +61,59 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+
+	if *compare == "" {
+		return
+	}
+	data, err := os.ReadFile(*compare)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var baseline []Result
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parse %s: %v\n", *compare, err)
+		os.Exit(1)
+	}
+	regs := regressions(baseline, results, *threshold)
+	for _, r := range regs {
+		fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", r)
+	}
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% vs %s\n",
+			len(regs), 100**threshold, *compare)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) within %.0f%% of %s\n",
+		len(results), 100**threshold, *compare)
+}
+
+// regressions compares current against baseline by name and returns a
+// description of every benchmark whose throughput dropped by more than
+// threshold: throughput is 1/ns_per_op, so a drop beyond threshold
+// means newNs > oldNs / (1 - threshold).
+func regressions(baseline, current []Result, threshold float64) []string {
+	if threshold <= 0 || threshold >= 1 {
+		return []string{fmt.Sprintf("invalid threshold %v (want 0 < t < 1)", threshold)}
+	}
+	old := make(map[string]Result, len(baseline))
+	for _, r := range baseline {
+		old[r.Name] = r
+	}
+	var regs []string
+	for _, r := range current {
+		o, ok := old[r.Name]
+		if !ok || o.NsPerOp <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		limit := o.NsPerOp / (1 - threshold)
+		if r.NsPerOp > limit {
+			drop := 1 - o.NsPerOp/r.NsPerOp
+			regs = append(regs, fmt.Sprintf("%s: %.0f -> %.0f ns/op (throughput -%.1f%%, limit -%.0f%%)",
+				r.Name, o.NsPerOp, r.NsPerOp, 100*drop, 100*threshold))
+		}
+	}
+	return regs
 }
 
 // parse decodes one "BenchmarkFoo-8  100  123 ns/op  45 B/op  6 allocs/op"

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	r, ok := parse("BenchmarkPredictBatch/workers=4-8   	     100	  123456 ns/op	   45678 B/op	     321 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "BenchmarkPredictBatch/workers=4-8" || r.Procs != 8 ||
+		r.Iterations != 100 || r.NsPerOp != 123456 || r.BytesPerOp != 45678 || r.AllocsPerOp != 321 {
+		t.Fatalf("parsed %+v", r)
+	}
+	for _, line := range []string{"PASS", "ok  	repro	1.2s", "goos: linux", "Benchmark (incomplete)"} {
+		if _, ok := parse(line); ok {
+			t.Errorf("non-result line parsed: %q", line)
+		}
+	}
+}
+
+func TestRegressions(t *testing.T) {
+	base := []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 1000},
+		{Name: "BenchmarkB-8", NsPerOp: 1000},
+		{Name: "BenchmarkGone-8", NsPerOp: 1000},
+	}
+	cur := []Result{
+		// 1300 ns/op: throughput -23%, inside the 25% budget.
+		{Name: "BenchmarkA-8", NsPerOp: 1300},
+		// 1400 ns/op: throughput -28.6%, a regression.
+		{Name: "BenchmarkB-8", NsPerOp: 1400},
+		// New benchmark with no baseline: ignored.
+		{Name: "BenchmarkNew-8", NsPerOp: 1e9},
+	}
+	regs := regressions(base, cur, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkB-8") {
+		t.Fatalf("regressions = %v, want exactly BenchmarkB-8", regs)
+	}
+	// The boundary itself is not a regression: limit is old/(1-t).
+	exact := []Result{{Name: "BenchmarkA-8", NsPerOp: 1000 / 0.75}}
+	if regs := regressions(base, exact, 0.25); len(regs) != 0 {
+		t.Fatalf("boundary flagged: %v", regs)
+	}
+	if regs := regressions(base, cur, 1.5); len(regs) != 1 || !strings.Contains(regs[0], "invalid threshold") {
+		t.Fatalf("bad threshold not rejected: %v", regs)
+	}
+}

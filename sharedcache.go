@@ -13,88 +13,132 @@ import (
 // capacity granularity.
 const DefaultCacheShards = 16
 
+// passCapacityFactor sizes the subtree-pass section relative to the
+// whole-plan section: a plan holds a handful of cacheable subplans, so
+// the pass LRU needs proportionally more entries to keep a plan's
+// subtrees resident alongside the plan itself.
+const passCapacityFactor = 4
+
 // CacheStats is a point-in-time snapshot of an EstimateCache's counters,
-// aggregated across shards.
+// aggregated across shards. Hits/Misses/Evictions/Entries cover the
+// whole-plan section; the Subtree* counters cover the subplan-pass
+// section that AlternativesContext and ChoosePlanContext lean on when
+// candidate join orders share lower subtrees.
 type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
 	Entries   int    `json:"entries"`
 	Shards    int    `json:"shards"`
+
+	SubtreeHits      uint64 `json:"subtree_hits"`
+	SubtreeMisses    uint64 `json:"subtree_misses"`
+	SubtreeEvictions uint64 `json:"subtree_evictions"`
+	SubtreeEntries   int    `json:"subtree_entries"`
 }
 
-// EstimateCache memoizes sampling passes by namespaced plan signature in
-// a sharded LRU. A single cache may back many Systems: tenants whose
-// configurations generate the same database and samples (same DB kind,
-// sampling ratio, and seed) share sampling passes, which is the point of
-// multi-tenant serving over a common catalog. Concurrent requests for
-// the same key — from one System or several — are coalesced onto a
-// single computation.
-//
-// Estimates are immutable once built, so a cached value may be served to
-// any number of concurrent readers.
-type EstimateCache struct {
-	lru *cache.Sharded[*sample.Estimates]
-
-	// flight coalesces concurrent sampling passes per key.
-	flightMu sync.Mutex
-	flight   map[string]*estFlight
-}
-
-// estFlight is one in-progress sampling pass; waiters block on done.
-type estFlight struct {
+// flight is one in-progress computation; waiters block on done.
+type flight[V any] struct {
 	done chan struct{}
-	est  *sample.Estimates
+	val  V
 	err  error
 }
 
+// flightGroup coalesces concurrent computations per key in front of a
+// sharded LRU: one caller computes, everyone else waits for its result.
+// Failed computations are not cached. Note that waiters inherit the
+// computing caller's outcome — if that caller's context is canceled
+// mid-compute, waiters see the cancellation error too and may retry.
+type flightGroup[V any] struct {
+	mu sync.Mutex
+	m  map[string]*flight[V]
+}
+
+func (g *flightGroup[V]) do(key string, lru *cache.Sharded[V], compute func() (V, error)) (V, error) {
+	if v, ok := lru.Get(key); ok {
+		return v, nil
+	}
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight[V])
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.val, f.err = compute()
+	if f.err == nil {
+		lru.Put(key, f.val)
+	}
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.val, f.err
+}
+
+// EstimateCache memoizes sampling work by namespaced key in two sharded
+// LRU sections: whole-plan passes by canonical plan signature, and
+// subplan passes by canonical subtree signature (so alternative join
+// orders share their common subtrees' work even though their whole-plan
+// signatures differ). A single cache may back many Systems: tenants
+// whose configurations generate the same database and samples (same DB
+// kind, sampling ratio, and seed) share both sections, which is the
+// point of multi-tenant serving over a common catalog. Concurrent
+// requests for the same key — from one System or several — are
+// coalesced onto a single computation.
+//
+// Estimates and passes are immutable once built, so a cached value may
+// be served to any number of concurrent readers.
+type EstimateCache struct {
+	plans  *cache.Sharded[*sample.Estimates]
+	passes *cache.Sharded[*sample.Pass]
+
+	planFlight flightGroup[*sample.Estimates]
+	passFlight flightGroup[*sample.Pass]
+}
+
 // NewEstimateCache returns a sharded estimate cache holding at most
-// capacity sampling passes across DefaultCacheShards shards; capacity
-// < 1 selects the per-System default.
+// capacity whole-plan passes (and passCapacityFactor times as many
+// subtree passes) across DefaultCacheShards shards; capacity < 1
+// selects the per-System default.
 func NewEstimateCache(capacity int) *EstimateCache {
 	if capacity < 1 {
 		capacity = estimateMemoSize
 	}
 	return &EstimateCache{
-		lru:    cache.NewSharded[*sample.Estimates](capacity, DefaultCacheShards),
-		flight: make(map[string]*estFlight),
+		plans:  cache.NewSharded[*sample.Estimates](capacity, DefaultCacheShards),
+		passes: cache.NewSharded[*sample.Pass](capacity*passCapacityFactor, DefaultCacheShards),
 	}
 }
 
-// getOrCompute returns the cached estimates for key, computing and
-// caching them via compute on a miss. Concurrent callers with the same
-// key wait for one computation instead of racing.
+// getOrCompute returns the cached whole-plan estimates for key,
+// computing and caching them via compute on a miss. Concurrent callers
+// with the same key wait for one computation instead of racing.
 func (c *EstimateCache) getOrCompute(key string, compute func() (*sample.Estimates, error)) (*sample.Estimates, error) {
-	if est, ok := c.lru.Get(key); ok {
-		return est, nil
-	}
-	c.flightMu.Lock()
-	if f, ok := c.flight[key]; ok {
-		c.flightMu.Unlock()
-		<-f.done
-		return f.est, f.err
-	}
-	f := &estFlight{done: make(chan struct{})}
-	c.flight[key] = f
-	c.flightMu.Unlock()
-
-	f.est, f.err = compute()
-	if f.err == nil {
-		c.lru.Put(key, f.est)
-	}
-	c.flightMu.Lock()
-	delete(c.flight, key)
-	c.flightMu.Unlock()
-	close(f.done)
-	return f.est, f.err
+	return c.planFlight.do(key, c.plans, compute)
 }
 
-// Stats aggregates the hit/miss/eviction counters across shards.
+// getOrComputePass is getOrCompute for the subtree-pass section.
+func (c *EstimateCache) getOrComputePass(key string, compute func() (*sample.Pass, error)) (*sample.Pass, error) {
+	return c.passFlight.do(key, c.passes, compute)
+}
+
+// Stats aggregates the hit/miss/eviction counters of both sections
+// across shards.
 func (c *EstimateCache) Stats() CacheStats {
-	s := c.lru.Snapshot()
+	p := c.plans.Snapshot()
+	sp := c.passes.Snapshot()
 	return CacheStats{
-		Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions,
-		Entries: s.Entries, Shards: c.lru.NumShards(),
+		Hits: p.Hits, Misses: p.Misses, Evictions: p.Evictions,
+		Entries: p.Entries, Shards: c.plans.NumShards(),
+		SubtreeHits: sp.Hits, SubtreeMisses: sp.Misses,
+		SubtreeEvictions: sp.Evictions, SubtreeEntries: sp.Entries,
 	}
 }
 

@@ -1,0 +1,335 @@
+package uaqetp
+
+// The v2 pipeline: the prediction path is four explicit, composable
+// stages — Planner, Estimator, Predictor, Executor — assembled by Open
+// from the built-in implementations, overridable per System via Config
+// or System.With, and (for the predictor) hot-swappable at runtime so a
+// serving layer can recalibrate without dropping in-flight queries.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/calibrate"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/hardware"
+	"repro/internal/plan"
+	"repro/internal/sample"
+	"repro/internal/stats"
+)
+
+// Plan is a compiled physical plan: an opaque pairing of the operator
+// tree with its canonical signature. Two Plans with equal String() are
+// structurally identical (same operators, predicates, and join order);
+// the signature is the currency of the plan-hint option and the
+// estimate caches. Plans are produced by a Planner — the zero value is
+// not a valid plan.
+type Plan struct {
+	root *engine.Node
+	sig  string
+}
+
+// String returns the plan's canonical signature (a rendered tree).
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	return p.sig
+}
+
+// valid rejects plans not produced by a Planner.
+func (p *Plan) valid() error {
+	if p == nil || p.root == nil {
+		return fmt.Errorf("uaqetp: empty plan (plans must come from a Planner)")
+	}
+	return nil
+}
+
+// Estimates is the result of one sampling pass over a plan: every
+// operator's selectivity distribution. It is opaque — produced by an
+// Estimator, consumed by a Predictor — and immutable, so one value may
+// serve any number of concurrent readers.
+type Estimates struct {
+	est *sample.Estimates
+}
+
+// Planner compiles queries into physical plans: the default enumerates
+// left-deep join orders greedily by connectivity, exactly as v1 did.
+//
+// Plan values can only be produced by the built-in planner (they wrap
+// an internal operator tree), so a custom Planner is a decorator: derive
+// it with sys.With(WithPlanner(...)) wrapping sys.Planner(), and have it
+// filter, reorder, cap, or re-rank the inner stage's plans. The same
+// holds for Estimator and its opaque Estimates. Predictor and Executor
+// stages, whose outputs (Prediction, float64) are public, can be
+// implemented from scratch — e.g. test stubs injected via Config.
+type Planner interface {
+	// BuildPlan compiles the query's default plan.
+	BuildPlan(ctx context.Context, q *Query) (*Plan, error)
+	// Alternatives enumerates up to maxAlts candidate plans, the default
+	// plan first. Implementations may return fewer, including zero.
+	Alternatives(ctx context.Context, q *Query, maxAlts int) ([]*Plan, error)
+}
+
+// Estimator turns a plan into per-operator selectivity distributions.
+// The default runs the paper's sampling pass (Section 3.2), memoized at
+// two granularities: whole plans by canonical signature, and individual
+// subplans by subtree signature, so alternative join orders inside one
+// Alternatives call share their common subtrees' passes.
+type Estimator interface {
+	Estimate(ctx context.Context, p *Plan) (*Estimates, error)
+}
+
+// Predictor turns a plan plus its estimates into the distribution of
+// likely running times. The default is the paper's variance-propagating
+// predictor (Section 5) over the calibrated cost units.
+type Predictor interface {
+	Predict(ctx context.Context, p *Plan, est *Estimates) (*Prediction, error)
+}
+
+// Executor runs a plan and returns the measured time in seconds. The
+// default simulates the configured machine, seeded deterministically
+// per (Config.Seed, query, plan).
+type Executor interface {
+	Execute(ctx context.Context, q *Query, p *Plan) (float64, error)
+}
+
+// ---------------------------------------------------------------------
+// Default stage implementations.
+
+// defaultPlanner wraps internal/plan.
+type defaultPlanner struct {
+	cat *catalog.Catalog
+}
+
+func (d defaultPlanner) BuildPlan(ctx context.Context, q *Query) (*Plan, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n, err := plan.Build(q, d.cat)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{root: n, sig: n.String()}, nil
+}
+
+func (d defaultPlanner) Alternatives(ctx context.Context, q *Query, maxAlts int) ([]*Plan, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	nodes, err := plan.Alternatives(q, d.cat, maxAlts)
+	if err != nil {
+		return nil, err
+	}
+	plans := make([]*Plan, 0, len(nodes))
+	for _, n := range nodes {
+		plans = append(plans, &Plan{root: n, sig: n.String()})
+	}
+	return plans, nil
+}
+
+// defaultEstimator runs the sampling pass through the two-level memo:
+// whole plans in the estimate cache's plan section, subplans in its
+// subtree section. Namespaced keys keep incompatible Systems apart when
+// the cache is shared.
+type defaultEstimator struct {
+	samples *sample.DB
+	cat     *catalog.Catalog
+	cache   *EstimateCache
+	ns      string
+}
+
+func (d *defaultEstimator) Estimate(ctx context.Context, p *Plan) (*Estimates, error) {
+	if err := p.valid(); err != nil {
+		return nil, err
+	}
+	key := d.ns + "\x00" + p.sig
+	est, err := d.cache.getOrCompute(key, func() (*sample.Estimates, error) {
+		return sample.EstimateMemo(ctx, p.root, d.samples, d.cat, d.passMemo)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Estimates{est: est}, nil
+}
+
+// passMemo routes subtree passes through the shared cache under this
+// estimator's namespace.
+func (d *defaultEstimator) passMemo(key string, compute func() (*sample.Pass, error)) (*sample.Pass, error) {
+	return d.cache.getOrComputePass(d.ns+"\x00"+key, compute)
+}
+
+// defaultPredictor wraps the core variance-propagating predictor.
+type defaultPredictor struct {
+	pred *core.Predictor
+}
+
+func (d *defaultPredictor) Predict(ctx context.Context, p *Plan, est *Estimates) (*Prediction, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := p.valid(); err != nil {
+		return nil, err
+	}
+	if est == nil || est.est == nil {
+		return nil, fmt.Errorf("uaqetp: nil estimates (estimates must come from an Estimator)")
+	}
+	return d.pred.Predict(p.root, est.est)
+}
+
+// simExecutor runs plans on the simulated hardware with the
+// deterministic per-call seeding Execute has always used.
+type simExecutor struct {
+	db      *engine.DB
+	profile *hardware.Profile
+	seed    int64
+}
+
+func (x simExecutor) Execute(ctx context.Context, q *Query, p *Plan) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if err := p.valid(); err != nil {
+		return 0, err
+	}
+	_, actual, err := runSimulated(x.db, x.profile, x.seed, q, p.root)
+	return actual, err
+}
+
+// runSimulated executes a built plan and measures it with the
+// deterministic per-call stream — the single implementation behind the
+// default Executor and System.Measure, so their measured times cannot
+// diverge.
+func runSimulated(db *engine.DB, profile *hardware.Profile, seed int64, q *Query, root *engine.Node) (*engine.OpResult, float64, error) {
+	res, err := engine.Run(db, root)
+	if err != nil {
+		return nil, 0, err
+	}
+	rng := rand.New(rand.NewSource(execSeed(seed, q.Name, root.String())))
+	return res, profile.MeasurePlan(res, rng), nil
+}
+
+// ---------------------------------------------------------------------
+// The hot-swappable predictor handle.
+
+// predictorState is the atomically swappable unit behind a System's
+// predictor stage: the active stage plus, when the stage is the
+// built-in one, the calibrated cost units it was constructed from
+// (nil for custom stages).
+type predictorState struct {
+	stage Predictor
+	units *[hardware.NumUnits]stats.Normal
+}
+
+// predictorHandle holds the current predictorState. Each façade derived
+// by With (and each tenant in internal/serve) gets its own handle, so a
+// swap is local to that façade while the expensive layers stay shared.
+type predictorHandle struct {
+	v atomic.Pointer[predictorState]
+}
+
+func newPredictorHandle(st *predictorState) *predictorHandle {
+	h := &predictorHandle{}
+	h.v.Store(st)
+	return h
+}
+
+func (h *predictorHandle) load() *predictorState { return h.v.Load() }
+
+// defaultPredictorState builds the built-in predictor stage for a
+// variant over the given units.
+func defaultPredictorState(cat *catalog.Catalog, units [hardware.NumUnits]stats.Normal, v Variant) *predictorState {
+	return &predictorState{
+		stage: &defaultPredictor{pred: core.New(cat, units, core.Config{Variant: v})},
+		units: &units,
+	}
+}
+
+// ---------------------------------------------------------------------
+// Stage access, derivation, and swapping.
+
+// SystemOption overrides one pipeline stage when deriving a System via
+// With (or at Open time through the corresponding Config field).
+type SystemOption func(*System)
+
+// WithPlanner installs a custom Planner stage.
+func WithPlanner(p Planner) SystemOption { return func(s *System) { s.planner = p } }
+
+// WithEstimator installs a custom Estimator stage.
+func WithEstimator(e Estimator) SystemOption { return func(s *System) { s.estimator = e } }
+
+// WithExecutor installs a custom Executor stage.
+func WithExecutor(x Executor) SystemOption { return func(s *System) { s.executor = x } }
+
+// WithPredictor installs a custom Predictor stage behind a fresh
+// swappable handle.
+func WithPredictor(p Predictor) SystemOption {
+	return func(s *System) { s.pred = newPredictorHandle(&predictorState{stage: p}) }
+}
+
+// With derives a façade over the same expensive layers — database,
+// catalog, calibration, samples, estimate cache — with the given stages
+// replaced. The derived System always gets its own predictor handle
+// (initialized to the parent's current predictor), so SwapPredictor and
+// Recalibrate on the derived façade never affect the parent or
+// siblings. With no options it is the cheap way to give each tenant of
+// a shared System an independently swappable predictor.
+func (s *System) With(opts ...SystemOption) *System {
+	derived := *s
+	derived.pred = newPredictorHandle(s.pred.load())
+	for _, o := range opts {
+		if o != nil {
+			o(&derived)
+		}
+	}
+	return &derived
+}
+
+// Planner returns the active planner stage.
+func (s *System) Planner() Planner { return s.planner }
+
+// Estimator returns the active estimator stage.
+func (s *System) Estimator() Estimator { return s.estimator }
+
+// Predictor returns the currently installed predictor stage (the value
+// a concurrent SwapPredictor may replace at any moment; one call's
+// pipeline uses a single consistent stage).
+func (s *System) Predictor() Predictor { return s.pred.load().stage }
+
+// Executor returns the active executor stage.
+func (s *System) Executor() Executor { return s.executor }
+
+// SwapPredictor atomically replaces the predictor stage behind this
+// System and returns the previous stage. In-flight calls finish on the
+// stage they started with; calls that begin after the swap see the
+// replacement. Only this façade is affected — Systems derived earlier
+// or later have their own handles.
+func (s *System) SwapPredictor(p Predictor) Predictor {
+	old := s.pred.v.Swap(&predictorState{stage: p})
+	return old.stage
+}
+
+// Recalibrate re-runs cost-unit calibration (internal/calibrate) against
+// this System's machine profile with the given seed and atomically swaps
+// a predictor built on the fresh units into the façade's handle, without
+// dropping in-flight queries. It returns the new unit distributions. The
+// current stage must be the built-in predictor (possibly from an earlier
+// Recalibrate); a custom stage has no units to recalibrate — swap it
+// explicitly with SwapPredictor instead.
+func (s *System) Recalibrate(seed int64) ([hardware.NumUnits]stats.Normal, error) {
+	cur := s.pred.load()
+	if cur.units == nil {
+		return [hardware.NumUnits]stats.Normal{}, fmt.Errorf(
+			"uaqetp: predictor stage is custom; swap it explicitly with SwapPredictor")
+	}
+	cal, err := calibrate.Run(s.profile, calibrate.DefaultConfig(seed))
+	if err != nil {
+		return [hardware.NumUnits]stats.Normal{}, err
+	}
+	s.pred.v.Store(defaultPredictorState(s.cat, cal.Units, s.cfg.Variant))
+	return cal.Units, nil
+}
