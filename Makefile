@@ -5,12 +5,12 @@
 
 GO ?= go
 
-.PHONY: test build vet race bench bench-check fmt
+.PHONY: test build vet race bench bench-check sim-smoke fmt
 
 # The benchmarks recorded in the BENCH_* trajectory (and guarded by
-# bench-check): the batched-prediction, plan-alternative, and serve-path
-# hot loops.
-BENCH_PATTERN = PredictBatch|PredictorLatency|Serve|Alternatives
+# bench-check): the batched-prediction, plan-alternative, serve-path,
+# and simulator hot loops.
+BENCH_PATTERN = PredictBatch|PredictorLatency|Serve|Alternatives|Sim
 
 test:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race -timeout 30m ./...
@@ -23,7 +23,19 @@ vet:
 
 # race runs only the concurrency-focused suites, for a quick signal.
 race:
-	$(GO) test -race -count=1 -run 'Concurrent|Parallel|Batch|LRU|Sharded|Admission|Drain|Dispatcher|Feedback|SharedCache|Grid' ./...
+	$(GO) test -race -count=1 -run 'Concurrent|Parallel|Batch|LRU|Sharded|Admission|Drain|Dispatcher|Feedback|SharedCache|Grid|Flight|Sim' ./...
+
+# sim-smoke runs the shipped cluster-simulation scenario twice and
+# fails on any nondeterminism: same config + seed must produce
+# byte-identical reports. It is the cheap end-to-end gate on the
+# simulator's core contract.
+sim-smoke:
+	$(GO) run ./cmd/uaqp sim -config examples/sim/scenario.json -o sim-smoke-1.json
+	$(GO) run ./cmd/uaqp sim -config examples/sim/scenario.json -o sim-smoke-2.json
+	cmp sim-smoke-1.json sim-smoke-2.json \
+		|| { echo "sim-smoke: reports differ across identical runs"; rm -f sim-smoke-1.json sim-smoke-2.json; exit 1; }
+	rm sim-smoke-1.json sim-smoke-2.json
+	@echo "sim-smoke: deterministic"
 
 # bench runs the batched-prediction and serve-path benchmarks with
 # allocation reporting and records the parsed results in
@@ -31,7 +43,7 @@ race:
 # through a temp file so a failing bench run aborts before clobbering
 # the trajectory.
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . ./internal/serve/ > bench.out \
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . ./internal/serve/ ./internal/sim/ > bench.out \
 		|| { cat bench.out; rm -f bench.out; exit 1; }
 	cat bench.out
 	$(GO) run ./internal/tools/benchjson < bench.out > BENCH_batch.json.tmp \
@@ -46,7 +58,7 @@ bench:
 # `make bench`; in CI (same runner class run to run) the gate catches
 # large structural regressions.
 bench-check:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . ./internal/serve/ > bench-check.out \
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . ./internal/serve/ ./internal/sim/ > bench-check.out \
 		|| { cat bench-check.out; rm -f bench-check.out; exit 1; }
 	$(GO) run ./internal/tools/benchjson -compare BENCH_batch.json < bench-check.out > /dev/null \
 		|| { cat bench-check.out; rm -f bench-check.out; exit 1; }

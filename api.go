@@ -223,9 +223,12 @@ type System struct {
 
 	// estCache memoizes sampling passes (shared across Systems when
 	// Config.Cache is set); estNS prefixes this System's keys so only
-	// compatible Systems share entries.
+	// compatible Systems share entries. runNS prefixes the run-result
+	// section's keys; it omits machine and sampling ratio, which run
+	// results do not depend on.
 	estCache *EstimateCache
 	estNS    string
+	runNS    string
 }
 
 // Open generates the database, builds statistics, calibrates the cost
@@ -265,6 +268,7 @@ func Open(cfg Config) (*System, error) {
 		samples:  samples,
 		estCache: estCache,
 		estNS:    estimateNamespace(cfg),
+		runNS:    runNamespace(cfg),
 	}
 	s.planner = cfg.Planner
 	if s.planner == nil {
@@ -276,7 +280,7 @@ func Open(cfg Config) (*System, error) {
 	}
 	s.executor = cfg.Executor
 	if s.executor == nil {
-		s.executor = simExecutor{db: db, profile: profile, seed: cfg.Seed}
+		s.executor = simExecutor{db: db, profile: profile, seed: cfg.Seed, cache: estCache, runNS: s.runNS}
 	}
 	if cfg.Predictor != nil {
 		s.pred = newPredictorHandle(&predictorState{stage: cfg.Predictor})
@@ -584,7 +588,7 @@ func (s *System) ChoosePlan(q *Query, quantile float64, maxAlts int) (best PlanC
 // deterministic per-call stream (see runSimulated); Measure uses it so
 // its Actual equals the default Executor's Execute.
 func (s *System) runMeasured(q *Query, root *engine.Node) (*engine.OpResult, float64, error) {
-	return runSimulated(s.db, s.profile, s.cfg.Seed, q, root)
+	return runSimulated(context.Background(), s.estCache, s.runNS, s.db, s.profile, s.cfg.Seed, q, root)
 }
 
 // UnitDists returns the cost-unit distributions behind the current
@@ -616,6 +620,17 @@ func (s *System) CostUnits() []string {
 // PredictBatch demos and benchmarks.
 func (s *System) GenerateWorkload(b workload.Benchmark, n int) ([]*Query, error) {
 	return workload.Generate(b, s.cat, n, s.cfg.Seed+5)
+}
+
+// GenerateTrace produces n benchmark queries annotated with Poisson
+// arrival times at meanRate queries per virtual second — a replayable
+// workload trace (internal/sim's "trace" arrival process). The trace
+// seed folds stream into Config.Seed, so callers replaying several
+// traces over one catalog (e.g. one per simulated tenant) pass distinct
+// stream values to get independent arrival sequences; generation is
+// deterministic per (Config.Seed, stream).
+func (s *System) GenerateTrace(b workload.Benchmark, n int, meanRate float64, stream int64) ([]workload.TraceEntry, error) {
+	return workload.GenerateTrace(b, s.cat, n, s.cfg.Seed+5+stream, meanRate)
 }
 
 // TableNames returns the names of the generated tables in sorted

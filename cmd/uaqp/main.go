@@ -5,6 +5,7 @@
 //	uaqp demo [flags]              predict-and-run a benchmark workload
 //	uaqp batch [flags]             batched concurrent prediction throughput demo
 //	uaqp serve [flags]             multi-tenant HTTP prediction service
+//	uaqp sim [flags]               discrete-event cluster simulation from a scenario file
 //
 // Flags:
 //
@@ -35,6 +36,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/exper"
 	"repro/internal/serve"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -56,6 +58,8 @@ func main() {
 		err = batch(args)
 	case "serve":
 		err = serveCmd(args)
+	case "sim":
+		err = simCmd(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -72,7 +76,49 @@ func usage() {
   uaqp experiment <id> [-queries N] [-seed S]
   uaqp demo [-bench B] [-db D] [-machine M] [-sr R] [-queries N] [-seed S]
   uaqp batch [-bench B] [-db D] [-machine M] [-sr R] [-queries N] [-seed S] [-workers W]
-  uaqp serve [-addr A] [-db D] [-machine M] [-sr R] [-seed S] [-tenants T] [-confidence C] [-deadline D]`)
+  uaqp serve [-addr A] [-db D] [-machine M] [-sr R] [-seed S] [-tenants T] [-confidence C] [-deadline D]
+  uaqp sim -config FILE [-seed S] [-router R] [-o FILE]`)
+}
+
+// simCmd runs a discrete-event cluster-simulation scenario and prints
+// the structured report. For a fixed scenario file and seed the output
+// is byte-identical across runs (the basis of `make sim-smoke`).
+func simCmd(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	config := fs.String("config", "", "scenario JSON file (see examples/sim/scenario.json)")
+	seed := fs.Int64("seed", 0, "override the scenario seed (0 keeps the file's)")
+	router := fs.String("router", "", "override the scenario router: round-robin | least-queue | least-risk")
+	out := fs.String("o", "", "write the report to a file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *config == "" {
+		return fmt.Errorf("sim: -config is required")
+	}
+	sc, err := sim.Load(*config)
+	if err != nil {
+		return err
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	if *router != "" {
+		sc.Router = *router
+	}
+	rep, err := sim.Run(sc)
+	if err != nil {
+		return err
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		return os.WriteFile(*out, data, 0o644)
+	}
+	_, err = os.Stdout.Write(data)
+	return err
 }
 
 // serveCmd starts the multi-tenant HTTP prediction service: one System

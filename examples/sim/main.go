@@ -1,0 +1,60 @@
+// Command sim compares placement policies on the same simulated
+// cluster scenario: a fleet of machines serving bursty multi-tenant
+// traffic, where every arrival is routed by round-robin (blind),
+// least-queue (load-aware, variance-blind), or least-risk — route to
+// the machine maximizing the predicted probability of meeting the
+// deadline, P(T_wait + T_q <= d), which folds in both the backlog's
+// predicted variance and the query's own.
+//
+// Identical seed, identical arrival times, identical queries — the only
+// difference between the three runs is the placement decision, so the
+// SLO-attainment gap is attributable to how each policy uses (or
+// ignores) the predicted running-time distributions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	config := flag.String("config", "examples/sim/scenario.json", "scenario file")
+	flag.Parse()
+
+	sc, err := sim.Load(*config)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Scenario %q: %d machines, %d tenants, horizon %gs, seed %d\n",
+		sc.Name, sc.Machines, len(sc.Tenants), sc.Horizon, sc.Seed)
+	fmt.Println()
+	fmt.Printf("%-12s %-10s %-6s %-6s %-8s %-8s %-10s\n",
+		"router", "attainment", "adm", "rej", "missed", "p90 lat", "makespan")
+
+	for _, router := range []string{sim.RouterRoundRobin, sim.RouterLeastQueue, sim.RouterLeastRisk} {
+		sc.Router = router
+		rep, err := sim.Run(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var adm, rej, missed int
+		var p90 float64
+		for _, t := range rep.Tenants {
+			adm += t.Admitted
+			rej += t.Rejected
+			missed += t.DeadlinesMissed
+			if t.Latency.P90 > p90 {
+				p90 = t.Latency.P90
+			}
+		}
+		fmt.Printf("%-12s %-10.4f %-6d %-6d %-8d %-8.3f %-10.2f\n",
+			router, rep.SLOAttainment, adm, rej, missed, p90, rep.MakeSpan)
+	}
+
+	fmt.Println()
+	fmt.Println("Same arrivals, same queries, same seed: the attainment gap is the")
+	fmt.Println("value of routing on predicted distributions instead of ignoring them.")
+}

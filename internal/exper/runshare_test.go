@@ -1,0 +1,59 @@
+package exper
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/workload"
+)
+
+// TestLabSharesRunsAcrossMachines closes the ROADMAP PR 2 next-step:
+// engine runs are machine-independent, so a grid over PC1 and PC2 must
+// execute each query's plan once and share the result through the lab's
+// cache — while producing exactly the numbers independent labs produce.
+func TestLabSharesRunsAcrossMachines(t *testing.T) {
+	setting := func(machine string) Setting {
+		return Setting{
+			Bench: workload.SelJoin, DB: datagen.Uniform1G, Machine: machine,
+			SR: 0.05, Variant: core.All, NumQueries: 6, Seed: 1,
+		}
+	}
+
+	lab := NewLab()
+	grid, err := lab.RunGrid([]Setting{setting("PC1"), setting("PC2")}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := lab.CacheStats()
+	if cs.RunHits == 0 {
+		t.Fatalf("grid over two machines shared no run results: %+v", cs)
+	}
+	if cs.RunMisses > uint64(len(grid[0].Outcomes)) {
+		t.Errorf("more run misses (%d) than distinct queries (%d): cross-machine sharing broken",
+			cs.RunMisses, len(grid[0].Outcomes))
+	}
+
+	// Sharing must be invisible in the measured numbers: a fresh lab
+	// running only the PC2 cell measures the exact same times (run
+	// results are bit-identical whether computed or reused). Predictions
+	// are compared within a tight tolerance instead: warmed subtree
+	// passes have reordered float sums in the last bits since PR 3, with
+	// or without run sharing.
+	solo, err := NewLab().Run(setting("PC2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(solo.Outcomes) != len(grid[1].Outcomes) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(solo.Outcomes), len(grid[1].Outcomes))
+	}
+	for i, o := range solo.Outcomes {
+		g := grid[1].Outcomes[i]
+		if o.Actual != g.Actual {
+			t.Errorf("outcome %d measured time differs with sharing: %v vs %v", i, o.Actual, g.Actual)
+		}
+		if rel := (o.PredMean - g.PredMean) / o.PredMean; rel > 1e-9 || rel < -1e-9 {
+			t.Errorf("outcome %d prediction drifted with sharing: %v vs %v", i, o.PredMean, g.PredMean)
+		}
+	}
+}

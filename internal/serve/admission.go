@@ -55,18 +55,18 @@ type queued struct {
 	pred        *uaqetp.Prediction
 	plansig     string
 	absDeadline float64 // virtual clock value the query must finish by
-	slack       float64 // absDeadline - Quantile(T, slo.Quantile): the priority key
+	key         float64 // drain-order key from the server's QueuePolicy
 }
 
-// requestHeap orders admitted work by risk-adjusted slack (smallest
-// first), ties by admission order — the incremental counterpart of
-// sched.RiskSlack.
+// requestHeap orders admitted work by the queue policy's key (smallest
+// first), ties by admission order. Under the default RiskSlack policy
+// this is the incremental counterpart of sched.RiskSlack.
 type requestHeap []*queued
 
 func (h requestHeap) Len() int { return len(h) }
 func (h requestHeap) Less(i, j int) bool {
-	if h[i].slack != h[j].slack {
-		return h[i].slack < h[j].slack
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
 	}
 	return h[i].id < h[j].id
 }
@@ -124,12 +124,15 @@ func (s *Server) Submit(ctx context.Context, req Request) (Decision, error) {
 	defer s.qmu.Unlock()
 	s.seq++
 	d.ID = s.seq
-	// T_wait + T_q under independence: means and variances add.
+	// T_wait + T_q under independence: means and variances add. T_wait
+	// is the predicted queued backlog plus the residual service of the
+	// in-flight request (nonzero only under an external clock driver).
 	waitVar := math.Max(s.qWaitVar, 0)
-	d.QueueWaitMean = s.qWaitMean
+	waitMean := s.qWaitMean + s.residualLocked()
+	d.QueueWaitMean = waitMean
 	d.QueueWaitSigma = math.Sqrt(waitVar)
 	total := stats.Normal{
-		Mu:    pred.Mean() + s.qWaitMean,
+		Mu:    pred.Mean() + waitMean,
 		Sigma: math.Sqrt(pred.Sigma()*pred.Sigma() + waitVar),
 	}
 	d.PMeet = total.CDF(deadline)
@@ -157,7 +160,7 @@ func (s *Server) Submit(ctx context.Context, req Request) (Decision, error) {
 		pred:        pred,
 		plansig:     plansig,
 		absDeadline: s.clock + deadline,
-		slack:       s.clock + deadline - pred.Dist.Quantile(t.slo.Quantile),
+		key:         s.cfg.Policy.Key(s.clock+deadline, pred, t.slo),
 	})
 	d.QueueLen = s.queue.Len()
 	return d, nil
@@ -179,18 +182,43 @@ type Outcome struct {
 	PredSigma float64 `json:"pred_sigma"`
 }
 
-// DrainOne executes the highest-priority admitted request (smallest
-// risk-adjusted slack), advances the virtual clock, records the
-// observation in the tenant's feedback loop, and returns the outcome —
-// or (nil, nil) when the queue is empty. Drains are serialized on their
-// own lock (the virtual clock models a single execution server), so a
-// background dispatcher racing an explicit /drain cannot reorder work
-// or perturb deadline outcomes; Submit stays responsive because it only
-// needs the brief queue lock.
+// StepOne executes the highest-priority admitted request (smallest
+// policy key) at the current virtual clock, records the observation in
+// the tenant's feedback loop, and returns the outcome — (nil, nil)
+// when the queue is empty, or an outcome skeleton (ID/Tenant/Query
+// populated, no times) alongside the error when execution fails. Unlike DrainOne it does NOT advance the
+// clock past the execution: the outcome's Finish is the instant the
+// work would complete, and the caller decides when (and whether) the
+// clock gets there. This is the primitive the discrete-event simulator
+// steps servers with — it advances each machine's clock to event time
+// via AdvanceClock and schedules a completion event at Finish — while
+// DrainOne keeps the historical back-to-back drain semantics.
+func (s *Server) StepOne() (*Outcome, error) {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return s.stepOneLocked()
+}
+
+// DrainOne is StepOne plus advancing the virtual clock to the outcome's
+// Finish: queued work drains back-to-back on a single virtual server.
+// Drains are serialized on their own lock, so a background dispatcher
+// racing an explicit /drain cannot reorder work or perturb deadline
+// outcomes; Submit stays responsive because it only needs the brief
+// queue lock.
 func (s *Server) DrainOne() (*Outcome, error) {
 	s.drainMu.Lock()
 	defer s.drainMu.Unlock()
+	out, err := s.stepOneLocked()
+	if out != nil && err == nil {
+		// Advance while still holding drainMu so a concurrent drain
+		// cannot step the next request against a stale clock.
+		s.AdvanceClock(out.Finish)
+	}
+	return out, err
+}
 
+// stepOneLocked is StepOne with drainMu held by the caller.
+func (s *Server) stepOneLocked() (*Outcome, error) {
 	s.qmu.Lock()
 	if s.queue.Len() == 0 {
 		s.qmu.Unlock()
@@ -211,9 +239,12 @@ func (s *Server) DrainOne() (*Outcome, error) {
 	if err != nil {
 		// The request is consumed either way: count the failure so
 		// admitted == executed + failed + queued stays balanced, and
-		// surface the error to the caller.
+		// surface the error to the caller along with an outcome skeleton
+		// identifying the consumed request (ID/Tenant/Query; no times),
+		// so drivers tracking admissions by ID can release theirs.
 		it.tenant.execFailed.Add(1)
-		return nil, fmt.Errorf("serve: execute %q: %w", it.query.Name, err)
+		skel := &Outcome{ID: it.id, Tenant: it.tenant.name, Query: it.query.Name, Deadline: it.absDeadline}
+		return skel, fmt.Errorf("serve: execute %q: %w", it.query.Name, err)
 	}
 
 	s.qmu.Lock()
@@ -229,7 +260,9 @@ func (s *Server) DrainOne() (*Outcome, error) {
 		PredSigma: it.pred.Sigma(),
 	}
 	out.Met = out.Finish <= it.absDeadline
-	s.clock = out.Finish
+	// The popped request is now the in-flight one; its service past the
+	// current clock is residual wait for admission purposes.
+	s.inflight = out.Finish
 	s.qmu.Unlock()
 
 	it.tenant.executed.Add(1)

@@ -9,10 +9,10 @@
 //   - a deadline-aware admission controller (ActiveSLA-style, Section
 //     6.5.3): a query is admitted only when the predicted probability of
 //     meeting its deadline clears the tenant's SLO confidence, and
-//     admitted work is ordered by risk-adjusted slack — deadline minus
-//     the SLO quantile of the predicted running time — the same
-//     distribution-based priority internal/sched's RiskSlack policy uses
-//     for batch scheduling;
+//     admitted work drains under a pluggable QueuePolicy — by default
+//     risk-adjusted slack, deadline minus the SLO quantile of the
+//     predicted running time, the same distribution-based priority
+//     internal/sched's RiskSlack policy uses for batch scheduling;
 //   - a runtime feedback loop that records observed Execute times per
 //     plan signature and reports calibration drift — observed vs.
 //     predicted quantile coverage, attributed to the cost unit
@@ -22,7 +22,9 @@
 //     System is a façade with its own hot-swappable predictor handle,
 //     so Recalibrate re-runs internal/calibrate off the drift report
 //     and swaps the fresh units in atomically, without dropping
-//     in-flight queries or touching co-located tenants;
+//     in-flight queries or touching co-located tenants — and an
+//     automatic cadence (Config.RecalEvery) doing the same whenever the
+//     virtual clock crosses a boundary and a tenant's report advises;
 //   - an HTTP/JSON front end (net/http) with /predict, /submit, /drain,
 //     /recalibrate, /stats, and /healthz; request contexts propagate
 //     into the prediction pipeline, so a disconnecting client cancels
@@ -31,7 +33,11 @@
 // Time is virtual: the simulated hardware returns running times in
 // seconds, and the server advances a virtual clock as it executes
 // queued work, so deadline outcomes (like everything else here) are
-// deterministic for a fixed seed.
+// deterministic for a fixed seed. External drivers with their own
+// notion of time — the discrete-event cluster simulator in
+// internal/sim — control the clock explicitly (AdvanceClock) and step
+// execution without advancing it (StepOne), sharing one estimate cache
+// across a whole fleet of servers via Config.Cache.
 package serve
 
 import (
@@ -89,11 +95,25 @@ func (s SLO) normalized() (SLO, error) {
 // Config sizes the server.
 type Config struct {
 	// CacheCapacity bounds the shared estimate cache (sampling passes
-	// across all tenants); 0 selects 1024.
+	// across all tenants); 0 selects 1024. Ignored when Cache is set.
 	CacheCapacity int
+	// Cache, when non-nil, is an externally owned estimate cache the
+	// server shares instead of creating its own — the hook the cluster
+	// simulator (internal/sim) uses to let a fleet of servers share one
+	// cache, like co-located tenants do within one server.
+	Cache *uaqetp.EstimateCache
 	// MaxQueue bounds admitted-but-unexecuted requests; a full queue
 	// rejects further admissions (backpressure). 0 selects 1024.
 	MaxQueue int
+	// Policy orders admitted work in the drain queue; the zero value
+	// selects RiskSlack.
+	Policy QueuePolicy
+	// RecalEvery is the automatic-recalibration cadence in virtual
+	// seconds: every time the virtual clock crosses a multiple of it,
+	// the server checks each tenant's drift report and recalibrates the
+	// tenants whose reports advise it (closing the feedback loop without
+	// a manual /recalibrate). 0 disables the automatic policy.
+	RecalEvery float64
 }
 
 func (c Config) normalized() Config {
@@ -102,6 +122,9 @@ func (c Config) normalized() Config {
 	}
 	if c.MaxQueue <= 0 {
 		c.MaxQueue = 1024
+	}
+	if c.Policy.Key == nil {
+		c.Policy = RiskSlack
 	}
 	return c
 }
@@ -127,6 +150,7 @@ type Tenant struct {
 	deadlinesMet    atomic.Uint64
 	deadlinesMissed atomic.Uint64
 	recalibrations  atomic.Uint64
+	autoRecals      atomic.Uint64
 }
 
 // Name returns the tenant's name.
@@ -166,16 +190,33 @@ type Server struct {
 	// incrementally on push/pop (independence assumption).
 	qWaitMean float64
 	qWaitVar  float64
+	// inflight is the absolute virtual time the in-flight request (the
+	// last one popped for execution) finishes; its remainder past the
+	// clock is residual service the admission rule counts toward T_wait.
+	// In the classic drain loop the clock advances to the finish as the
+	// request starts, so the residual is always 0 there; it matters when
+	// an external driver (internal/sim) holds the clock at event time
+	// while a request is mid-execution.
+	inflight float64
+	// nextRecal is the next virtual-clock instant the automatic
+	// recalibration policy wakes up at (when cfg.RecalEvery > 0).
+	nextRecal float64
 }
 
-// New returns an empty server with a fresh shared estimate cache.
+// New returns an empty server with a fresh shared estimate cache (or
+// the externally owned one when cfg.Cache is set).
 func New(cfg Config) *Server {
 	cfg = cfg.normalized()
+	c := cfg.Cache
+	if c == nil {
+		c = uaqetp.NewEstimateCache(cfg.CacheCapacity)
+	}
 	return &Server{
-		cfg:     cfg,
-		cache:   uaqetp.NewEstimateCache(cfg.CacheCapacity),
-		tenants: make(map[string]*Tenant),
-		systems: make(map[uaqetp.Config]*uaqetp.System),
+		cfg:       cfg,
+		cache:     c,
+		tenants:   make(map[string]*Tenant),
+		systems:   make(map[uaqetp.Config]*uaqetp.System),
+		nextRecal: cfg.RecalEvery,
 	}
 }
 
@@ -251,6 +292,39 @@ func (s *Server) AddTenant(name string, sysCfg uaqetp.Config, slo SLO) (*Tenant,
 	return t, nil
 }
 
+// AddTenantSystem registers a tenant over an already opened System.
+// The caller keeps responsibility for cache sharing (open the System
+// with Config.Cache set to this server's cache — see Cache) and for not
+// handing the same façade to two servers; the server wraps the System
+// in a fresh façade (System.With) so per-tenant predictor swaps stay
+// local. The cluster simulator uses this to give every simulated
+// machine a façade over one expensive Open per tenant config instead of
+// re-generating the database per machine.
+func (s *Server) AddTenantSystem(name string, sys *uaqetp.System, slo SLO) (*Tenant, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: empty tenant name")
+	}
+	if sys == nil {
+		return nil, fmt.Errorf("serve: nil system for tenant %q", name)
+	}
+	nslo, err := slo.normalized()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tenants[name]; ok {
+		return nil, fmt.Errorf("serve: tenant %q already exists", name)
+	}
+	t := &Tenant{name: name, slo: nslo, sys: sys.With(), feedback: newFeedback()}
+	s.tenants[name] = t
+	return t, nil
+}
+
+// Cache returns the server's estimate cache, for opening tenant
+// Systems that share it (see AddTenantSystem).
+func (s *Server) Cache() *uaqetp.EstimateCache { return s.cache }
+
 // ErrUnknownTenant reports a request against a tenant that was never
 // added; the HTTP layer maps it to 404.
 var ErrUnknownTenant = errors.New("unknown tenant")
@@ -295,16 +369,20 @@ func (s *Server) Predict(ctx context.Context, tenant string, q *uaqetp.Query) (*
 
 // TenantStats summarizes one tenant's traffic and calibration drift.
 type TenantStats struct {
-	Name            string      `json:"name"`
-	Predictions     uint64      `json:"predictions"`
-	Admitted        uint64      `json:"admitted"`
-	Rejected        uint64      `json:"rejected"`
-	Executed        uint64      `json:"executed"`
-	ExecFailed      uint64      `json:"exec_failed"`
-	DeadlinesMet    uint64      `json:"deadlines_met"`
-	DeadlinesMissed uint64      `json:"deadlines_missed"`
-	Recalibrations  uint64      `json:"recalibrations"`
-	Drift           DriftReport `json:"drift"`
+	Name            string `json:"name"`
+	Predictions     uint64 `json:"predictions"`
+	Admitted        uint64 `json:"admitted"`
+	Rejected        uint64 `json:"rejected"`
+	Executed        uint64 `json:"executed"`
+	ExecFailed      uint64 `json:"exec_failed"`
+	DeadlinesMet    uint64 `json:"deadlines_met"`
+	DeadlinesMissed uint64 `json:"deadlines_missed"`
+	Recalibrations  uint64 `json:"recalibrations"`
+	// AutoRecalibrations counts the subset of Recalibrations triggered
+	// by the automatic cadence policy (Config.RecalEvery) rather than an
+	// explicit Recalibrate call.
+	AutoRecalibrations uint64      `json:"auto_recalibrations"`
+	Drift              DriftReport `json:"drift"`
 }
 
 // Stats is a point-in-time snapshot of the whole server.
@@ -312,8 +390,10 @@ type Stats struct {
 	Cache    uaqetp.CacheStats `json:"cache"`
 	QueueLen int               `json:"queue_len"`
 	Clock    float64           `json:"clock"`
-	// QueueWaitMean/QueueWaitVar are the predicted backlog aggregates
-	// the admission rule folds into P(T_wait + T_q <= d).
+	// QueueWaitMean/QueueWaitVar are the predicted T_wait aggregates
+	// the admission rule folds into P(T_wait + T_q <= d): the queued
+	// backlog plus the residual service of the in-flight request — the
+	// same numbers Submit and QueueState see at this instant.
 	QueueWaitMean float64       `json:"queue_wait_mean"`
 	QueueWaitVar  float64       `json:"queue_wait_var"`
 	Tenants       []TenantStats `json:"tenants"`
@@ -323,7 +403,7 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	s.qmu.Lock()
 	qlen, clock := s.queue.Len(), s.clock
-	waitMean, waitVar := s.qWaitMean, s.qWaitVar
+	waitMean, waitVar := s.qWaitMean+s.residualLocked(), s.qWaitVar
 	s.qmu.Unlock()
 
 	st := Stats{
@@ -333,16 +413,17 @@ func (s *Server) Stats() Stats {
 	s.mu.RLock()
 	for _, t := range s.tenants {
 		st.Tenants = append(st.Tenants, TenantStats{
-			Name:            t.name,
-			Predictions:     t.predictions.Load(),
-			Admitted:        t.admitted.Load(),
-			Rejected:        t.rejected.Load(),
-			Executed:        t.executed.Load(),
-			ExecFailed:      t.execFailed.Load(),
-			DeadlinesMet:    t.deadlinesMet.Load(),
-			DeadlinesMissed: t.deadlinesMissed.Load(),
-			Recalibrations:  t.recalibrations.Load(),
-			Drift:           t.feedback.report(),
+			Name:               t.name,
+			Predictions:        t.predictions.Load(),
+			Admitted:           t.admitted.Load(),
+			Rejected:           t.rejected.Load(),
+			Executed:           t.executed.Load(),
+			ExecFailed:         t.execFailed.Load(),
+			DeadlinesMet:       t.deadlinesMet.Load(),
+			DeadlinesMissed:    t.deadlinesMissed.Load(),
+			Recalibrations:     t.recalibrations.Load(),
+			AutoRecalibrations: t.autoRecals.Load(),
+			Drift:              t.feedback.report(),
 		})
 	}
 	s.mu.RUnlock()
@@ -350,10 +431,106 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
+// ---------------------------------------------------------------------
+// Virtual clock.
+
+// Clock returns the current virtual time in seconds.
+func (s *Server) Clock() float64 {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return s.clock
+}
+
+// QueueState returns the admitted-work queue's length and its
+// aggregate predicted backlog (mean and variance of total remaining
+// work, residual in-flight service included) — the light-weight
+// snapshot placement policies poll per arrival, without the drift
+// reports Stats assembles.
+func (s *Server) QueueState() (length int, waitMean, waitVar float64) {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return s.queue.Len(), s.qWaitMean + s.residualLocked(), s.qWaitVar
+}
+
+// residualLocked is the remaining service time of the in-flight
+// request (0 when idle or when the clock has caught up). Caller holds
+// qmu.
+func (s *Server) residualLocked() float64 {
+	if s.inflight > s.clock {
+		return s.inflight - s.clock
+	}
+	return 0
+}
+
+// AdvanceClock moves the virtual clock forward to t (never backward)
+// and runs any automatic-recalibration checks that came due. Drivers
+// with their own notion of time — the discrete-event simulator in
+// internal/sim — call it to align the server's clock with event time
+// before submitting or stepping; the drain path calls it internally as
+// executed work consumes virtual time.
+func (s *Server) AdvanceClock(t float64) {
+	s.qmu.Lock()
+	if t > s.clock {
+		s.clock = t
+	}
+	s.qmu.Unlock()
+	s.maybeAutoRecalibrate()
+}
+
+// ---------------------------------------------------------------------
+// Automatic recalibration.
+
+// maybeAutoRecalibrate runs the cadence policy: when the virtual clock
+// has crossed the next cadence boundary, check every tenant's drift
+// report and recalibrate those whose reports advise it. Recalibration
+// seeds derive from the tenant's config and recalibration ordinal, so
+// for a fixed submission sequence the triggers and the resulting units
+// are deterministic.
+func (s *Server) maybeAutoRecalibrate() {
+	if s.cfg.RecalEvery <= 0 {
+		return
+	}
+	s.qmu.Lock()
+	due := s.clock >= s.nextRecal
+	if due {
+		// Skip ahead past the current clock so an idle stretch does not
+		// replay every missed boundary.
+		for s.nextRecal <= s.clock {
+			s.nextRecal += s.cfg.RecalEvery
+		}
+	}
+	s.qmu.Unlock()
+	if !due {
+		return
+	}
+	for _, name := range s.TenantNames() {
+		t, err := s.Tenant(name)
+		if err != nil {
+			continue
+		}
+		// Recalibrate re-reads the report under the tenant's own lock and
+		// only swaps when it (still) advises; this unlocked peek just
+		// avoids paying for the full action on quiet tenants.
+		if !t.feedback.report().RecalibrationAdvised {
+			continue
+		}
+		resp, err := s.Recalibrate(context.Background(), RecalibrateRequest{Tenant: name})
+		if err != nil {
+			log.Printf("serve: auto-recalibrate %q: %v", name, err)
+			continue
+		}
+		if resp.Recalibrated {
+			t.autoRecals.Add(1)
+		}
+	}
+}
+
 // StartDispatcher launches a goroutine draining the queue every
 // interval and returns a function that stops it (draining a final
 // time). It is the long-lived-service counterpart of calling Drain
-// explicitly.
+// explicitly. Each tick also runs the automatic-recalibration check, so
+// a server configured with RecalEvery closes the feedback loop without
+// any manual /recalibrate call.
 func (s *Server) StartDispatcher(interval time.Duration) (stop func()) {
 	if interval <= 0 {
 		interval = 50 * time.Millisecond
@@ -368,6 +545,7 @@ func (s *Server) StartDispatcher(interval time.Duration) (stop func()) {
 			if _, err := s.Drain(); err != nil {
 				log.Printf("serve: dispatcher: %v", err)
 			}
+			s.maybeAutoRecalibrate()
 		}
 		for {
 			select {

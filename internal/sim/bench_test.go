@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+
+	uaqetp "repro"
+	"repro/internal/serve"
+)
+
+// BenchmarkSimPoisson measures simulator throughput — events per second
+// of virtual cluster activity — with the expensive System Open
+// amortized outside the loop, so the number tracks the event loop,
+// admission, routing, and cached execution rather than database
+// generation.
+func BenchmarkSimPoisson(b *testing.B) {
+	sc := Scenario{
+		Name:     "bench",
+		Seed:     3,
+		Horizon:  30,
+		Machines: 2,
+		Router:   RouterLeastRisk,
+		DB:       "uniform-1G",
+		Tenants: []TenantSpec{{
+			Name:     "alpha",
+			Bench:    "seljoin",
+			Queries:  8,
+			Deadline: 1.2,
+			SLO:      serve.SLO{Confidence: 0.9, DefaultDeadline: 1.2, Quantile: 0.9},
+			Arrivals: ArrivalSpec{Process: ProcessPoisson, Rate: 6},
+		}},
+	}
+	sc, err := sc.normalized()
+	if err != nil {
+		b.Fatal(err)
+	}
+	kind, err := parseDBKind(sc.DB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qpol, err := serve.QueuePolicyByName(sc.QueuePolicy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := uaqetp.NewEstimateCache(1024)
+	sys, err := uaqetp.Open(uaqetp.Config{
+		DB: kind, Machine: sc.MachineProfile, SamplingRatio: sc.SamplingRatio,
+		Seed: sc.Seed, Cache: cache,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events int
+	for i := 0; i < b.N; i++ {
+		rep, err := runWith(sc, qpol, sys, cache)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += rep.Events
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	}
+}

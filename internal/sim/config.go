@@ -1,0 +1,202 @@
+// Package sim is a seeded discrete-event cluster simulator for the
+// uncertainty-aware serving layer: it drives a fleet of simulated
+// machines — each a serve.Server over one shared estimate cache — with
+// configurable multi-tenant arrival processes on a virtual clock, routes
+// every arrival through a pluggable placement policy, and emits a
+// structured Report (per-tenant SLO attainment, latency and queue-wait
+// quantiles, admission/rejection counts, per-machine utilization, cache
+// and recalibration stats).
+//
+// The simulator is the scenario harness for the paper's core claim:
+// predicted running-time *distributions* — not point estimates — buy
+// better admission, scheduling, and placement decisions. The least-risk
+// router places each query on the machine maximizing the predicted
+// probability of meeting its deadline, P(T_wait + T_q <= d), and can be
+// compared against distribution-blind policies (round-robin,
+// least-queue) on identical traffic: same scenario, same seed, same
+// queries, byte-identical reports across runs.
+//
+// Everything is deterministic per (Scenario, Seed): the event loop is
+// single-threaded, every RNG derives from the scenario seed, and the
+// underlying prediction/execution stack is deterministic by contract,
+// so the same config produces the same Report bytes regardless of
+// GOMAXPROCS or the race detector.
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// Scenario is one simulation configuration, JSON-loadable for the
+// `uaqp sim` subcommand. See examples/sim/scenario.json for a complete
+// example and the README for the schema table.
+type Scenario struct {
+	// Name labels the report.
+	Name string `json:"name"`
+	// Seed drives every source of randomness; same scenario + seed =>
+	// byte-identical report.
+	Seed int64 `json:"seed"`
+	// Horizon is the arrival window in virtual seconds; queued work
+	// admitted before the horizon still drains to completion.
+	Horizon float64 `json:"horizon"`
+	// Machines is the fleet size (simulated execution servers).
+	Machines int `json:"machines"`
+	// Router places each arrival on a machine: "round-robin",
+	// "least-queue", or "least-risk" (default).
+	Router string `json:"router"`
+	// QueuePolicy orders admitted work on each machine: "risk-slack"
+	// (default), "edf", "sjf", or "fifo".
+	QueuePolicy string `json:"queue_policy,omitempty"`
+	// DB names the generated database all tenants share, e.g.
+	// "uniform-1G".
+	DB string `json:"db"`
+	// MachineProfile is the hardware profile ("PC1" or "PC2"); default
+	// PC1.
+	MachineProfile string `json:"machine_profile,omitempty"`
+	// SamplingRatio is the offline sample fraction; default 0.05.
+	SamplingRatio float64 `json:"sampling_ratio,omitempty"`
+	// CacheCapacity bounds the fleet-wide shared estimate cache; 0
+	// selects the serve default.
+	CacheCapacity int `json:"cache_capacity,omitempty"`
+	// MaxQueue bounds each machine's admitted-work queue; 0 selects the
+	// serve default.
+	MaxQueue int `json:"max_queue,omitempty"`
+	// RecalEvery, in virtual seconds, enables the automatic
+	// recalibration cadence on every machine (serve.Config.RecalEvery);
+	// 0 disables it.
+	RecalEvery float64 `json:"recal_every,omitempty"`
+	// Tenants are the traffic sources; every tenant exists on every
+	// machine (the router spreads its arrivals across the fleet).
+	Tenants []TenantSpec `json:"tenants"`
+}
+
+// TenantSpec describes one tenant's SLO and traffic.
+type TenantSpec struct {
+	// Name must be unique within the scenario.
+	Name string `json:"name"`
+	// Bench selects the query pool: "micro", "seljoin", or "tpch".
+	Bench string `json:"bench"`
+	// Queries is the number of distinct queries in the pool that
+	// poisson/bursty/diurnal arrivals draw from; default 16. Trace
+	// processes ignore it — a trace replays ~rate*horizon
+	// arrival-annotated queries of its own.
+	Queries int `json:"queries,omitempty"`
+	// Deadline is the per-request budget in virtual seconds; 0 lets the
+	// SLO default apply.
+	Deadline float64 `json:"deadline,omitempty"`
+	// SLO is the tenant's service-level objective (serve.SLO JSON
+	// shape); zero fields take the serve defaults.
+	SLO serve.SLO `json:"slo"`
+	// Arrivals shapes the tenant's arrival process.
+	Arrivals ArrivalSpec `json:"arrivals"`
+}
+
+// Load reads a Scenario from a JSON file, rejecting unknown fields.
+func Load(path string) (Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("sim: %w", err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return Scenario{}, fmt.Errorf("sim: parse %s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// normalized fills defaults and validates the scenario.
+func (sc Scenario) normalized() (Scenario, error) {
+	if sc.Name == "" {
+		sc.Name = "scenario"
+	}
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	if sc.Horizon <= 0 {
+		return sc, fmt.Errorf("sim: horizon %g must be positive", sc.Horizon)
+	}
+	if sc.Machines <= 0 {
+		sc.Machines = 1
+	}
+	if sc.Router == "" {
+		sc.Router = RouterLeastRisk
+	}
+	if _, err := parseRouter(sc.Router); err != nil {
+		return sc, err
+	}
+	if _, err := serve.QueuePolicyByName(sc.QueuePolicy); err != nil {
+		return sc, err
+	}
+	if _, err := parseDBKind(sc.DB); err != nil {
+		return sc, err
+	}
+	if sc.MachineProfile == "" {
+		sc.MachineProfile = "PC1"
+	}
+	if sc.SamplingRatio == 0 {
+		sc.SamplingRatio = 0.05
+	}
+	if len(sc.Tenants) == 0 {
+		return sc, fmt.Errorf("sim: scenario needs at least one tenant")
+	}
+	seen := make(map[string]bool, len(sc.Tenants))
+	for i := range sc.Tenants {
+		t := &sc.Tenants[i]
+		if t.Name == "" {
+			return sc, fmt.Errorf("sim: tenant %d has no name", i)
+		}
+		if seen[t.Name] {
+			return sc, fmt.Errorf("sim: duplicate tenant %q", t.Name)
+		}
+		seen[t.Name] = true
+		if _, err := parseBench(t.Bench); err != nil {
+			return sc, fmt.Errorf("sim: tenant %q: %w", t.Name, err)
+		}
+		if t.Queries <= 0 {
+			t.Queries = 16
+		}
+		if t.Deadline < 0 {
+			return sc, fmt.Errorf("sim: tenant %q: negative deadline %g", t.Name, t.Deadline)
+		}
+		norm, err := t.Arrivals.normalized(sc.Horizon)
+		if err != nil {
+			return sc, fmt.Errorf("sim: tenant %q: %w", t.Name, err)
+		}
+		t.Arrivals = norm
+	}
+	return sc, nil
+}
+
+func parseBench(s string) (workload.Benchmark, error) {
+	switch strings.ToLower(s) {
+	case "micro":
+		return workload.Micro, nil
+	case "seljoin":
+		return workload.SelJoin, nil
+	case "tpch":
+		return workload.TPCH, nil
+	default:
+		return 0, fmt.Errorf("unknown benchmark %q (want micro, seljoin, or tpch)", s)
+	}
+}
+
+func parseDBKind(s string) (datagen.DBKind, error) {
+	for _, k := range []datagen.DBKind{
+		datagen.Uniform1G, datagen.Skewed1G, datagen.Uniform10G, datagen.Skewed10G,
+	} {
+		if strings.EqualFold(k.String(), s) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown database %q", s)
+}

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+
+	uaqetp "repro"
+)
+
+// Quantiles summarizes a sample of durations. Quantiles use the
+// nearest-rank definition over the sorted sample, so they are exact
+// sample statistics (no interpolation) and byte-stable across runs.
+type Quantiles struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+func summarize(xs []float64) Quantiles {
+	q := Quantiles{N: len(xs)}
+	if len(xs) == 0 {
+		return q
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	rank := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	q.Mean = sum / float64(len(sorted))
+	q.P50 = rank(0.50)
+	q.P90 = rank(0.90)
+	q.P99 = rank(0.99)
+	q.Max = sorted[len(sorted)-1]
+	return q
+}
+
+// TenantReport aggregates one tenant's outcomes across the whole fleet.
+type TenantReport struct {
+	Name string `json:"name"`
+	// Submitted counts arrivals (admitted + rejected).
+	Submitted int `json:"submitted"`
+	Admitted  int `json:"admitted"`
+	Rejected  int `json:"rejected"`
+	Executed  int `json:"executed"`
+	// ExecFailed counts admitted requests whose execution errored.
+	ExecFailed      int `json:"exec_failed"`
+	DeadlinesMet    int `json:"deadlines_met"`
+	DeadlinesMissed int `json:"deadlines_missed"`
+	// SLOAttainment is end-to-end goodput: the fraction of *submitted*
+	// queries that finished within their deadline — a rejection counts
+	// against it just like a miss, so admission control cannot trade
+	// attainment for rejections for free.
+	SLOAttainment float64 `json:"slo_attainment"`
+	// AttainmentExecuted is deadlines met over executed queries only.
+	AttainmentExecuted float64 `json:"attainment_executed"`
+	// Latency is finish - arrival (queue wait included) over executed
+	// queries; QueueWait is execution start - arrival.
+	Latency   Quantiles `json:"latency"`
+	QueueWait Quantiles `json:"queue_wait"`
+	// Recalibrations counts predictor swaps across the fleet for this
+	// tenant; AutoRecalibrations is the subset triggered by the cadence
+	// policy.
+	Recalibrations     uint64 `json:"recalibrations"`
+	AutoRecalibrations uint64 `json:"auto_recalibrations"`
+}
+
+// MachineReport summarizes one simulated machine.
+type MachineReport struct {
+	Machine  int `json:"machine"`
+	Executed int `json:"executed"`
+	// Clock is the machine's final virtual time; BusyTime the virtual
+	// seconds it spent executing; Utilization BusyTime / Clock.
+	Clock       float64 `json:"clock"`
+	BusyTime    float64 `json:"busy_time"`
+	Utilization float64 `json:"utilization"`
+}
+
+// Report is the simulator's structured outcome. For a fixed scenario
+// and seed it is byte-identical across runs (JSON()), worker counts,
+// and GOMAXPROCS settings.
+type Report struct {
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	Router   string `json:"router"`
+	// QueuePolicy is the per-machine drain-order policy in effect.
+	QueuePolicy string `json:"queue_policy"`
+	Machines    int    `json:"machines"`
+	// Events is the number of discrete events processed; Arrivals the
+	// total queries offered.
+	Events   int `json:"events"`
+	Arrivals int `json:"arrivals"`
+	// MakeSpan is the latest machine clock: the virtual time the last
+	// queued query finished.
+	MakeSpan float64 `json:"makespan"`
+	// SLOAttainment is deadlines met over submitted, fleet-wide.
+	SLOAttainment float64           `json:"slo_attainment"`
+	Tenants       []TenantReport    `json:"tenants"`
+	PerMachine    []MachineReport   `json:"per_machine"`
+	Cache         uaqetp.CacheStats `json:"cache"`
+}
+
+// JSON renders the report with stable indentation — the byte-level
+// artifact the determinism contract (and `make sim-smoke`) is pinned
+// on.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	uaqetp "repro"
+	"repro/internal/stats"
+)
+
+// The placement policies.
+const (
+	// RouterRoundRobin cycles arrivals across machines regardless of
+	// load — the distribution-blind baseline.
+	RouterRoundRobin = "round-robin"
+	// RouterLeastQueue places each arrival on the machine with the
+	// smallest expected wait (predicted queue backlog mean plus the
+	// remaining service time of the in-flight query) — load-aware but
+	// variance-blind.
+	RouterLeastQueue = "least-queue"
+	// RouterLeastRisk places each arrival on the machine maximizing the
+	// predicted probability of meeting its deadline, P(T_wait + T_q <=
+	// d), folding both the backlog's variance and the query's own
+	// predicted variance in — the placement counterpart of ActiveSLA
+	// admission, and the policy that exploits the paper's distributions.
+	RouterLeastRisk = "least-risk"
+)
+
+// riskEps is the probability margin below which two machines count as
+// equally safe and the least-risk router falls back to load.
+const riskEps = 1e-9
+
+func parseRouter(name string) (string, error) {
+	switch name {
+	case RouterRoundRobin, RouterLeastQueue, RouterLeastRisk:
+		return name, nil
+	default:
+		return "", fmt.Errorf("sim: unknown router %q (want round-robin, least-queue, or least-risk)", name)
+	}
+}
+
+// route picks the machine for an arrival at virtual time now. All
+// policies break ties toward the lowest machine index, keeping
+// placement deterministic.
+func (s *simRun) route(ts *tenantState, q *uaqetp.Query, deadline, now float64) (int, error) {
+	switch s.router {
+	case RouterRoundRobin:
+		m := s.rrNext % len(s.machines)
+		s.rrNext++
+		return m, nil
+
+	case RouterLeastQueue:
+		best, bestWait := 0, math.Inf(1)
+		for m, ms := range s.machines {
+			_, waitMean, _ := ms.srv.QueueState()
+			if waitMean < bestWait {
+				best, bestWait = m, waitMean
+			}
+		}
+		return best, nil
+
+	case RouterLeastRisk:
+		// The subsequent Submit on the chosen machine predicts again;
+		// the expensive part (the sampling pass) is shared through the
+		// fleet cache, so the duplication costs one plan build plus the
+		// analytic moment propagation per arrival.
+		pred, err := ts.sys.PredictContext(s.ctx, q)
+		if err != nil {
+			return 0, fmt.Errorf("sim: route predict %q: %w", q.Name, err)
+		}
+		// Maximize P(T_wait + T_q <= d). The CDF saturates once a machine
+		// is safely fast enough, so ties within riskEps — e.g. an idle
+		// fleet, where every machine is equally certain — break toward
+		// the least expected wait: among equally safe machines, spread
+		// the load instead of herding onto the first index.
+		best, bestP, bestWait := 0, math.Inf(-1), math.Inf(1)
+		for m, ms := range s.machines {
+			_, wait, waitVar := ms.srv.QueueState()
+			total := stats.Normal{
+				Mu:    pred.Mean() + wait,
+				Sigma: math.Sqrt(pred.Sigma()*pred.Sigma() + math.Max(waitVar, 0)),
+			}
+			p := total.CDF(deadline)
+			if p > bestP+riskEps || (p > bestP-riskEps && wait < bestWait) {
+				best, bestP, bestWait = m, p, wait
+			}
+		}
+		return best, nil
+	}
+	return 0, fmt.Errorf("sim: unknown router %q", s.router)
+}

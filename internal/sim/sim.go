@@ -1,0 +1,431 @@
+package sim
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	uaqetp "repro"
+	"repro/internal/serve"
+)
+
+// eventKind discriminates the two discrete events.
+type eventKind int
+
+const (
+	// evArrival is one query arriving at the router.
+	evArrival eventKind = iota
+	// evFree is a machine finishing its in-flight query.
+	evFree
+)
+
+// event is one entry in the simulation's time-ordered event queue.
+type event struct {
+	at   float64
+	seq  uint64 // tie-break at equal times: assignment order
+	kind eventKind
+
+	// Arrival fields.
+	tenant   int
+	q        *uaqetp.Query
+	deadline float64 // effective deadline, for the router's risk math
+
+	// Free fields.
+	machine int
+}
+
+// eventHeap orders events by (time, seq): a deterministic total order.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// pendingArrival remembers when an admitted request arrived (and whose
+// it was), so outcomes can be turned into end-to-end latencies.
+type pendingArrival struct {
+	tenant int
+	at     float64
+}
+
+// machineState is one simulated execution server.
+type machineState struct {
+	srv      *serve.Server
+	busy     bool
+	busyTime float64
+	executed int
+	pending  map[uint64]pendingArrival
+}
+
+// tenantState is one traffic source.
+type tenantState struct {
+	spec        TenantSpec
+	sys         *uaqetp.System
+	effDeadline float64
+	latencies   []float64
+	queueWaits  []float64
+}
+
+// simRun is the mutable state of one simulation.
+type simRun struct {
+	sc       Scenario
+	ctx      context.Context
+	router   string
+	cache    *uaqetp.EstimateCache
+	machines []*machineState
+	tenants  []*tenantState
+
+	events    eventHeap
+	seq       uint64
+	processed int
+	arrivals  int
+	rrNext    int
+}
+
+// Run executes the scenario to completion — every arrival routed,
+// admitted work drained — and returns the report. Same scenario + seed
+// => identical Report, regardless of GOMAXPROCS or the race detector:
+// the event loop is single-threaded and every RNG stream derives from
+// the scenario seed.
+func Run(sc Scenario) (*Report, error) {
+	sc, err := sc.normalized()
+	if err != nil {
+		return nil, err
+	}
+	kind, err := parseDBKind(sc.DB)
+	if err != nil {
+		return nil, err
+	}
+	qpol, err := serve.QueuePolicyByName(sc.QueuePolicy)
+	if err != nil {
+		return nil, err
+	}
+
+	// One expensive Open for the whole fleet: every machine serves
+	// façades over the same System, and every server shares one
+	// estimate cache — sampling passes, subtree passes, and run results
+	// computed by any machine are reused by all of them.
+	cacheCap := sc.CacheCapacity
+	if cacheCap <= 0 {
+		cacheCap = 1024
+	}
+	cache := uaqetp.NewEstimateCache(cacheCap)
+	sys, err := uaqetp.Open(uaqetp.Config{
+		DB: kind, Machine: sc.MachineProfile, SamplingRatio: sc.SamplingRatio,
+		Seed: sc.Seed, Cache: cache,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: open system: %w", err)
+	}
+	return runWith(sc, qpol, sys, cache)
+}
+
+// runWith executes an already normalized scenario against an existing
+// System and cache — the seam benchmarks use to amortize the expensive
+// Open across iterations. The fleet (servers, queues, clocks) is
+// rebuilt fresh per call.
+func runWith(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache *uaqetp.EstimateCache) (*Report, error) {
+	s := &simRun{sc: sc, ctx: context.Background(), router: sc.Router, cache: cache}
+	for m := 0; m < sc.Machines; m++ {
+		srv := serve.New(serve.Config{
+			Cache: cache, MaxQueue: sc.MaxQueue, Policy: qpol, RecalEvery: sc.RecalEvery,
+		})
+		for _, spec := range sc.Tenants {
+			if _, err := srv.AddTenantSystem(spec.Name, sys, spec.SLO); err != nil {
+				return nil, fmt.Errorf("sim: machine %d: %w", m, err)
+			}
+		}
+		s.machines = append(s.machines, &machineState{
+			srv: srv, pending: make(map[uint64]pendingArrival),
+		})
+	}
+
+	if err := s.buildArrivals(sys); err != nil {
+		return nil, err
+	}
+	if err := s.loop(); err != nil {
+		return nil, err
+	}
+	return s.report(), nil
+}
+
+// arrivalSeed derives one tenant's arrival RNG seed from the scenario
+// seed; well-separated streams per tenant index.
+func arrivalSeed(seed int64, tenant int) int64 {
+	z := uint64(seed) + uint64(tenant+1)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	return int64(z)
+}
+
+// cloneQuery gives one arrival its own copy of a pool query under a
+// unique name. The plan (and therefore every cached sampling pass and
+// run result) is unchanged — only the executor's measurement stream,
+// which is seeded per query name, differs — so repeated arrivals of the
+// same template draw independent deterministic running times instead of
+// replaying one number.
+func cloneQuery(base *uaqetp.Query, tenant string, ordinal int) *uaqetp.Query {
+	q := *base
+	q.Name = fmt.Sprintf("%s/%s#%05d", tenant, base.Name, ordinal)
+	return &q
+}
+
+// buildArrivals draws every tenant's arrival sequence and seeds the
+// event queue with it, in one deterministic global order.
+func (s *simRun) buildArrivals(sys *uaqetp.System) error {
+	type pendingEvent struct {
+		at      float64
+		tenant  int
+		ordinal int
+		q       *uaqetp.Query
+	}
+	var all []pendingEvent
+	for ti, spec := range s.sc.Tenants {
+		bench, err := parseBench(spec.Bench)
+		if err != nil {
+			return err
+		}
+		eff := spec.Deadline
+		if eff == 0 {
+			eff = spec.SLO.DefaultDeadline
+		}
+		if eff == 0 {
+			eff = 1.0
+		}
+		s.tenants = append(s.tenants, &tenantState{spec: spec, sys: sys, effDeadline: eff})
+
+		if spec.Arrivals.Process == ProcessTrace {
+			n := int(math.Round(spec.Arrivals.Rate * s.sc.Horizon))
+			if n < 1 {
+				n = 1
+			}
+			// Each tenant replays its own trace stream: same catalog,
+			// independent arrival sequences.
+			entries, err := sys.GenerateTrace(bench, n, spec.Arrivals.Rate, arrivalSeed(s.sc.Seed, ti))
+			if err != nil {
+				return fmt.Errorf("sim: tenant %q trace: %w", spec.Name, err)
+			}
+			for k, e := range entries {
+				if e.At >= s.sc.Horizon {
+					break
+				}
+				all = append(all, pendingEvent{
+					at: e.At, tenant: ti, ordinal: k,
+					q: cloneQuery(e.Query, spec.Name, k),
+				})
+			}
+			continue
+		}
+		rng := rand.New(rand.NewSource(arrivalSeed(s.sc.Seed, ti)))
+		pool, err := sys.GenerateWorkload(bench, spec.Queries)
+		if err != nil {
+			return fmt.Errorf("sim: tenant %q workload: %w", spec.Name, err)
+		}
+		for k, at := range spec.Arrivals.times(rng, s.sc.Horizon) {
+			all = append(all, pendingEvent{
+				at: at, tenant: ti, ordinal: k,
+				q: cloneQuery(pool[rng.Intn(len(pool))], spec.Name, k),
+			})
+		}
+	}
+	// One global deterministic order: by time, ties by (tenant,
+	// ordinal). Sequence numbers assigned in this order keep the heap's
+	// total order stable across runs.
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.tenant != b.tenant {
+			return a.tenant < b.tenant
+		}
+		return a.ordinal < b.ordinal
+	})
+	for _, pe := range all {
+		s.pushEvent(&event{
+			at: pe.at, kind: evArrival, tenant: pe.tenant,
+			q: pe.q, deadline: s.tenants[pe.tenant].effDeadline,
+		})
+	}
+	s.arrivals = len(all)
+	return nil
+}
+
+func (s *simRun) pushEvent(ev *event) {
+	ev.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, ev)
+}
+
+// loop processes events until none remain. Arrivals route, advance the
+// chosen machine's clock to event time, and run admission; admitted
+// work starts immediately on an idle machine. A machine finishing its
+// query frees at the outcome's finish time and starts the next queued
+// request, so queues drain to completion after the arrival horizon.
+func (s *simRun) loop() error {
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		s.processed++
+		switch ev.kind {
+		case evArrival:
+			// Align every machine's clock with event time first: the
+			// placement policies read residual in-flight service off the
+			// servers' queue state, which is measured against their
+			// clocks, and idle machines accrue cadence checks too.
+			for _, ms := range s.machines {
+				ms.srv.AdvanceClock(ev.at)
+			}
+			ts := s.tenants[ev.tenant]
+			m, err := s.route(ts, ev.q, ev.deadline, ev.at)
+			if err != nil {
+				return err
+			}
+			ms := s.machines[m]
+			dec, err := ms.srv.Submit(s.ctx, serve.Request{
+				Tenant: ts.spec.Name, Query: ev.q, Deadline: ts.spec.Deadline,
+			})
+			if err != nil {
+				// An unpredictable query is already tallied as a rejection
+				// by the server; the simulation carries on.
+				continue
+			}
+			if dec.Admitted {
+				ms.pending[dec.ID] = pendingArrival{tenant: ev.tenant, at: ev.at}
+				if !ms.busy {
+					s.startNext(m)
+				}
+			}
+		case evFree:
+			ms := s.machines[ev.machine]
+			ms.busy = false
+			ms.srv.AdvanceClock(ev.at)
+			s.startNext(ev.machine)
+		}
+	}
+	return nil
+}
+
+// startNext pops and executes the machine's best queued request at its
+// current clock, marking the machine busy until the outcome's finish
+// (when an evFree event fires). Execution failures consume the request
+// (tallied by the server) and the next queued request is tried.
+func (s *simRun) startNext(m int) {
+	ms := s.machines[m]
+	for {
+		out, err := ms.srv.StepOne()
+		if err != nil {
+			// The failed request is consumed (tallied by the server);
+			// release its admission-tracking entry and try the next.
+			if out != nil {
+				delete(ms.pending, out.ID)
+			}
+			continue
+		}
+		if out == nil {
+			return // queue empty; machine idle
+		}
+		ms.busy = true
+		ms.busyTime += out.Elapsed
+		ms.executed++
+		if p, ok := ms.pending[out.ID]; ok {
+			delete(ms.pending, out.ID)
+			ts := s.tenants[p.tenant]
+			ts.latencies = append(ts.latencies, out.Finish-p.at)
+			ts.queueWaits = append(ts.queueWaits, out.Start-p.at)
+		}
+		s.pushEvent(&event{at: out.Finish, kind: evFree, machine: m})
+		return
+	}
+}
+
+// report aggregates the fleet into the final Report.
+func (s *simRun) report() *Report {
+	rep := &Report{
+		Scenario:    s.sc.Name,
+		Seed:        s.sc.Seed,
+		Router:      s.router,
+		QueuePolicy: s.sc.QueuePolicy,
+		Machines:    len(s.machines),
+		Events:      s.processed,
+		Arrivals:    s.arrivals,
+		Cache:       s.cache.Stats(),
+	}
+	if rep.QueuePolicy == "" {
+		rep.QueuePolicy = serve.RiskSlack.Name
+	}
+
+	// Per-machine stats, snapshotted once each.
+	perMachine := make([]serve.Stats, len(s.machines))
+	for m, ms := range s.machines {
+		st := ms.srv.Stats()
+		perMachine[m] = st
+		mr := MachineReport{
+			Machine:  m,
+			Executed: ms.executed,
+			Clock:    st.Clock,
+			BusyTime: ms.busyTime,
+		}
+		if st.Clock > 0 {
+			mr.Utilization = ms.busyTime / st.Clock
+		}
+		rep.PerMachine = append(rep.PerMachine, mr)
+		if st.Clock > rep.MakeSpan {
+			rep.MakeSpan = st.Clock
+		}
+	}
+
+	var fleetMet, fleetSubmitted int
+	for _, ts := range s.tenants {
+		tr := TenantReport{Name: ts.spec.Name}
+		for m := range s.machines {
+			for _, st := range perMachine[m].Tenants {
+				if st.Name != ts.spec.Name {
+					continue
+				}
+				tr.Admitted += int(st.Admitted)
+				tr.Rejected += int(st.Rejected)
+				tr.Executed += int(st.Executed)
+				tr.ExecFailed += int(st.ExecFailed)
+				tr.DeadlinesMet += int(st.DeadlinesMet)
+				tr.DeadlinesMissed += int(st.DeadlinesMissed)
+				tr.Recalibrations += st.Recalibrations
+				tr.AutoRecalibrations += st.AutoRecalibrations
+			}
+		}
+		tr.Submitted = tr.Admitted + tr.Rejected
+		if tr.Submitted > 0 {
+			tr.SLOAttainment = float64(tr.DeadlinesMet) / float64(tr.Submitted)
+		}
+		if tr.Executed > 0 {
+			tr.AttainmentExecuted = float64(tr.DeadlinesMet) / float64(tr.Executed)
+		}
+		tr.Latency = summarize(ts.latencies)
+		tr.QueueWait = summarize(ts.queueWaits)
+		fleetMet += tr.DeadlinesMet
+		fleetSubmitted += tr.Submitted
+		rep.Tenants = append(rep.Tenants, tr)
+	}
+	if fleetSubmitted > 0 {
+		rep.SLOAttainment = float64(fleetMet) / float64(fleetSubmitted)
+	}
+	sort.Slice(rep.Tenants, func(i, j int) bool { return rep.Tenants[i].Name < rep.Tenants[j].Name })
+	return rep
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// testScenario is a small fast scenario shared by the determinism and
+// arrival-process tests.
+func testScenario() Scenario {
+	return Scenario{
+		Name:     "test",
+		Seed:     11,
+		Horizon:  20,
+		Machines: 2,
+		Router:   RouterLeastRisk,
+		DB:       "uniform-1G",
+		Tenants: []TenantSpec{{
+			Name:     "alpha",
+			Bench:    "seljoin",
+			Queries:  8,
+			Deadline: 1.2,
+			SLO:      serve.SLO{Confidence: 0.9, DefaultDeadline: 1.2, Quantile: 0.9},
+			Arrivals: ArrivalSpec{Process: ProcessPoisson, Rate: 4},
+		}},
+	}
+}
+
+// shippedScenario loads the scenario the README and `make sim-smoke`
+// use, so the acceptance tests pin exactly what ships.
+func shippedScenario(t *testing.T) Scenario {
+	t.Helper()
+	sc, err := Load("../../examples/sim/scenario.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestSimDeterministic is the core contract: same scenario + seed =>
+// deep-equal Report and byte-identical JSON, across repeated runs and
+// across GOMAXPROCS settings (the prediction stack may parallelize
+// internally; results must not depend on it).
+func TestSimDeterministic(t *testing.T) {
+	sc := testScenario()
+	r1, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("reports differ across runs:\n%+v\nvs\n%+v", r1, r2)
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	r3, err := Run(sc)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r3) {
+		t.Fatalf("report depends on GOMAXPROCS:\n%+v\nvs\n%+v", r1, r3)
+	}
+
+	j1, err := r1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3, err := r3.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j3) {
+		t.Fatal("JSON reports not byte-identical")
+	}
+	if r1.Arrivals == 0 || r1.Events <= r1.Arrivals {
+		t.Fatalf("implausible event counts: %d events, %d arrivals", r1.Events, r1.Arrivals)
+	}
+}
+
+// TestBurstyRejectsMoreThanPoisson pins that admission actually reacts
+// to burstiness: at equal mean arrival rate, the bursty process — the
+// same offered load compressed into on-phases — must draw strictly more
+// rejections than Poisson arrivals.
+func TestBurstyRejectsMoreThanPoisson(t *testing.T) {
+	base := testScenario()
+	base.Machines = 1
+	base.Tenants[0].Arrivals = ArrivalSpec{Process: ProcessPoisson, Rate: 4}
+
+	poisson, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Tenants[0].Arrivals = ArrivalSpec{
+		Process: ProcessBursty, Rate: 4, OnFraction: 0.2, Cycle: 5,
+	}
+	bursty, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pRej, bRej := poisson.Tenants[0].Rejected, bursty.Tenants[0].Rejected
+	pSub, bSub := poisson.Tenants[0].Submitted, bursty.Tenants[0].Submitted
+	if pSub == 0 || bSub == 0 {
+		t.Fatalf("empty simulation: poisson %d, bursty %d submissions", pSub, bSub)
+	}
+	// Compare rejection *fractions* so a random excess of bursty
+	// arrivals cannot fake the effect.
+	pFrac := float64(pRej) / float64(pSub)
+	bFrac := float64(bRej) / float64(bSub)
+	if bFrac <= pFrac {
+		t.Fatalf("bursty rejection fraction %.4f (%d/%d) not above poisson %.4f (%d/%d)",
+			bFrac, bRej, bSub, pFrac, pRej, pSub)
+	}
+}
+
+// TestLeastRiskBeatsRoundRobin is the acceptance criterion: on the
+// shipped bursty scenario, routing on the predicted distributions
+// (least-risk) attains strictly more SLOs than blind round-robin.
+func TestLeastRiskBeatsRoundRobin(t *testing.T) {
+	sc := shippedScenario(t)
+
+	sc.Router = RouterRoundRobin
+	rr, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Router = RouterLeastRisk
+	lr, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if lr.Arrivals != rr.Arrivals {
+		t.Fatalf("router changed the offered load: %d vs %d arrivals", lr.Arrivals, rr.Arrivals)
+	}
+	if lr.SLOAttainment <= rr.SLOAttainment {
+		t.Fatalf("least-risk attainment %.4f not above round-robin %.4f",
+			lr.SLOAttainment, rr.SLOAttainment)
+	}
+}
+
+// TestAutoRecalibrationTriggers pins the cadence policy end to end: the
+// shipped scenario sets recal_every, so the virtual clock must trigger
+// drift-advised recalibrations during the run and surface the counts.
+func TestAutoRecalibrationTriggers(t *testing.T) {
+	sc := shippedScenario(t)
+	if sc.RecalEvery <= 0 {
+		t.Fatal("shipped scenario no longer exercises recal_every")
+	}
+	rep, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var auto uint64
+	for _, tr := range rep.Tenants {
+		auto += tr.AutoRecalibrations
+		if tr.AutoRecalibrations > tr.Recalibrations {
+			t.Fatalf("tenant %s: auto count %d exceeds total %d",
+				tr.Name, tr.AutoRecalibrations, tr.Recalibrations)
+		}
+	}
+	if auto == 0 {
+		t.Fatal("no automatic recalibrations triggered despite recal_every")
+	}
+}
+
+// TestScenarioValidation rejects malformed scenarios with clear errors.
+func TestScenarioValidation(t *testing.T) {
+	cases := []func(*Scenario){
+		func(sc *Scenario) { sc.Horizon = 0 },
+		func(sc *Scenario) { sc.Router = "teleport" },
+		func(sc *Scenario) { sc.DB = "nonesuch" },
+		func(sc *Scenario) { sc.QueuePolicy = "lifo" },
+		func(sc *Scenario) { sc.Tenants = nil },
+		func(sc *Scenario) { sc.Tenants[0].Name = "" },
+		func(sc *Scenario) { sc.Tenants = append(sc.Tenants, sc.Tenants[0]) },
+		func(sc *Scenario) { sc.Tenants[0].Bench = "tpcds" },
+		func(sc *Scenario) { sc.Tenants[0].Arrivals.Rate = -1 },
+		func(sc *Scenario) { sc.Tenants[0].Arrivals.Process = "constant" },
+	}
+	for i, mutate := range cases {
+		sc := testScenario()
+		mutate(&sc)
+		if _, err := sc.normalized(); err == nil {
+			t.Errorf("case %d: invalid scenario accepted", i)
+		}
+	}
+	if _, err := testScenario().normalized(); err != nil {
+		t.Errorf("valid scenario rejected: %v", err)
+	}
+}

@@ -1,10 +1,13 @@
 package uaqetp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
 	"repro/internal/cache"
+	"repro/internal/engine"
 	"repro/internal/sample"
 )
 
@@ -23,7 +26,10 @@ const passCapacityFactor = 4
 // aggregated across shards. Hits/Misses/Evictions/Entries cover the
 // whole-plan section; the Subtree* counters cover the subplan-pass
 // section that AlternativesContext and ChoosePlanContext lean on when
-// candidate join orders share lower subtrees.
+// candidate join orders share lower subtrees; the Run* counters cover
+// the run-result section memoizing plan executions (engine.Run), whose
+// keys are machine- and sampling-ratio-independent, so experiment grids
+// over several machine profiles execute each plan once.
 type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
@@ -35,6 +41,11 @@ type CacheStats struct {
 	SubtreeMisses    uint64 `json:"subtree_misses"`
 	SubtreeEvictions uint64 `json:"subtree_evictions"`
 	SubtreeEntries   int    `json:"subtree_entries"`
+
+	RunHits      uint64 `json:"run_hits"`
+	RunMisses    uint64 `json:"run_misses"`
+	RunEvictions uint64 `json:"run_evictions"`
+	RunEntries   int    `json:"run_entries"`
 }
 
 // flight is one in-progress computation; waiters block on done.
@@ -46,40 +57,67 @@ type flight[V any] struct {
 
 // flightGroup coalesces concurrent computations per key in front of a
 // sharded LRU: one caller computes, everyone else waits for its result.
-// Failed computations are not cached. Note that waiters inherit the
-// computing caller's outcome — if that caller's context is canceled
-// mid-compute, waiters see the cancellation error too and may retry.
+// Failed computations are not cached.
+//
+// Cancellation is per caller, not per flight: a computation runs under
+// the context of whichever caller started it, so when that caller
+// cancels mid-compute the flight fails with a context error — but a
+// waiter whose own context is still live does not inherit the failure.
+// It loops back, finds the flight gone, and computes under its own
+// context (re-coalescing with any other retriers). A waiter whose own
+// context fires while waiting abandons the flight with its own ctx.Err.
 type flightGroup[V any] struct {
 	mu sync.Mutex
 	m  map[string]*flight[V]
 }
 
-func (g *flightGroup[V]) do(key string, lru *cache.Sharded[V], compute func() (V, error)) (V, error) {
-	if v, ok := lru.Get(key); ok {
-		return v, nil
-	}
-	g.mu.Lock()
-	if g.m == nil {
-		g.m = make(map[string]*flight[V])
-	}
-	if f, ok := g.m[key]; ok {
+// isContextErr reports whether a computation failed because some
+// context fired (rather than because the work itself is faulty).
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func (g *flightGroup[V]) do(ctx context.Context, key string, lru *cache.Sharded[V], compute func() (V, error)) (V, error) {
+	for {
+		if v, ok := lru.Get(key); ok {
+			return v, nil
+		}
+		g.mu.Lock()
+		if g.m == nil {
+			g.m = make(map[string]*flight[V])
+		}
+		if f, ok := g.m[key]; ok {
+			g.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				var zero V
+				return zero, ctx.Err()
+			}
+			if f.err == nil {
+				return f.val, nil
+			}
+			if isContextErr(f.err) && ctx.Err() == nil {
+				// The computing caller was canceled, not us: retry under
+				// our own context instead of inheriting its failure.
+				continue
+			}
+			return f.val, f.err
+		}
+		f := &flight[V]{done: make(chan struct{})}
+		g.m[key] = f
 		g.mu.Unlock()
-		<-f.done
+
+		f.val, f.err = compute()
+		if f.err == nil {
+			lru.Put(key, f.val)
+		}
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(f.done)
 		return f.val, f.err
 	}
-	f := &flight[V]{done: make(chan struct{})}
-	g.m[key] = f
-	g.mu.Unlock()
-
-	f.val, f.err = compute()
-	if f.err == nil {
-		lru.Put(key, f.val)
-	}
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	close(f.done)
-	return f.val, f.err
 }
 
 // EstimateCache memoizes sampling work by namespaced key in two sharded
@@ -98,9 +136,11 @@ func (g *flightGroup[V]) do(key string, lru *cache.Sharded[V], compute func() (V
 type EstimateCache struct {
 	plans  *cache.Sharded[*sample.Estimates]
 	passes *cache.Sharded[*sample.Pass]
+	runs   *cache.Sharded[*engine.OpResult]
 
 	planFlight flightGroup[*sample.Estimates]
 	passFlight flightGroup[*sample.Pass]
+	runFlight  flightGroup[*engine.OpResult]
 }
 
 // NewEstimateCache returns a sharded estimate cache holding at most
@@ -114,31 +154,41 @@ func NewEstimateCache(capacity int) *EstimateCache {
 	return &EstimateCache{
 		plans:  cache.NewSharded[*sample.Estimates](capacity, DefaultCacheShards),
 		passes: cache.NewSharded[*sample.Pass](capacity*passCapacityFactor, DefaultCacheShards),
+		runs:   cache.NewSharded[*engine.OpResult](capacity, DefaultCacheShards),
 	}
 }
 
 // getOrCompute returns the cached whole-plan estimates for key,
 // computing and caching them via compute on a miss. Concurrent callers
 // with the same key wait for one computation instead of racing.
-func (c *EstimateCache) getOrCompute(key string, compute func() (*sample.Estimates, error)) (*sample.Estimates, error) {
-	return c.planFlight.do(key, c.plans, compute)
+func (c *EstimateCache) getOrCompute(ctx context.Context, key string, compute func() (*sample.Estimates, error)) (*sample.Estimates, error) {
+	return c.planFlight.do(ctx, key, c.plans, compute)
 }
 
 // getOrComputePass is getOrCompute for the subtree-pass section.
-func (c *EstimateCache) getOrComputePass(key string, compute func() (*sample.Pass, error)) (*sample.Pass, error) {
-	return c.passFlight.do(key, c.passes, compute)
+func (c *EstimateCache) getOrComputePass(ctx context.Context, key string, compute func() (*sample.Pass, error)) (*sample.Pass, error) {
+	return c.passFlight.do(ctx, key, c.passes, compute)
 }
 
-// Stats aggregates the hit/miss/eviction counters of both sections
+// getOrComputeRun is getOrCompute for the run-result section: plan
+// executions (engine.Run) memoized under machine-independent keys.
+func (c *EstimateCache) getOrComputeRun(ctx context.Context, key string, compute func() (*engine.OpResult, error)) (*engine.OpResult, error) {
+	return c.runFlight.do(ctx, key, c.runs, compute)
+}
+
+// Stats aggregates the hit/miss/eviction counters of all sections
 // across shards.
 func (c *EstimateCache) Stats() CacheStats {
 	p := c.plans.Snapshot()
 	sp := c.passes.Snapshot()
+	rn := c.runs.Snapshot()
 	return CacheStats{
 		Hits: p.Hits, Misses: p.Misses, Evictions: p.Evictions,
 		Entries: p.Entries, Shards: c.plans.NumShards(),
 		SubtreeHits: sp.Hits, SubtreeMisses: sp.Misses,
 		SubtreeEvictions: sp.Evictions, SubtreeEntries: sp.Entries,
+		RunHits: rn.Hits, RunMisses: rn.Misses,
+		RunEvictions: rn.Evictions, RunEntries: rn.Entries,
 	}
 }
 
@@ -149,4 +199,14 @@ func (c *EstimateCache) Stats() CacheStats {
 // so tenants differing only there still share passes.
 func estimateNamespace(cfg Config) string {
 	return fmt.Sprintf("%v|%g|%d", cfg.DB, cfg.SamplingRatio, cfg.Seed)
+}
+
+// runNamespace fingerprints everything that determines a plan execution
+// (engine.Run): the generated database only. Machine profile and
+// sampling ratio do not enter — run results (cardinalities, resource
+// counts, output relations) are identical across them — so experiment
+// grids over several machines or sampling ratios execute each distinct
+// plan once and share the result through the cache's run section.
+func runNamespace(cfg Config) string {
+	return fmt.Sprintf("%v|%d", cfg.DB, cfg.Seed)
 }

@@ -148,8 +148,8 @@ func (d *defaultEstimator) Estimate(ctx context.Context, p *Plan) (*Estimates, e
 		return nil, err
 	}
 	key := d.ns + "\x00" + p.sig
-	est, err := d.cache.getOrCompute(key, func() (*sample.Estimates, error) {
-		return sample.EstimateMemo(ctx, p.root, d.samples, d.cat, d.passMemo)
+	est, err := d.cache.getOrCompute(ctx, key, func() (*sample.Estimates, error) {
+		return sample.EstimateMemo(ctx, p.root, d.samples, d.cat, d.passMemo(ctx))
 	})
 	if err != nil {
 		return nil, err
@@ -158,9 +158,12 @@ func (d *defaultEstimator) Estimate(ctx context.Context, p *Plan) (*Estimates, e
 }
 
 // passMemo routes subtree passes through the shared cache under this
-// estimator's namespace.
-func (d *defaultEstimator) passMemo(key string, compute func() (*sample.Pass, error)) (*sample.Pass, error) {
-	return d.cache.getOrComputePass(d.ns+"\x00"+key, compute)
+// estimator's namespace, carrying the calling request's context so a
+// waiter coalesced onto a canceled computation can retry on its own.
+func (d *defaultEstimator) passMemo(ctx context.Context) sample.PassMemo {
+	return func(key string, compute func() (*sample.Pass, error)) (*sample.Pass, error) {
+		return d.cache.getOrComputePass(ctx, d.ns+"\x00"+key, compute)
+	}
 }
 
 // defaultPredictor wraps the core variance-propagating predictor.
@@ -182,11 +185,18 @@ func (d *defaultPredictor) Predict(ctx context.Context, p *Plan, est *Estimates)
 }
 
 // simExecutor runs plans on the simulated hardware with the
-// deterministic per-call seeding Execute has always used.
+// deterministic per-call seeding Execute has always used. Plan runs
+// (engine.Run) go through the estimate cache's run section: the run
+// result is a pure function of the generated database and the plan, so
+// repeated executions — and executions by other Systems sharing the
+// cache, even on different machine profiles — reuse one run while each
+// call still draws its own deterministic measurement stream.
 type simExecutor struct {
 	db      *engine.DB
 	profile *hardware.Profile
 	seed    int64
+	cache   *EstimateCache
+	runNS   string
 }
 
 func (x simExecutor) Execute(ctx context.Context, q *Query, p *Plan) (float64, error) {
@@ -196,21 +206,41 @@ func (x simExecutor) Execute(ctx context.Context, q *Query, p *Plan) (float64, e
 	if err := p.valid(); err != nil {
 		return 0, err
 	}
-	_, actual, err := runSimulated(x.db, x.profile, x.seed, q, p.root)
+	_, actual, err := runSimulated(ctx, x.cache, x.runNS, x.db, x.profile, x.seed, q, p.root)
 	return actual, err
 }
 
-// runSimulated executes a built plan and measures it with the
-// deterministic per-call stream — the single implementation behind the
-// default Executor and System.Measure, so their measured times cannot
-// diverge.
-func runSimulated(db *engine.DB, profile *hardware.Profile, seed int64, q *Query, root *engine.Node) (*engine.OpResult, float64, error) {
-	res, err := engine.Run(db, root)
+// runSimulated executes a built plan — memoized in the cache's run
+// section — and measures it with the deterministic per-call stream. It
+// is the single implementation behind the default Executor and
+// System.Measure, so their measured times cannot diverge.
+func runSimulated(ctx context.Context, c *EstimateCache, ns string, db *engine.DB, profile *hardware.Profile, seed int64, q *Query, root *engine.Node) (*engine.OpResult, float64, error) {
+	res, err := c.getOrComputeRun(ctx, ns+"\x00"+root.String(), func() (*engine.OpResult, error) {
+		r, err := engine.Run(db, root)
+		if err != nil {
+			return nil, err
+		}
+		return stripRows(r), nil
+	})
 	if err != nil {
 		return nil, 0, err
 	}
 	rng := rand.New(rand.NewSource(execSeed(seed, q.Name, root.String())))
 	return res, profile.MeasurePlan(res, rng), nil
+}
+
+// stripRows drops the materialized relations from a freshly executed
+// result tree before it enters the run cache: measurement needs only
+// the per-operator Counts, and ground-truth reading (System.Measure)
+// the nodes, cardinalities, and selectivities — the row data is the
+// overwhelming bulk of an OpResult and must not be pinned by the LRU.
+// The tree was just built and is exclusively ours, so clearing in
+// place is safe.
+func stripRows(res *engine.OpResult) *engine.OpResult {
+	for _, op := range res.Results() {
+		op.Rows, op.Cols = nil, nil
+	}
+	return res
 }
 
 // ---------------------------------------------------------------------
@@ -330,6 +360,17 @@ func (s *System) Recalibrate(seed int64) ([hardware.NumUnits]stats.Normal, error
 	if err != nil {
 		return [hardware.NumUnits]stats.Normal{}, err
 	}
-	s.pred.v.Store(defaultPredictorState(s.cat, cal.Units, s.cfg.Variant))
+	// Install via compare-and-swap so a concurrent SwapPredictor is
+	// never silently overwritten: if the handle moved while we
+	// calibrated, re-check the custom-stage guard against the new state
+	// before retrying with the fresh units.
+	next := defaultPredictorState(s.cat, cal.Units, s.cfg.Variant)
+	for !s.pred.v.CompareAndSwap(cur, next) {
+		cur = s.pred.load()
+		if cur.units == nil {
+			return [hardware.NumUnits]stats.Normal{}, fmt.Errorf(
+				"uaqetp: predictor stage became custom during recalibration; swap it explicitly with SwapPredictor")
+		}
+	}
 	return cal.Units, nil
 }
