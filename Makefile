@@ -25,17 +25,20 @@ vet:
 race:
 	$(GO) test -race -count=1 -run 'Concurrent|Parallel|Batch|LRU|Sharded|Admission|Drain|Dispatcher|Feedback|SharedCache|Grid|Flight|Sim' ./...
 
-# sim-smoke runs the shipped cluster-simulation scenario twice and
-# fails on any nondeterminism: same config + seed must produce
-# byte-identical reports. It is the cheap end-to-end gate on the
-# simulator's core contract.
+# sim-smoke runs the shipped cluster-simulation scenarios — the
+# homogeneous bursty showcase and the heterogeneous mixed-profile fleet
+# — twice each and fails on any nondeterminism: same config + seed must
+# produce byte-identical reports. It is the cheap end-to-end gate on
+# the simulator's core contract.
 sim-smoke:
-	$(GO) run ./cmd/uaqp sim -config examples/sim/scenario.json -o sim-smoke-1.json
-	$(GO) run ./cmd/uaqp sim -config examples/sim/scenario.json -o sim-smoke-2.json
-	cmp sim-smoke-1.json sim-smoke-2.json \
-		|| { echo "sim-smoke: reports differ across identical runs"; rm -f sim-smoke-1.json sim-smoke-2.json; exit 1; }
-	rm sim-smoke-1.json sim-smoke-2.json
-	@echo "sim-smoke: deterministic"
+	@for sc in scenario scenario-hetero; do \
+		$(GO) run ./cmd/uaqp sim -config examples/sim/$$sc.json -o sim-smoke-1.json || exit 1; \
+		$(GO) run ./cmd/uaqp sim -config examples/sim/$$sc.json -o sim-smoke-2.json || exit 1; \
+		cmp sim-smoke-1.json sim-smoke-2.json \
+			|| { echo "sim-smoke: $$sc reports differ across identical runs"; rm -f sim-smoke-1.json sim-smoke-2.json; exit 1; }; \
+		rm sim-smoke-1.json sim-smoke-2.json; \
+		echo "sim-smoke: $$sc deterministic"; \
+	done
 
 # bench runs the batched-prediction and serve-path benchmarks with
 # allocation reporting and records the parsed results in

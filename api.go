@@ -68,6 +68,20 @@
 // configurations generate the same database and samples reuse each
 // other's passes, the substrate of the multi-tenant serving layer in
 // internal/serve.
+//
+// # Heterogeneous machines
+//
+// The machine a System predicts for is a first-class value: a
+// hardware.Profile, constructible from a JSON spec or derived from a
+// preset (Scale, WithDrift). System.WithMachine derives a cheap sibling
+// System for a different machine — sharing the database, catalog,
+// samples, and estimate cache, owning its own calibration, predictor
+// handle, and executor — so a heterogeneous fleet costs one Open plus
+// one calibration per distinct machine. Estimates and run results are
+// machine-independent by key construction and flow freely between
+// siblings; calibrated units never do. The cluster simulator
+// (internal/sim) builds mixed fleets this way and routes on each
+// machine's own predicted distributions.
 package uaqetp
 
 import (
@@ -151,7 +165,10 @@ var (
 type Config struct {
 	// DB selects the synthetic database (size and skew).
 	DB DBKind
-	// Machine is "PC1" or "PC2".
+	// Machine names a registered hardware profile (hardware.ProfileByName;
+	// the presets are "PC1" and "PC2"). Parameterized profiles — JSON
+	// specs, Scale/WithDrift derivations — enter through System.WithMachine
+	// instead of this field.
 	Machine string
 	// SamplingRatio is the offline sample size as a fraction of each
 	// table (the paper's SR).
@@ -345,6 +362,56 @@ func (s *System) WithSamplingRatio(sr float64) (*System, error) {
 	}
 	return derived, nil
 }
+
+// WithMachine returns a System running on the given machine profile but
+// sharing everything machine-independent with s: the generated
+// database, catalog, samples, and the estimate cache. The derived
+// System owns what does depend on the machine — a fresh calibration of
+// the cost units against p (deterministic per Config.Seed, exactly as
+// Open would produce), its own hot-swappable predictor handle over
+// those units, and an executor measuring on p — so a heterogeneous
+// fleet is a set of cheap WithMachine siblings over one expensive Open.
+//
+// Cache sharing is safe by key construction: the plan- and subtree-pass
+// sections' namespaces fingerprint only (DB, sampling ratio, seed), and
+// the run section only (DB, seed) — estimates and run results are
+// machine-independent, so siblings share them, while calibration and
+// measured times are never cached and stay per machine
+// (TestWithMachineSharesCachesNotUnits pins both directions).
+//
+// Like WithVariant, the derived System's predictor is the built-in
+// stage over the fresh units; a custom Predictor stage does not carry
+// over. A custom Executor stage is carried over unchanged (the built-in
+// one is rebuilt on p). A profile equal to the current machine's
+// returns s itself.
+func (s *System) WithMachine(p *hardware.Profile) (*System, error) {
+	if p == nil {
+		return nil, fmt.Errorf("uaqetp: nil machine profile")
+	}
+	if *p == *s.profile {
+		return s, nil
+	}
+	prof := *p // private copy: profiles are values, callers may mutate theirs
+	cal, err := calibrate.Run(&prof, calibrate.DefaultConfig(s.cfg.Seed+1))
+	if err != nil {
+		return nil, fmt.Errorf("uaqetp: calibrate %q: %w", prof.Name, err)
+	}
+	derived := s.With()
+	derived.cfg.Machine = prof.Name
+	derived.profile = &prof
+	derived.cal = cal
+	derived.pred = newPredictorHandle(defaultPredictorState(s.cat, cal.Units, s.cfg.Variant))
+	if _, ok := s.executor.(simExecutor); ok {
+		derived.executor = simExecutor{
+			db: s.db, profile: &prof, seed: s.cfg.Seed, cache: s.estCache, runNS: s.runNS,
+		}
+	}
+	return derived, nil
+}
+
+// Machine returns the profile of the machine this System predicts for
+// and executes on (a copy; profiles are values).
+func (s *System) Machine() hardware.Profile { return *s.profile }
 
 // execSeed derives the deterministic per-call RNG seed for Execute from
 // the configured master seed and a fingerprint of the query and its

@@ -87,7 +87,7 @@ func simCmd(args []string) error {
 	fs := flag.NewFlagSet("sim", flag.ExitOnError)
 	config := fs.String("config", "", "scenario JSON file (see examples/sim/scenario.json)")
 	seed := fs.Int64("seed", 0, "override the scenario seed (0 keeps the file's)")
-	router := fs.String("router", "", "override the scenario router: round-robin | least-queue | least-risk")
+	router := fs.String("router", "", "override the scenario router: round-robin | least-queue | least-risk | least-risk-shared")
 	out := fs.String("o", "", "write the report to a file instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return err

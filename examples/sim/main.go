@@ -4,10 +4,16 @@
 // least-queue (load-aware, variance-blind), or least-risk — route to
 // the machine maximizing the predicted probability of meeting the
 // deadline, P(T_wait + T_q <= d), which folds in both the backlog's
-// predicted variance and the query's own.
+// predicted variance and the query's own. On heterogeneous
+// (machine-list) fleets the comparison adds least-risk-shared, the
+// ablation that runs the risk arithmetic with fleet-shared units: the
+// gap between it and least-risk is what per-machine calibration buys.
+//
+//	go run ./examples/sim                                              # homogeneous showcase
+//	go run ./examples/sim -config examples/sim/scenario-hetero.json    # mixed-profile fleet
 //
 // Identical seed, identical arrival times, identical queries — the only
-// difference between the three runs is the placement decision, so the
+// difference between the runs is the placement decision, so the
 // SLO-attainment gap is attributable to how each policy uses (or
 // ignores) the predicted running-time distributions.
 package main
@@ -29,12 +35,18 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("Scenario %q: %d machines, %d tenants, horizon %gs, seed %d\n",
-		sc.Name, sc.Machines, len(sc.Tenants), sc.Horizon, sc.Seed)
+		sc.Name, sc.Machines.Size(), len(sc.Tenants), sc.Horizon, sc.Seed)
 	fmt.Println()
-	fmt.Printf("%-12s %-10s %-6s %-6s %-8s %-8s %-10s\n",
+	fmt.Printf("%-18s %-10s %-6s %-6s %-8s %-8s %-10s\n",
 		"router", "attainment", "adm", "rej", "missed", "p90 lat", "makespan")
 
-	for _, router := range []string{sim.RouterRoundRobin, sim.RouterLeastQueue, sim.RouterLeastRisk} {
+	routers := []string{sim.RouterRoundRobin, sim.RouterLeastQueue, sim.RouterLeastRisk}
+	if sc.Machines.Labeled() {
+		// Heterogeneous fleet: show what per-machine units buy over the
+		// same risk math with fleet-shared units.
+		routers = []string{sim.RouterRoundRobin, sim.RouterLeastQueue, sim.RouterLeastRiskShared, sim.RouterLeastRisk}
+	}
+	for _, router := range routers {
 		sc.Router = router
 		rep, err := sim.Run(sc)
 		if err != nil {
@@ -50,7 +62,7 @@ func main() {
 				p90 = t.Latency.P90
 			}
 		}
-		fmt.Printf("%-12s %-10.4f %-6d %-6d %-8d %-8.3f %-10.2f\n",
+		fmt.Printf("%-18s %-10.4f %-6d %-6d %-8d %-8.3f %-10.2f\n",
 			router, rep.SLOAttainment, adm, rej, missed, p90, rep.MakeSpan)
 	}
 

@@ -26,7 +26,7 @@ import (
 type Setting struct {
 	Bench      workload.Benchmark
 	DB         datagen.DBKind
-	Machine    string // "PC1" or "PC2"
+	Machine    string // registered profile name ("PC1", "PC2", ...)
 	SR         float64
 	Variant    core.Variant
 	NumQueries int

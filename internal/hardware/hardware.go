@@ -1,8 +1,15 @@
 // Package hardware simulates the execution environment of the paper's
-// experiments: two machines (PC1, PC2) whose five PostgreSQL cost units
-// c = (cs, cr, ct, ci, co) are true Gaussian random variables, plus a
-// multiplicative model-error term standing in for the simplifications in
-// the cost model function g (error source (iii) of Section 1).
+// experiments: machines whose five PostgreSQL cost units c = (cs, cr,
+// ct, ci, co) are true Gaussian random variables, plus a multiplicative
+// model-error term standing in for the simplifications in the cost
+// model function g (error source (iii) of Section 1).
+//
+// A machine is a Profile — a plain data value (per-unit means and
+// coefficients of variation, one model-error sigma) constructible from
+// a JSON Spec, derivable from another profile (Scale, WithDrift), or
+// looked up by name in the registry (ProfileByName, Register). The
+// paper's two physical machines survive as the preset profiles PC1 and
+// PC2, themselves defined as specs.
 //
 // The paper ran PostgreSQL 9.0.4 on physical machines; this simulator is
 // the documented substitution (see DESIGN.md §3). Prediction-side code —
@@ -58,7 +65,11 @@ var Units = [NumUnits]Unit{CS, CR, CT, CI, CO}
 
 // Profile describes a simulated machine: the true (unobservable)
 // distribution of each cost unit in seconds per operation, and the
-// standard deviation of the per-operator log-scale model error.
+// standard deviation of the per-operator log-scale model error. A
+// Profile is a plain comparable value — two profiles with equal fields
+// are the same machine — constructed from a preset (PC1, PC2), a JSON
+// Spec (FromSpec, ParseProfile), the registry (ProfileByName), or
+// derived from another profile (Scale, WithDrift).
 type Profile struct {
 	Name string
 	// True distribution of each cost unit; the calibration framework
@@ -71,49 +82,40 @@ type Profile struct {
 	ModelErrSigma float64
 }
 
-// PC1 returns the slower machine of the paper (dual 1.86 GHz CPU, 4 GB).
-func PC1() *Profile {
-	return &Profile{
+// The preset machines of the paper's experiments, as data. PC1 is the
+// slower machine (dual 1.86 GHz CPU, 4 GB); PC2 (8-core 2.40 GHz,
+// 16 GB) has roughly 2x cheaper CPU units, moderately cheaper I/O, and
+// slightly tighter variation.
+var (
+	pc1Spec = Spec{
 		Name: "PC1",
-		True: [NumUnits]stats.Normal{
-			CS: stats.NewNormal(80e-6, 14e-6),   // sequential page read
-			CR: stats.NewNormal(900e-6, 220e-6), // random page read
-			CT: stats.NewNormal(1.0e-6, 0.18e-6),
-			CI: stats.NewNormal(2.5e-6, 0.50e-6),
-			CO: stats.NewNormal(1.4e-6, 0.26e-6),
+		Units: map[string]UnitSpec{
+			"cs": {Mean: 80e-6, Sigma: 14e-6},   // sequential page read
+			"cr": {Mean: 900e-6, Sigma: 220e-6}, // random page read
+			"ct": {Mean: 1.0e-6, Sigma: 0.18e-6},
+			"ci": {Mean: 2.5e-6, Sigma: 0.50e-6},
+			"co": {Mean: 1.4e-6, Sigma: 0.26e-6},
 		},
 		ModelErrSigma: 0.12,
 	}
-}
-
-// PC2 returns the faster machine (8-core 2.40 GHz, 16 GB): roughly 2x
-// cheaper CPU units, moderately cheaper I/O, and slightly tighter
-// variation.
-func PC2() *Profile {
-	return &Profile{
+	pc2Spec = Spec{
 		Name: "PC2",
-		True: [NumUnits]stats.Normal{
-			CS: stats.NewNormal(60e-6, 9e-6),
-			CR: stats.NewNormal(700e-6, 150e-6),
-			CT: stats.NewNormal(0.45e-6, 0.07e-6),
-			CI: stats.NewNormal(1.1e-6, 0.19e-6),
-			CO: stats.NewNormal(0.6e-6, 0.10e-6),
+		Units: map[string]UnitSpec{
+			"cs": {Mean: 60e-6, Sigma: 9e-6},
+			"cr": {Mean: 700e-6, Sigma: 150e-6},
+			"ct": {Mean: 0.45e-6, Sigma: 0.07e-6},
+			"ci": {Mean: 1.1e-6, Sigma: 0.19e-6},
+			"co": {Mean: 0.6e-6, Sigma: 0.10e-6},
 		},
 		ModelErrSigma: 0.10,
 	}
-}
+)
 
-// ProfileByName returns PC1 or PC2.
-func ProfileByName(name string) (*Profile, error) {
-	switch name {
-	case "PC1":
-		return PC1(), nil
-	case "PC2":
-		return PC2(), nil
-	default:
-		return nil, fmt.Errorf("hardware: unknown profile %q", name)
-	}
-}
+// PC1 returns the slower machine of the paper (dual 1.86 GHz CPU, 4 GB).
+func PC1() *Profile { return mustFromSpec(pc1Spec) }
+
+// PC2 returns the faster machine (8-core 2.40 GHz, 16 GB).
+func PC2() *Profile { return mustFromSpec(pc2Spec) }
 
 // drawUnit samples one realization of cost unit u.
 func (p *Profile) drawUnit(u Unit, r *rand.Rand) float64 {

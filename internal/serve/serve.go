@@ -38,6 +38,14 @@
 // internal/sim — control the clock explicitly (AdvanceClock) and step
 // execution without advancing it (StepOne), sharing one estimate cache
 // across a whole fleet of servers via Config.Cache.
+//
+// A server carries its machine's System: on a heterogeneous fleet each
+// server's tenants are registered (AddTenantSystem) over that machine's
+// WithMachine sibling, so admission predicts, execution measures, and
+// recalibration re-runs against the machine's own — possibly drifted —
+// hardware, while sampling passes and run results still flow through
+// the shared cache. Per-tenant predictor handles keep recalibration
+// divergence local to (tenant, machine).
 package serve
 
 import (

@@ -21,8 +21,10 @@ const (
 	// ProcessDiurnal is a nonhomogeneous Poisson process with sinusoidal
 	// intensity Rate*(1 + Amplitude*sin(2*pi*t/Period)) via thinning.
 	ProcessDiurnal = "diurnal"
-	// ProcessTrace replays an arrival-annotated workload trace
-	// (internal/workload.GenerateTrace): queries and times come from the
+	// ProcessTrace replays an arrival-annotated workload trace: either a
+	// generated one (internal/workload.GenerateTrace; Rate sets its
+	// intensity) or an external JSON file (TraceFile, ingested via
+	// internal/workload.LoadTrace). Queries and times come from the
 	// trace instead of a pool + synthetic process.
 	ProcessTrace = "trace"
 )
@@ -32,7 +34,13 @@ const (
 // scenarios can vary temporal structure at equal offered load.
 type ArrivalSpec struct {
 	Process string  `json:"process"`
-	Rate    float64 `json:"rate"`
+	Rate    float64 `json:"rate,omitempty"`
+	// TraceFile replays an external JSON arrival trace — an array of
+	// {"at": seconds, "query": poolIndex} entries resolved against the
+	// tenant's query pool (bench/queries) — instead of generating one.
+	// Setting it implies process "trace" and makes Rate unnecessary.
+	// Relative paths resolve against the scenario file's directory.
+	TraceFile string `json:"trace_file,omitempty"`
 	// Bursty knobs: fraction of time spent in ON phases (default 0.2)
 	// and the mean ON+OFF cycle length in virtual seconds (default
 	// Horizon/8).
@@ -47,14 +55,21 @@ type ArrivalSpec struct {
 // normalized fills defaults (given the scenario horizon) and validates.
 func (a ArrivalSpec) normalized(horizon float64) (ArrivalSpec, error) {
 	if a.Process == "" {
-		a.Process = ProcessPoisson
+		if a.TraceFile != "" {
+			a.Process = ProcessTrace
+		} else {
+			a.Process = ProcessPoisson
+		}
 	}
 	switch a.Process {
 	case ProcessPoisson, ProcessBursty, ProcessDiurnal, ProcessTrace:
 	default:
 		return a, fmt.Errorf("unknown arrival process %q (want poisson, bursty, diurnal, or trace)", a.Process)
 	}
-	if a.Rate <= 0 {
+	if a.TraceFile != "" && a.Process != ProcessTrace {
+		return a, fmt.Errorf("trace_file %q set on a %q process (only \"trace\" replays files)", a.TraceFile, a.Process)
+	}
+	if a.Rate < 0 || (a.Rate == 0 && a.TraceFile == "") {
 		return a, fmt.Errorf("arrival rate %g must be positive", a.Rate)
 	}
 	if a.OnFraction == 0 {

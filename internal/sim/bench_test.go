@@ -17,9 +17,74 @@ func BenchmarkSimPoisson(b *testing.B) {
 		Name:     "bench",
 		Seed:     3,
 		Horizon:  30,
-		Machines: 2,
+		Machines: FleetOf(2),
 		Router:   RouterLeastRisk,
 		DB:       "uniform-1G",
+		Tenants: []TenantSpec{{
+			Name:     "alpha",
+			Bench:    "seljoin",
+			Queries:  8,
+			Deadline: 1.2,
+			SLO:      serve.SLO{Confidence: 0.9, DefaultDeadline: 1.2, Quantile: 0.9},
+			Arrivals: ArrivalSpec{Process: ProcessPoisson, Rate: 6},
+		}},
+	}
+	sc, err := sc.normalized()
+	if err != nil {
+		b.Fatal(err)
+	}
+	kind, err := parseDBKind(sc.DB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qpol, err := serve.QueuePolicyByName(sc.QueuePolicy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := uaqetp.NewEstimateCache(1024)
+	sys, err := uaqetp.Open(uaqetp.Config{
+		DB: kind, Machine: sc.MachineProfile, SamplingRatio: sc.SamplingRatio,
+		Seed: sc.Seed, Cache: cache,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events int
+	for i := 0; i < b.N; i++ {
+		rep, err := runWith(sc, qpol, sys, cache)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += rep.Events
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	}
+}
+
+// BenchmarkSimHeterogeneous measures per-machine routing throughput on
+// a mixed-profile fleet: every least-risk placement predicts the
+// arrival through each machine's own units (the sampling pass shared
+// via the fleet cache), so events/sec here tracks the cost of
+// heterogeneity-aware placement — per-machine WithMachine calibration
+// included, since rebuilding the fleet is part of each run.
+func BenchmarkSimHeterogeneous(b *testing.B) {
+	sc := Scenario{
+		Name:    "bench-hetero",
+		Seed:    3,
+		Horizon: 30,
+		Machines: FleetList(
+			MachineSpec{Profile: "PC2"},
+			MachineSpec{Profile: "PC1"},
+			MachineSpec{Profile: "PC1", Drift: 1.0},
+		),
+		Router:      RouterLeastRisk,
+		QueuePolicy: "fifo",
+		DB:          "uniform-1G",
 		Tenants: []TenantSpec{{
 			Name:     "alpha",
 			Bench:    "seljoin",

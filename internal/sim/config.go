@@ -1,20 +1,32 @@
 // Package sim is a seeded discrete-event cluster simulator for the
 // uncertainty-aware serving layer: it drives a fleet of simulated
-// machines — each a serve.Server over one shared estimate cache — with
-// configurable multi-tenant arrival processes on a virtual clock, routes
-// every arrival through a pluggable placement policy, and emits a
-// structured Report (per-tenant SLO attainment, latency and queue-wait
-// quantiles, admission/rejection counts, per-machine utilization, cache
-// and recalibration stats).
+// machines — each a serve.Server over its own machine's System, all
+// sharing one estimate cache — with configurable multi-tenant arrival
+// processes on a virtual clock, routes every arrival through a
+// pluggable placement policy, and emits a structured Report (per-tenant
+// SLO attainment, latency and queue-wait quantiles, admission/rejection
+// counts, per-machine utilization, cache and recalibration stats).
+//
+// Fleets are heterogeneous by schema: "machines" is either a count (a
+// homogeneous shorthand) or a per-machine list of hardware profiles
+// with optional unit-mean drift (see Fleet), each non-default machine a
+// cheap WithMachine sibling of one shared Open — own calibration,
+// predictor, and executor over shared database, samples, and cache.
+// Arrival processes include replaying external JSON traces
+// (ArrivalSpec.TraceFile), so recorded workload shapes drive the same
+// scenarios as the synthetic processes.
 //
 // The simulator is the scenario harness for the paper's core claim:
 // predicted running-time *distributions* — not point estimates — buy
 // better admission, scheduling, and placement decisions. The least-risk
 // router places each query on the machine maximizing the predicted
-// probability of meeting its deadline, P(T_wait + T_q <= d), and can be
-// compared against distribution-blind policies (round-robin,
-// least-queue) on identical traffic: same scenario, same seed, same
-// queries, byte-identical reports across runs.
+// probability of meeting its deadline, P(T_wait + T_q <= d), evaluated
+// with each machine's own calibrated units on labeled fleets — so slow
+// or drifted machines repel exactly the traffic they would fail — and
+// can be compared against distribution-blind policies (round-robin,
+// least-queue) and against fleet-shared-units risk routing
+// (least-risk-shared) on identical traffic: same scenario, same seed,
+// same queries, byte-identical reports across runs.
 //
 // Everything is deterministic per (Scenario, Seed): the event loop is
 // single-threaded, every RNG derives from the scenario seed, and the
@@ -27,9 +39,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/datagen"
+	"repro/internal/hardware"
 	"repro/internal/serve"
 	"repro/internal/workload"
 )
@@ -46,10 +60,14 @@ type Scenario struct {
 	// Horizon is the arrival window in virtual seconds; queued work
 	// admitted before the horizon still drains to completion.
 	Horizon float64 `json:"horizon"`
-	// Machines is the fleet size (simulated execution servers).
-	Machines int `json:"machines"`
+	// Machines is the fleet: either a count (homogeneous shorthand — N
+	// machines of MachineProfile) or a per-machine list of {profile,
+	// drift, count} specs. See Fleet.
+	Machines Fleet `json:"machines"`
 	// Router places each arrival on a machine: "round-robin",
-	// "least-queue", or "least-risk" (default).
+	// "least-queue", "least-risk" (default, per-machine predictions on
+	// labeled fleets), or "least-risk-shared" (the ablation: least-risk
+	// arithmetic with fleet-shared units).
 	Router string `json:"router"`
 	// QueuePolicy orders admitted work on each machine: "risk-slack"
 	// (default), "edf", "sjf", or "fifo".
@@ -57,8 +75,10 @@ type Scenario struct {
 	// DB names the generated database all tenants share, e.g.
 	// "uniform-1G".
 	DB string `json:"db"`
-	// MachineProfile is the hardware profile ("PC1" or "PC2"); default
-	// PC1.
+	// MachineProfile is the default hardware profile: the whole fleet's
+	// under the count shorthand, and the fallback for machine-list
+	// entries without one. Any registered profile name
+	// (hardware.ProfileByName); default PC1.
 	MachineProfile string `json:"machine_profile,omitempty"`
 	// SamplingRatio is the offline sample fraction; default 0.05.
 	SamplingRatio float64 `json:"sampling_ratio,omitempty"`
@@ -99,6 +119,8 @@ type TenantSpec struct {
 }
 
 // Load reads a Scenario from a JSON file, rejecting unknown fields.
+// Relative trace_file paths resolve against the scenario file's
+// directory, so a scenario and its traces travel together.
 func Load(path string) (Scenario, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -110,6 +132,12 @@ func Load(path string) (Scenario, error) {
 	var sc Scenario
 	if err := dec.Decode(&sc); err != nil {
 		return Scenario{}, fmt.Errorf("sim: parse %s: %w", path, err)
+	}
+	dir := filepath.Dir(path)
+	for i := range sc.Tenants {
+		if tf := sc.Tenants[i].Arrivals.TraceFile; tf != "" && !filepath.IsAbs(tf) {
+			sc.Tenants[i].Arrivals.TraceFile = filepath.Join(dir, tf)
+		}
 	}
 	return sc, nil
 }
@@ -125,9 +153,6 @@ func (sc Scenario) normalized() (Scenario, error) {
 	if sc.Horizon <= 0 {
 		return sc, fmt.Errorf("sim: horizon %g must be positive", sc.Horizon)
 	}
-	if sc.Machines <= 0 {
-		sc.Machines = 1
-	}
 	if sc.Router == "" {
 		sc.Router = RouterLeastRisk
 	}
@@ -142,6 +167,12 @@ func (sc Scenario) normalized() (Scenario, error) {
 	}
 	if sc.MachineProfile == "" {
 		sc.MachineProfile = "PC1"
+	}
+	if _, err := hardware.ProfileByName(sc.MachineProfile); err != nil {
+		return sc, fmt.Errorf("sim: machine_profile: %w", err)
+	}
+	if _, err := sc.Machines.resolve(sc.MachineProfile); err != nil {
+		return sc, err
 	}
 	if sc.SamplingRatio == 0 {
 		sc.SamplingRatio = 0.05

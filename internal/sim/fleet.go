@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/hardware"
+)
+
+// MachineSpec describes one machine of the fleet — or, via Count,
+// several identical ones.
+type MachineSpec struct {
+	// Profile names a registered hardware profile
+	// (hardware.ProfileByName; presets "PC1", "PC2"). Empty selects the
+	// scenario's machine_profile.
+	Profile string `json:"profile,omitempty"`
+	// Drift shifts the machine's true unit means by the given fraction
+	// (hardware.Profile.WithDrift): 0.3 is a machine 30% slower than its
+	// profile claims. The machine's own calibration sees the drifted
+	// truth; fleet-shared units do not — the gap per-machine routing
+	// exploits. Must be > -1.
+	Drift float64 `json:"drift,omitempty"`
+	// Count expands this spec into Count identical machines; 0 means 1.
+	Count int `json:"count,omitempty"`
+}
+
+// Fleet is a scenario's machine list. In JSON it is either a bare count
+// — the homogeneous shorthand "machines": 3, meaning three machines of
+// the scenario's machine_profile, exactly the pre-heterogeneity schema
+// — or a list of MachineSpecs:
+//
+//	"machines": [
+//	  {"profile": "PC2"},
+//	  {"profile": "PC1", "count": 2},
+//	  {"profile": "PC1", "drift": 0.5}
+//	]
+//
+// The two forms differ in one observable beyond the schema: list-form
+// ("labeled") fleets carry per-machine profile labels into the Report
+// and route with per-machine predictions, while the count shorthand
+// keeps the fleet-shared prediction path (and report bytes) of a
+// homogeneous cluster.
+type Fleet struct {
+	count int
+	specs []MachineSpec
+}
+
+// FleetOf returns the homogeneous shorthand fleet: n machines of the
+// scenario's machine_profile.
+func FleetOf(n int) Fleet { return Fleet{count: n} }
+
+// FleetList returns a labeled fleet from explicit machine specs.
+func FleetList(specs ...MachineSpec) Fleet {
+	out := make([]MachineSpec, len(specs))
+	copy(out, specs)
+	return Fleet{specs: out}
+}
+
+// Labeled reports whether the fleet was given as an explicit machine
+// list rather than the count shorthand.
+func (f Fleet) Labeled() bool { return f.specs != nil }
+
+// Size returns the number of machines the fleet expands to.
+func (f Fleet) Size() int {
+	if f.specs == nil {
+		if f.count <= 0 {
+			return 1
+		}
+		return f.count
+	}
+	n := 0
+	for _, spec := range f.specs {
+		if spec.Count <= 0 {
+			n++
+		} else {
+			n += spec.Count
+		}
+	}
+	return n
+}
+
+// UnmarshalJSON accepts either a bare count or a list of specs. Spec
+// fields are strict: a custom Unmarshaler does not inherit the outer
+// decoder's DisallowUnknownFields, so unknown keys are rejected here
+// explicitly — a typo'd "profle" must not silently become the default
+// machine.
+func (f *Fleet) UnmarshalJSON(b []byte) error {
+	var n int
+	if err := json.Unmarshal(b, &n); err == nil {
+		*f = Fleet{count: n}
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var specs []MachineSpec
+	if err := dec.Decode(&specs); err != nil {
+		return fmt.Errorf("machines must be a count or a list of {profile, drift, count}: %w", err)
+	}
+	*f = Fleet{specs: specs}
+	return nil
+}
+
+// MarshalJSON emits the form the fleet was built in.
+func (f Fleet) MarshalJSON() ([]byte, error) {
+	if f.specs != nil {
+		return json.Marshal(f.specs)
+	}
+	return json.Marshal(f.count)
+}
+
+// resolve expands the fleet into one spec per machine (Count unrolled,
+// empty Profiles filled with defaultProfile) and validates every
+// profile name against the hardware registry and every drift against
+// its bounds. The zero Fleet resolves like the old "machines" default:
+// one machine of the default profile.
+func (f Fleet) resolve(defaultProfile string) ([]MachineSpec, error) {
+	if f.specs == nil {
+		n := f.count
+		if n <= 0 {
+			n = 1
+		}
+		out := make([]MachineSpec, n)
+		for i := range out {
+			out[i] = MachineSpec{Profile: defaultProfile, Count: 1}
+		}
+		return out, nil
+	}
+	if len(f.specs) == 0 {
+		return nil, fmt.Errorf("sim: machine list is empty")
+	}
+	var out []MachineSpec
+	for i, spec := range f.specs {
+		if spec.Count < 0 {
+			return nil, fmt.Errorf("sim: machine %d: negative count %d", i, spec.Count)
+		}
+		if spec.Profile == "" {
+			spec.Profile = defaultProfile
+		}
+		if _, err := hardware.ProfileByName(spec.Profile); err != nil {
+			return nil, fmt.Errorf("sim: machine %d: %w", i, err)
+		}
+		if spec.Drift <= -1 {
+			return nil, fmt.Errorf("sim: machine %d: drift %g must be above -1", i, spec.Drift)
+		}
+		n := spec.Count
+		if n == 0 {
+			n = 1
+		}
+		one := MachineSpec{Profile: spec.Profile, Drift: spec.Drift, Count: 1}
+		for k := 0; k < n; k++ {
+			out = append(out, one)
+		}
+	}
+	return out, nil
+}
+
+// profileFor materializes the (possibly drifted) hardware profile of
+// one resolved machine spec.
+func (m MachineSpec) profileFor() (*hardware.Profile, error) {
+	p, err := hardware.ProfileByName(m.Profile)
+	if err != nil {
+		return nil, err
+	}
+	if m.Drift != 0 {
+		return p.WithDrift(m.Drift)
+	}
+	return p, nil
+}

@@ -76,10 +76,15 @@ type TenantReport struct {
 	AutoRecalibrations uint64 `json:"auto_recalibrations"`
 }
 
-// MachineReport summarizes one simulated machine.
+// MachineReport summarizes one simulated machine. Profile and Drift
+// label the machine's hardware on labeled (machine-list) fleets; on
+// count-shorthand fleets they are omitted, keeping the homogeneous
+// report byte-identical to the pre-heterogeneity schema.
 type MachineReport struct {
-	Machine  int `json:"machine"`
-	Executed int `json:"executed"`
+	Machine  int     `json:"machine"`
+	Profile  string  `json:"profile,omitempty"`
+	Drift    float64 `json:"drift,omitempty"`
+	Executed int     `json:"executed"`
 	// Clock is the machine's final virtual time; BusyTime the virtual
 	// seconds it spent executing; Utilization BusyTime / Clock.
 	Clock       float64 `json:"clock"`

@@ -16,33 +16,46 @@ const (
 	// RouterLeastQueue places each arrival on the machine with the
 	// smallest expected wait (predicted queue backlog mean plus the
 	// remaining service time of the in-flight query) — load-aware but
-	// variance-blind.
+	// variance-blind, and blind to machine speed differences.
 	RouterLeastQueue = "least-queue"
 	// RouterLeastRisk places each arrival on the machine maximizing the
 	// predicted probability of meeting its deadline, P(T_wait + T_q <=
-	// d), folding both the backlog's variance and the query's own
-	// predicted variance in — the placement counterpart of ActiveSLA
+	// d), folding in the backlog's variance and the query's own
+	// predicted variance — the placement counterpart of ActiveSLA
 	// admission, and the policy that exploits the paper's distributions.
+	// On labeled (machine-list) fleets T_q is predicted per machine,
+	// through each machine's tenant façade: every machine's own
+	// calibrated — and recalibrated — units enter the risk, so slow or
+	// drifted machines repel traffic in proportion to how much of the
+	// deadline they would consume. On count-shorthand fleets every
+	// machine shares one prediction, the homogeneous fast path.
 	RouterLeastRisk = "least-risk"
+	// RouterLeastRiskShared is the ablation between least-queue and
+	// least-risk: the same risk arithmetic, but with one fleet-shared
+	// prediction (the base System's units) for every machine, as if the
+	// fleet were homogeneous. On heterogeneous fleets it misjudges
+	// exactly the machines whose units deviate from the base — the gap
+	// to least-risk measures what per-machine units buy.
+	RouterLeastRiskShared = "least-risk-shared"
 )
 
 // riskEps is the probability margin below which two machines count as
-// equally safe and the least-risk router falls back to load.
+// equally safe and the least-risk routers fall back to load.
 const riskEps = 1e-9
 
 func parseRouter(name string) (string, error) {
 	switch name {
-	case RouterRoundRobin, RouterLeastQueue, RouterLeastRisk:
+	case RouterRoundRobin, RouterLeastQueue, RouterLeastRisk, RouterLeastRiskShared:
 		return name, nil
 	default:
-		return "", fmt.Errorf("sim: unknown router %q (want round-robin, least-queue, or least-risk)", name)
+		return "", fmt.Errorf("sim: unknown router %q (want round-robin, least-queue, least-risk, or least-risk-shared)", name)
 	}
 }
 
 // route picks the machine for an arrival at virtual time now. All
 // policies break ties toward the lowest machine index, keeping
 // placement deterministic.
-func (s *simRun) route(ts *tenantState, q *uaqetp.Query, deadline, now float64) (int, error) {
+func (s *simRun) route(ts *tenantState, ti int, q *uaqetp.Query, deadline, now float64) (int, error) {
 	switch s.router {
 	case RouterRoundRobin:
 		m := s.rrNext % len(s.machines)
@@ -60,32 +73,73 @@ func (s *simRun) route(ts *tenantState, q *uaqetp.Query, deadline, now float64) 
 		return best, nil
 
 	case RouterLeastRisk:
-		// The subsequent Submit on the chosen machine predicts again;
-		// the expensive part (the sampling pass) is shared through the
-		// fleet cache, so the duplication costs one plan build plus the
-		// analytic moment propagation per arrival.
-		pred, err := ts.sys.PredictContext(s.ctx, q)
-		if err != nil {
-			return 0, fmt.Errorf("sim: route predict %q: %w", q.Name, err)
+		if s.perMachine {
+			return s.routeLeastRiskPerMachine(ti, q, deadline)
 		}
-		// Maximize P(T_wait + T_q <= d). The CDF saturates once a machine
-		// is safely fast enough, so ties within riskEps — e.g. an idle
-		// fleet, where every machine is equally certain — break toward
-		// the least expected wait: among equally safe machines, spread
-		// the load instead of herding onto the first index.
-		best, bestP, bestWait := 0, math.Inf(-1), math.Inf(1)
-		for m, ms := range s.machines {
-			_, wait, waitVar := ms.srv.QueueState()
-			total := stats.Normal{
-				Mu:    pred.Mean() + wait,
-				Sigma: math.Sqrt(pred.Sigma()*pred.Sigma() + math.Max(waitVar, 0)),
-			}
-			p := total.CDF(deadline)
-			if p > bestP+riskEps || (p > bestP-riskEps && wait < bestWait) {
-				best, bestP, bestWait = m, p, wait
-			}
-		}
-		return best, nil
+		return s.routeLeastRiskShared(ts, q, deadline)
+
+	case RouterLeastRiskShared:
+		return s.routeLeastRiskShared(ts, q, deadline)
 	}
 	return 0, fmt.Errorf("sim: unknown router %q", s.router)
+}
+
+// routeLeastRiskShared evaluates P(T_wait + T_q <= d) with one
+// fleet-shared prediction of T_q: correct on homogeneous fleets (and
+// byte-identical to the pre-heterogeneity router there), an ablation on
+// labeled ones.
+func (s *simRun) routeLeastRiskShared(ts *tenantState, q *uaqetp.Query, deadline float64) (int, error) {
+	// The subsequent Submit on the chosen machine predicts again; the
+	// expensive part (the sampling pass) is shared through the fleet
+	// cache, so the duplication costs one plan build plus the analytic
+	// moment propagation per arrival.
+	pred, err := ts.sys.PredictContext(s.ctx, q)
+	if err != nil {
+		return 0, fmt.Errorf("sim: route predict %q: %w", q.Name, err)
+	}
+	// Maximize P(T_wait + T_q <= d). The CDF saturates once a machine
+	// is safely fast enough, so ties within riskEps — e.g. an idle
+	// fleet, where every machine is equally certain — break toward
+	// the least expected wait: among equally safe machines, spread
+	// the load instead of herding onto the first index.
+	best, bestP, bestWait := 0, math.Inf(-1), math.Inf(1)
+	for m, ms := range s.machines {
+		_, wait, waitVar := ms.srv.QueueState()
+		total := stats.Normal{
+			Mu:    pred.Mean() + wait,
+			Sigma: math.Sqrt(pred.Sigma()*pred.Sigma() + math.Max(waitVar, 0)),
+		}
+		p := total.CDF(deadline)
+		if p > bestP+riskEps || (p > bestP-riskEps && wait < bestWait) {
+			best, bestP, bestWait = m, p, wait
+		}
+	}
+	return best, nil
+}
+
+// routeLeastRiskPerMachine evaluates P(T_wait + T_q <= d) with each
+// machine's own prediction of T_q, through the machine's tenant façade:
+// the same query costs different time — with different uncertainty — on
+// different machines, and recalibrated units are read the moment they
+// swap in. The sampling pass behind every prediction is shared through
+// the fleet cache (estimates are machine-independent), so the
+// per-machine work is one analytic unit propagation each.
+func (s *simRun) routeLeastRiskPerMachine(ti int, q *uaqetp.Query, deadline float64) (int, error) {
+	best, bestP, bestWait := 0, math.Inf(-1), math.Inf(1)
+	for m, ms := range s.machines {
+		pred, err := ms.tenants[ti].System().PredictContext(s.ctx, q)
+		if err != nil {
+			return 0, fmt.Errorf("sim: route predict %q on machine %d: %w", q.Name, m, err)
+		}
+		_, wait, waitVar := ms.srv.QueueState()
+		total := stats.Normal{
+			Mu:    pred.Mean() + wait,
+			Sigma: math.Sqrt(pred.Sigma()*pred.Sigma() + math.Max(waitVar, 0)),
+		}
+		p := total.CDF(deadline)
+		if p > bestP+riskEps || (p > bestP-riskEps && wait < bestWait) {
+			best, bestP, bestWait = m, p, wait
+		}
+	}
+	return best, nil
 }

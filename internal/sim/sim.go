@@ -10,6 +10,7 @@ import (
 
 	uaqetp "repro"
 	"repro/internal/serve"
+	"repro/internal/workload"
 )
 
 // eventKind discriminates the two discrete events.
@@ -65,9 +66,22 @@ type pendingArrival struct {
 	at     float64
 }
 
-// machineState is one simulated execution server.
+// machineState is one simulated execution server: a serve.Server over
+// the machine's own System (profile-specific calibration, predictor,
+// and executor — a WithMachine sibling of the scenario's base System,
+// or the base itself for default machines).
 type machineState struct {
-	srv      *serve.Server
+	srv *serve.Server
+	sys *uaqetp.System
+	// spec labels the machine (resolved profile name + drift) on
+	// labeled fleets; zero on count-shorthand fleets, which keep the
+	// pre-heterogeneity report shape.
+	spec MachineSpec
+	// tenants are this machine's tenant façades in scenario tenant
+	// order: each carries the machine's units behind its own
+	// hot-swappable predictor handle, so per-machine routing sees
+	// recalibrations the moment they land.
+	tenants  []*serve.Tenant
 	busy     bool
 	busyTime float64
 	executed int
@@ -91,6 +105,10 @@ type simRun struct {
 	cache    *uaqetp.EstimateCache
 	machines []*machineState
 	tenants  []*tenantState
+	// perMachine selects per-machine least-risk predictions (labeled
+	// fleets); count-shorthand fleets keep the fleet-shared prediction
+	// path, byte-identical to the homogeneous simulator.
+	perMachine bool
 
 	events    eventHeap
 	seq       uint64
@@ -118,10 +136,12 @@ func Run(sc Scenario) (*Report, error) {
 		return nil, err
 	}
 
-	// One expensive Open for the whole fleet: every machine serves
-	// façades over the same System, and every server shares one
-	// estimate cache — sampling passes, subtree passes, and run results
-	// computed by any machine are reused by all of them.
+	// One expensive Open for the whole fleet: machines with the default
+	// profile serve façades over this base System; machines with other
+	// profiles (or drift) get cheap WithMachine siblings sharing its
+	// database, catalog, samples, and cache — sampling passes, subtree
+	// passes, and run results computed by any machine are reused by all
+	// of them, while calibration stays per machine.
 	cacheCap := sc.CacheCapacity
 	if cacheCap <= 0 {
 		cacheCap = 1024
@@ -137,24 +157,71 @@ func Run(sc Scenario) (*Report, error) {
 	return runWith(sc, qpol, sys, cache)
 }
 
+// machineSystems derives one System per machine from the base System:
+// the base itself for default machines, one WithMachine sibling per
+// distinct (profile, drift) otherwise — same machines share one
+// calibration, like same-config tenants share one Open.
+func machineSystems(sc Scenario, fleet []MachineSpec, base *uaqetp.System) ([]*uaqetp.System, error) {
+	derived := make(map[MachineSpec]*uaqetp.System, len(fleet))
+	out := make([]*uaqetp.System, len(fleet))
+	for m, spec := range fleet {
+		if spec.Profile == sc.MachineProfile && spec.Drift == 0 {
+			out[m] = base
+			continue
+		}
+		if sys, ok := derived[spec]; ok {
+			out[m] = sys
+			continue
+		}
+		prof, err := spec.profileFor()
+		if err != nil {
+			return nil, fmt.Errorf("sim: machine %d: %w", m, err)
+		}
+		sys, err := base.WithMachine(prof)
+		if err != nil {
+			return nil, fmt.Errorf("sim: machine %d: %w", m, err)
+		}
+		derived[spec] = sys
+		out[m] = sys
+	}
+	return out, nil
+}
+
 // runWith executes an already normalized scenario against an existing
-// System and cache — the seam benchmarks use to amortize the expensive
-// Open across iterations. The fleet (servers, queues, clocks) is
-// rebuilt fresh per call.
+// base System and cache — the seam benchmarks use to amortize the
+// expensive Open across iterations. The fleet (servers, queues, clocks,
+// per-machine sibling Systems) is rebuilt fresh per call.
 func runWith(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache *uaqetp.EstimateCache) (*Report, error) {
-	s := &simRun{sc: sc, ctx: context.Background(), router: sc.Router, cache: cache}
-	for m := 0; m < sc.Machines; m++ {
+	fleet, err := sc.Machines.resolve(sc.MachineProfile)
+	if err != nil {
+		return nil, err
+	}
+	msys, err := machineSystems(sc, fleet, sys)
+	if err != nil {
+		return nil, err
+	}
+	s := &simRun{
+		sc: sc, ctx: context.Background(), router: sc.Router, cache: cache,
+		perMachine: sc.Machines.Labeled(),
+	}
+	for m := range fleet {
 		srv := serve.New(serve.Config{
 			Cache: cache, MaxQueue: sc.MaxQueue, Policy: qpol, RecalEvery: sc.RecalEvery,
 		})
+		ms := &machineState{
+			srv: srv, sys: msys[m], pending: make(map[uint64]pendingArrival),
+		}
+		if s.perMachine {
+			ms.spec = fleet[m]
+		}
 		for _, spec := range sc.Tenants {
-			if _, err := srv.AddTenantSystem(spec.Name, sys, spec.SLO); err != nil {
+			t, err := srv.AddTenantSystem(spec.Name, msys[m], spec.SLO)
+			if err != nil {
 				return nil, fmt.Errorf("sim: machine %d: %w", m, err)
 			}
+			ms.tenants = append(ms.tenants, t)
 		}
-		s.machines = append(s.machines, &machineState{
-			srv: srv, pending: make(map[uint64]pendingArrival),
-		})
+		s.machines = append(s.machines, ms)
 	}
 
 	if err := s.buildArrivals(sys); err != nil {
@@ -213,15 +280,29 @@ func (s *simRun) buildArrivals(sys *uaqetp.System) error {
 		s.tenants = append(s.tenants, &tenantState{spec: spec, sys: sys, effDeadline: eff})
 
 		if spec.Arrivals.Process == ProcessTrace {
-			n := int(math.Round(spec.Arrivals.Rate * s.sc.Horizon))
-			if n < 1 {
-				n = 1
-			}
-			// Each tenant replays its own trace stream: same catalog,
-			// independent arrival sequences.
-			entries, err := sys.GenerateTrace(bench, n, spec.Arrivals.Rate, arrivalSeed(s.sc.Seed, ti))
-			if err != nil {
-				return fmt.Errorf("sim: tenant %q trace: %w", spec.Name, err)
+			var entries []workload.TraceEntry
+			if spec.Arrivals.TraceFile != "" {
+				// External trace: recorded arrival times and template
+				// indexes, resolved against the tenant's query pool.
+				pool, err := sys.GenerateWorkload(bench, spec.Queries)
+				if err != nil {
+					return fmt.Errorf("sim: tenant %q workload: %w", spec.Name, err)
+				}
+				if entries, err = workload.LoadTrace(spec.Arrivals.TraceFile, pool); err != nil {
+					return fmt.Errorf("sim: tenant %q: %w", spec.Name, err)
+				}
+			} else {
+				n := int(math.Round(spec.Arrivals.Rate * s.sc.Horizon))
+				if n < 1 {
+					n = 1
+				}
+				// Each tenant replays its own generated trace stream: same
+				// catalog, independent arrival sequences.
+				var err error
+				entries, err = sys.GenerateTrace(bench, n, spec.Arrivals.Rate, arrivalSeed(s.sc.Seed, ti))
+				if err != nil {
+					return fmt.Errorf("sim: tenant %q trace: %w", spec.Name, err)
+				}
 			}
 			for k, e := range entries {
 				if e.At >= s.sc.Horizon {
@@ -294,7 +375,7 @@ func (s *simRun) loop() error {
 				ms.srv.AdvanceClock(ev.at)
 			}
 			ts := s.tenants[ev.tenant]
-			m, err := s.route(ts, ev.q, ev.deadline, ev.at)
+			m, err := s.route(ts, ev.tenant, ev.q, ev.deadline, ev.at)
 			if err != nil {
 				return err
 			}
@@ -379,6 +460,8 @@ func (s *simRun) report() *Report {
 		perMachine[m] = st
 		mr := MachineReport{
 			Machine:  m,
+			Profile:  ms.spec.Profile,
+			Drift:    ms.spec.Drift,
 			Executed: ms.executed,
 			Clock:    st.Clock,
 			BusyTime: ms.busyTime,

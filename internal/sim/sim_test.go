@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"reflect"
 	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/serve"
@@ -16,7 +17,7 @@ func testScenario() Scenario {
 		Name:     "test",
 		Seed:     11,
 		Horizon:  20,
-		Machines: 2,
+		Machines: FleetOf(2),
 		Router:   RouterLeastRisk,
 		DB:       "uniform-1G",
 		Tenants: []TenantSpec{{
@@ -91,7 +92,7 @@ func TestSimDeterministic(t *testing.T) {
 // rejections than Poisson arrivals.
 func TestBurstyRejectsMoreThanPoisson(t *testing.T) {
 	base := testScenario()
-	base.Machines = 1
+	base.Machines = FleetOf(1)
 	base.Tenants[0].Arrivals = ArrivalSpec{Process: ProcessPoisson, Rate: 4}
 
 	poisson, err := Run(base)
@@ -185,6 +186,12 @@ func TestScenarioValidation(t *testing.T) {
 		func(sc *Scenario) { sc.Tenants[0].Bench = "tpcds" },
 		func(sc *Scenario) { sc.Tenants[0].Arrivals.Rate = -1 },
 		func(sc *Scenario) { sc.Tenants[0].Arrivals.Process = "constant" },
+		func(sc *Scenario) { sc.MachineProfile = "PC9" },
+		func(sc *Scenario) { sc.Machines = FleetList(MachineSpec{Profile: "warp-core"}) },
+		func(sc *Scenario) { sc.Machines = FleetList(MachineSpec{Drift: -1}) },
+		func(sc *Scenario) { sc.Machines = FleetList(MachineSpec{Count: -2}) },
+		func(sc *Scenario) { sc.Machines = FleetList() },
+		func(sc *Scenario) { sc.Tenants[0].Arrivals.TraceFile = "t.json" },
 	}
 	for i, mutate := range cases {
 		sc := testScenario()
@@ -195,5 +202,13 @@ func TestScenarioValidation(t *testing.T) {
 	}
 	if _, err := testScenario().normalized(); err != nil {
 		t.Errorf("valid scenario rejected: %v", err)
+	}
+
+	// Unknown profile names surface the registered vocabulary instead of
+	// silently defaulting.
+	sc := testScenario()
+	sc.MachineProfile = "PC9"
+	if _, err := sc.normalized(); err == nil || !strings.Contains(err.Error(), "registered: PC1, PC2") {
+		t.Errorf("unknown machine_profile error does not list registered profiles: %v", err)
 	}
 }
