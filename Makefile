@@ -26,14 +26,17 @@ race:
 	$(GO) test -race -count=1 -run 'Concurrent|Parallel|Batch|LRU|Sharded|Admission|Drain|Dispatcher|Feedback|SharedCache|Grid|Flight|Sim' ./...
 
 # sim-smoke runs the shipped cluster-simulation scenarios — the
-# homogeneous bursty showcase and the heterogeneous mixed-profile fleet
-# — twice each and fails on any nondeterminism: same config + seed must
-# produce byte-identical reports. It is the cheap end-to-end gate on
-# the simulator's core contract.
+# homogeneous bursty showcase, the heterogeneous mixed-profile fleet,
+# and the 1000-machine million-arrival cluster (parallel stepping on) —
+# twice each and fails on any nondeterminism: same config + seed must
+# produce byte-identical reports. The second run pins GOMAXPROCS=2 so
+# the comparison also covers the scheduler-independence half of the
+# contract. It is the cheap end-to-end gate on the simulator's core
+# determinism.
 sim-smoke:
-	@for sc in scenario scenario-hetero; do \
+	@for sc in scenario scenario-hetero scenario-cluster; do \
 		$(GO) run ./cmd/uaqp sim -config examples/sim/$$sc.json -o sim-smoke-1.json || exit 1; \
-		$(GO) run ./cmd/uaqp sim -config examples/sim/$$sc.json -o sim-smoke-2.json || exit 1; \
+		GOMAXPROCS=2 $(GO) run ./cmd/uaqp sim -config examples/sim/$$sc.json -o sim-smoke-2.json || exit 1; \
 		cmp sim-smoke-1.json sim-smoke-2.json \
 			|| { echo "sim-smoke: $$sc reports differ across identical runs"; rm -f sim-smoke-1.json sim-smoke-2.json; exit 1; }; \
 		rm sim-smoke-1.json sim-smoke-2.json; \

@@ -289,7 +289,7 @@ func Open(cfg Config) (*System, error) {
 	}
 	s.planner = cfg.Planner
 	if s.planner == nil {
-		s.planner = defaultPlanner{cat: cat}
+		s.planner = newDefaultPlanner(cat)
 	}
 	s.estimator = cfg.Estimator
 	if s.estimator == nil {
@@ -654,8 +654,8 @@ func (s *System) ChoosePlan(q *Query, quantile float64, maxAlts int) (best PlanC
 // runMeasured executes a built plan and measures it with the
 // deterministic per-call stream (see runSimulated); Measure uses it so
 // its Actual equals the default Executor's Execute.
-func (s *System) runMeasured(q *Query, root *engine.Node) (*engine.OpResult, float64, error) {
-	return runSimulated(context.Background(), s.estCache, s.runNS, s.db, s.profile, s.cfg.Seed, q, root)
+func (s *System) runMeasured(q *Query, p *Plan) (*engine.OpResult, float64, error) {
+	return runSimulated(context.Background(), s.estCache, s.runNS, s.db, s.profile, s.cfg.Seed, q, p.root, p.sig)
 }
 
 // UnitDists returns the cost-unit distributions behind the current

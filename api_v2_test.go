@@ -265,8 +265,10 @@ func TestSubtreeMemoSharesAcrossAlternatives(t *testing.T) {
 	sys := testSystem(t)
 	q := fourWayJoinQuery()
 
-	// Ground truth from the planner: total sampled subtrees (scans and
-	// joins) across all alternatives, and how many are distinct.
+	// Ground truth from the planner: total memoized subtrees across all
+	// alternatives, and how many are distinct. Every operator memoizes —
+	// scans, joins, and the unary/aggregate nodes above them — so every
+	// plan node counts.
 	nodes, err := plan.Alternatives(q, sys.cat, 6)
 	if err != nil {
 		t.Fatal(err)
@@ -278,10 +280,8 @@ func TestSubtreeMemoSharesAcrossAlternatives(t *testing.T) {
 	distinct := map[string]bool{}
 	for _, root := range nodes {
 		for _, n := range root.Nodes() {
-			if n.Kind.IsScan() || n.Kind.IsJoin() {
-				total++
-				distinct[n.String()] = true
-			}
+			total++
+			distinct[n.String()] = true
 		}
 	}
 	if total == len(distinct) {

@@ -50,7 +50,7 @@ func (s *System) Measure(q *Query) (*Measurement, error) {
 		return nil, fmt.Errorf("uaqetp: Measure needs sampling estimates (custom Estimator returned none)")
 	}
 	est := ests.est
-	res, actual, err := s.runMeasured(q, p.root)
+	res, actual, err := s.runMeasured(q, p)
 	if err != nil {
 		return nil, err
 	}

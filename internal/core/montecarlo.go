@@ -172,10 +172,18 @@ type mcShardResult struct {
 	acc     mcAccum
 }
 
-// mcShard draws `draws` realizations with a private RNG.
+// mcShard draws `draws` realizations with a private RNG. The draw
+// vector is a dense scratch slice indexed by node ID (IDs are dense
+// preorder ordinals from Finalize), reused across all draws of the
+// shard, so the inner loop does slice indexing instead of map lookups
+// and allocates nothing per draw.
 func (p *Predictor) mcShard(a *assembly, ids []int, seed int64, draws int) mcShardResult {
 	rng := rand.New(rand.NewSource(seed))
-	draw := make(map[int]float64, len(ids))
+	maxID := -1
+	if len(ids) > 0 {
+		maxID = ids[len(ids)-1] // ids is sorted ascending
+	}
+	draw := make([]float64, maxID+1)
 	res := mcShardResult{samples: make([]float64, 0, draws)}
 	for d := 0; d < draws; d++ {
 		// Selectivities: truncated normal draws in [0, 1].
@@ -208,7 +216,7 @@ func (p *Predictor) mcShard(a *assembly, ids []int, seed int64, draws int) mcSha
 		}
 		var t float64
 		for _, it := range a.items {
-			t += it.f.Eval(draw) * c[it.unit]
+			t += it.f.EvalVec(draw) * c[it.unit]
 		}
 		res.samples = append(res.samples, t)
 		res.acc.add(t)

@@ -102,6 +102,30 @@ func (f *Func) Eval(x map[int]float64) float64 {
 	}
 }
 
+// EvalVec evaluates the function at a dense variable assignment indexed
+// by node ID — the scratch-buffer counterpart of Eval for hot loops
+// (e.g. the Monte-Carlo draw loop) that evaluate many functions against
+// one assignment. x must cover every referenced VarA/VarB index; the
+// arithmetic is exactly Eval's, so the two agree bit for bit.
+func (f *Func) EvalVec(x []float64) float64 {
+	switch f.Kind {
+	case C1:
+		return f.B[0]
+	case C2, C3:
+		return f.B[0]*x[f.VarA] + f.B[1]
+	case C4:
+		xa := x[f.VarA]
+		return f.B[0]*xa*xa + f.B[1]*xa + f.B[2]
+	case C5:
+		return f.B[0]*x[f.VarA] + f.B[1]*x[f.VarB] + f.B[2]
+	case C6:
+		xa, xb := x[f.VarA], x[f.VarB]
+		return f.B[0]*xa*xb + f.B[1]*xa + f.B[2]*xb + f.B[3]
+	default:
+		panic(fmt.Sprintf("costmodel: bad kind %d", int(f.Kind)))
+	}
+}
+
 // Term is one monomial of a cost function: Coef * Π Vars[i]^Pows[i],
 // with NVars in {0, 1, 2}. The covariance machinery in internal/core
 // consumes this representation.

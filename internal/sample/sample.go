@@ -562,6 +562,59 @@ func evalOptimizer(n *engine.Node, left, right *evalResult, est *Estimates, optE
 	return &evalResult{cols: cols, leafOrds: ords, tainted: true}, nil
 }
 
+// optimizerCard returns the optimizer's cardinality estimate of one
+// subtree, with exactly optimizerEstimates' arithmetic (same operations
+// in the same order, so the floats agree bit for bit). The memoized
+// subtree pass calls it for nodes in the tainted region instead of
+// paying for a whole-plan optimizer pre-pass on every estimate.
+func optimizerCard(n *engine.Node, cat *catalog.Catalog) (float64, error) {
+	switch {
+	case n.Kind.IsScan():
+		ts, err := cat.Table(n.Table)
+		if err != nil {
+			return 0, err
+		}
+		card := float64(ts.Rows)
+		for pi := range n.Preds {
+			sel, err := cat.PredicateSelectivity(n.Table, &n.Preds[pi])
+			if err != nil {
+				return 0, err
+			}
+			card *= sel
+		}
+		return card, nil
+	case n.Kind.IsJoin():
+		l, err := optimizerCard(n.Left, cat)
+		if err != nil {
+			return 0, err
+		}
+		r, err := optimizerCard(n.Right, cat)
+		if err != nil {
+			return 0, err
+		}
+		f, err := joinFactor(n, cat)
+		if err != nil {
+			return 0, err
+		}
+		return l * r * f, nil
+	case n.Kind == engine.Aggregate:
+		in, err := optimizerCard(n.Left, cat)
+		if err != nil {
+			return 0, err
+		}
+		if n.GroupCol == "" {
+			return 1.0, nil
+		}
+		tab, _, err := cat.FindColumn(n.GroupCol)
+		if err != nil {
+			return 0, err
+		}
+		return cat.GroupCount(tab, n.GroupCol, in)
+	default:
+		return optimizerCard(n.Left, cat)
+	}
+}
+
 func optimizerEstimates(root *engine.Node, cat *catalog.Catalog) (map[int]float64, error) {
 	// Delegated to the plan package's logic would create an import
 	// cycle; aggregates only need group counts of their input, estimated
@@ -657,21 +710,47 @@ func tableOfColumn(cat *catalog.Catalog, tables []string, col string) (string, e
 }
 
 func hashJoinSRows(left, right *evalResult, li, ri int) []srow {
-	ht := make(map[int64][]int, len(left.rows))
-	for i, r := range left.rows {
+	return hashJoinRows(left.rows, right.rows, li, ri)
+}
+
+// hashJoinRows equi-joins two sets of surviving sample rows on value
+// columns li/ri. The output is counted first and then filled into two
+// flat backing arrays — one for values, one for provenance — sliced per
+// row with exact capacity: three allocations for the whole result
+// instead of two per output row, the arena that keeps large
+// intermediate joins cheap in the sampling pass. Rows within one input
+// are uniform in width (scans and joins both produce rectangular
+// results), which the flat layout relies on.
+func hashJoinRows(leftRows, rightRows []srow, li, ri int) []srow {
+	ht := make(map[int64][]int, len(leftRows))
+	for i, r := range leftRows {
 		ht[r.vals[li]] = append(ht[r.vals[li]], i)
 	}
-	var out []srow
-	for _, rr := range right.rows {
+	count := 0
+	for _, rr := range rightRows {
+		count += len(ht[rr.vals[ri]])
+	}
+	if count == 0 {
+		return nil
+	}
+	lw, rw := len(leftRows[0].vals), len(rightRows[0].vals)
+	lp, rp := len(leftRows[0].prov), len(rightRows[0].prov)
+	vals := make([]int64, count*(lw+rw))
+	prov := make([]int32, count*(lp+rp))
+	out := make([]srow, 0, count)
+	vo, po := 0, 0
+	for _, rr := range rightRows {
 		for _, i := range ht[rr.vals[ri]] {
-			lr := left.rows[i]
-			vals := make([]int64, 0, len(lr.vals)+len(rr.vals))
-			vals = append(vals, lr.vals...)
-			vals = append(vals, rr.vals...)
-			prov := make([]int32, 0, len(lr.prov)+len(rr.prov))
-			prov = append(prov, lr.prov...)
-			prov = append(prov, rr.prov...)
-			out = append(out, srow{vals: vals, prov: prov})
+			lr := leftRows[i]
+			v := vals[vo : vo : vo+lw+rw]
+			v = append(v, lr.vals...)
+			v = append(v, rr.vals...)
+			vo += lw + rw
+			p := prov[po : po : po+lp+rp]
+			p = append(p, lr.prov...)
+			p = append(p, rr.prov...)
+			po += lp + rp
+			out = append(out, srow{vals: v, prov: p})
 		}
 	}
 	return out

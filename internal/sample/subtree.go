@@ -37,6 +37,10 @@ type Pass struct {
 	rows      []srow   // surviving sample tuples, positional provenance
 	cols      []string // output columns, left to right
 	numLeaves int
+	// tainted marks the region at and above an aggregate (the Agg flag
+	// of Algorithm 1), where sampling no longer applies: rows is nil and
+	// est carries the optimizer's fallback numbers.
+	tainted bool
 	// est is the subtree root's estimate with LeafComp/LeafN keyed by
 	// local leaf ordinals and Node left nil (both are position-dependent
 	// and re-derived when the Pass is spliced into a plan).
@@ -124,11 +128,14 @@ func subtreeOffset(n *engine.Node, scanOrd map[int]int) int {
 
 // EstimateMemo computes the same per-operator selectivity distributions
 // as Estimate, but memoizes the work per subtree through memo: every
-// scan and join below any aggregate does one memo lookup keyed by its
-// canonical subtree signature and sample-copy assignment, so plans
-// sharing subtrees (alternative join orders above common lower joins)
-// share those subtrees' sampling computations. The ctx is observed
-// between node evaluations, so cancellation cuts a pass short promptly.
+// operator — scans and joins below any aggregate, but also unary
+// pass-throughs, aggregates, and the tainted joins above them — does
+// one memo lookup keyed by its canonical subtree signature and
+// sample-copy assignment, so plans sharing subtrees (alternative join
+// orders above common lower joins) share those subtrees' sampling
+// computations and a warm pass recomputes nothing, tainted region
+// included. The ctx is observed between node evaluations, so
+// cancellation cuts a pass short promptly.
 //
 // For a given plan, database, and samples the result is identical to
 // Estimate's: the sequential pre-pass assigns leaf ordinals and sample
@@ -143,10 +150,6 @@ func EstimateMemo(ctx context.Context, root *engine.Node, sdb *DB, cat *catalog.
 		ctx = context.Background()
 	}
 	est := &Estimates{ByID: make(map[int]*OpEstimate)}
-	optEst, err := optimizerEstimates(root, cat)
-	if err != nil {
-		return nil, err
-	}
 
 	// Sequential pre-pass, identical to Estimate's: assign each scan its
 	// global leaf ordinal and sample copy in left-to-right plan order, so
@@ -187,9 +190,13 @@ func EstimateMemo(ctx context.Context, root *engine.Node, sdb *DB, cat *catalog.
 		return nil, err
 	}
 
-	// Bottom-up walk. A nil *Pass return marks the tainted region at and
+	// Bottom-up walk. A Pass with tainted set marks the region at and
 	// above an aggregate, where sampling no longer applies (the Agg flag
-	// of Algorithm 1) and estimates fall back to the optimizer's.
+	// of Algorithm 1) and estimates fall back to the optimizer's. The
+	// tainted region and the unary pass-throughs memoize like everything
+	// else — their fallback numbers are pure functions of the subtree
+	// signature and copy assignment too — so a warm pass over a plan
+	// with sorts or aggregates recomputes nothing.
 	var walk func(n *engine.Node) (*Pass, error)
 	walk = func(n *engine.Node) (*Pass, error) {
 		if err := ctx.Err(); err != nil {
@@ -215,30 +222,17 @@ func EstimateMemo(ctx context.Context, root *engine.Node, sdb *DB, cat *catalog.
 			if err != nil {
 				return nil, err
 			}
-			if left == nil || right == nil {
+			var p *Pass
+			if left.tainted || right.tainted {
 				// Above an aggregate: optimizer estimate, zero variance.
-				full, err := fullSize(n, cat)
-				if err != nil {
-					return nil, err
-				}
-				card := optEst[n.ID]
-				rho := 0.0
-				if full > 0 {
-					rho = card / full
-				}
-				est.ByID[n.ID] = &OpEstimate{
-					Node:          n,
-					Rho:           rho,
-					FromOptimizer: true,
-					LeafComp:      map[int]float64{},
-					LeafN:         map[int]int{},
-					EstCard:       card,
-				}
-				return nil, nil
+				p, err = memo(passKey(n, copyVec(n, scanCopy)), func() (*Pass, error) {
+					return taintedJoinPass(n, left.numLeaves+right.numLeaves, cat)
+				})
+			} else {
+				p, err = memo(passKey(n, copyVec(n, scanCopy)), func() (*Pass, error) {
+					return joinPass(n, left, right, cat)
+				})
 			}
-			p, err := memo(passKey(n, copyVec(n, scanCopy)), func() (*Pass, error) {
-				return joinPass(n, left, right, cat)
-			})
 			if err != nil {
 				return nil, err
 			}
@@ -250,58 +244,115 @@ func EstimateMemo(ctx context.Context, root *engine.Node, sdb *DB, cat *catalog.
 			if err != nil {
 				return nil, err
 			}
-			rows := 0
-			if child != nil {
-				rows = len(child.rows)
-			}
-			full, err := fullSize(n, cat)
+			p, err := memo(passKey(n, copyVec(n, scanCopy)), func() (*Pass, error) {
+				return aggregatePass(n, child, cat)
+			})
 			if err != nil {
 				return nil, err
 			}
-			card := optEst[n.ID]
-			rho := 0.0
-			if full > 0 {
-				rho = card / full
-			}
-			est.ByID[n.ID] = &OpEstimate{
-				Node:          n,
-				Rho:           rho,
-				Var:           0,
-				LeafComp:      map[int]float64{},
-				LeafN:         map[int]int{},
-				FromOptimizer: true,
-				EstCard:       card,
-				SampleCounts:  engine.UnaryCounts(engine.Aggregate, float64(rows)),
-			}
-			return nil, nil
+			est.ByID[n.ID] = p.globalEstimate(n, subtreeOffset(n, scanOrd))
+			return p, nil
 
 		default: // Sort, Materialize: pass-through, same selectivity variable
 			child, err := walk(n.Left)
 			if err != nil {
 				return nil, err
 			}
-			ce := est.ByID[n.Left.ID]
-			rows := 0
-			if child != nil {
-				rows = len(child.rows)
+			p, err := memo(passKey(n, copyVec(n, scanCopy)), func() (*Pass, error) {
+				return unaryPass(n, child), nil
+			})
+			if err != nil {
+				return nil, err
 			}
-			est.ByID[n.ID] = &OpEstimate{
-				Node:          n,
-				Rho:           ce.Rho,
-				Var:           ce.Var,
-				LeafComp:      ce.LeafComp,
-				LeafN:         ce.LeafN,
-				FromOptimizer: ce.FromOptimizer,
-				EstCard:       ce.EstCard,
-				SampleCounts:  engine.UnaryCounts(n.Kind, float64(rows)),
-			}
-			return child, nil
+			est.ByID[n.ID] = p.globalEstimate(n, subtreeOffset(n, scanOrd))
+			return p, nil
 		}
 	}
 	if _, err := walk(root); err != nil {
 		return nil, err
 	}
 	return est, nil
+}
+
+// taintedJoinPass builds the Pass of a join above an aggregate: the
+// sampling pass stops at the aggregate, so the join's estimate is the
+// optimizer's cardinality over its full Cartesian size, with zero
+// variance and empty (non-nil, matching Estimate) leaf maps.
+func taintedJoinPass(n *engine.Node, numLeaves int, cat *catalog.Catalog) (*Pass, error) {
+	full, err := fullSize(n, cat)
+	if err != nil {
+		return nil, err
+	}
+	card, err := optimizerCard(n, cat)
+	if err != nil {
+		return nil, err
+	}
+	rho := 0.0
+	if full > 0 {
+		rho = card / full
+	}
+	return &Pass{
+		numLeaves: numLeaves,
+		tainted:   true,
+		est: OpEstimate{
+			Rho:           rho,
+			FromOptimizer: true,
+			LeafComp:      map[int]float64{},
+			LeafN:         map[int]int{},
+			EstCard:       card,
+		},
+	}, nil
+}
+
+// aggregatePass builds the Pass of an aggregate — the node that taints
+// everything above it. The estimate is the optimizer's group count; the
+// sample counts record the unary work of aggregating the child's
+// surviving sample rows (zero when the child itself is tainted), which
+// is fixed by the subtree signature and copy assignment, so the Pass
+// memoizes safely.
+func aggregatePass(n *engine.Node, child *Pass, cat *catalog.Catalog) (*Pass, error) {
+	rows := len(child.rows)
+	full, err := fullSize(n, cat)
+	if err != nil {
+		return nil, err
+	}
+	card, err := optimizerCard(n, cat)
+	if err != nil {
+		return nil, err
+	}
+	rho := 0.0
+	if full > 0 {
+		rho = card / full
+	}
+	return &Pass{
+		numLeaves: child.numLeaves,
+		tainted:   true,
+		est: OpEstimate{
+			Rho:           rho,
+			Var:           0,
+			LeafComp:      map[int]float64{},
+			LeafN:         map[int]int{},
+			FromOptimizer: true,
+			EstCard:       card,
+			SampleCounts:  engine.UnaryCounts(engine.Aggregate, float64(rows)),
+		},
+	}, nil
+}
+
+// unaryPass builds the Pass of a Sort or Materialize: the child's rows
+// and estimate pass through unchanged — same selectivity variable, same
+// leaf components, same taint — with only the operator's own unary work
+// added to the sample counts.
+func unaryPass(n *engine.Node, child *Pass) *Pass {
+	e := child.est
+	e.SampleCounts = engine.UnaryCounts(n.Kind, float64(len(child.rows)))
+	return &Pass{
+		rows:      child.rows,
+		cols:      child.cols,
+		numLeaves: child.numLeaves,
+		tainted:   child.tainted,
+		est:       e,
+	}
 }
 
 // scanPass evaluates one scan over its sample table in the local frame
@@ -463,24 +514,8 @@ func joinPass(n *engine.Node, left, right *Pass, cat *catalog.Catalog) (*Pass, e
 	}, nil
 }
 
-// hashJoinPassRows is hashJoinSRows over bare row slices.
+// hashJoinPassRows is hashJoinSRows over bare row slices; both share
+// the flat-arena join in hashJoinRows.
 func hashJoinPassRows(leftRows, rightRows []srow, li, ri int) []srow {
-	ht := make(map[int64][]int, len(leftRows))
-	for i, r := range leftRows {
-		ht[r.vals[li]] = append(ht[r.vals[li]], i)
-	}
-	var out []srow
-	for _, rr := range rightRows {
-		for _, i := range ht[rr.vals[ri]] {
-			lr := leftRows[i]
-			vals := make([]int64, 0, len(lr.vals)+len(rr.vals))
-			vals = append(vals, lr.vals...)
-			vals = append(vals, rr.vals...)
-			prov := make([]int32, 0, len(lr.prov)+len(rr.prov))
-			prov = append(prov, lr.prov...)
-			prov = append(prov, rr.prov...)
-			out = append(out, srow{vals: vals, prov: prov})
-		}
-	}
-	return out
+	return hashJoinRows(leftRows, rightRows, li, ri)
 }

@@ -235,3 +235,51 @@ func TestEstimateMemoContextCancel(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+// countNodes returns the number of operators in a plan tree — the
+// number of memo lookups one EstimateMemo pass performs now that every
+// case (scans, joins, aggregates, tainted joins, unary pass-throughs)
+// routes through the memo.
+func countNodes(n *engine.Node) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + countNodes(n.Left) + countNodes(n.Right)
+}
+
+// TestEstimateMemoWarmPassComputesNothing pins the tainted-region and
+// pass-through memoization: a warm second pass over any plan shape —
+// including sorts above joins and joins above aggregates — performs one
+// memo hit per operator and computes zero fresh passes. Before the fix,
+// unary nodes and everything at or above an aggregate were recomputed
+// on every estimate.
+func TestEstimateMemoWarmPassComputesNothing(t *testing.T) {
+	db := synthDB(1000, 800, 12, 3)
+	cat := catalog.Build(db)
+	sdb, err := Build(db, 0.2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range subtreePlans() {
+		rec := newMemoRecorder()
+		if _, err := EstimateMemo(context.Background(), p, sdb, cat, rec.memo); err != nil {
+			t.Fatalf("plan %d: cold: %v", i, err)
+		}
+		n := countNodes(p)
+		if rec.misses != n || rec.hits != 0 {
+			t.Errorf("plan %d: cold pass hits=%d misses=%d, want 0/%d",
+				i, rec.hits, rec.misses, n)
+		}
+		if _, err := EstimateMemo(context.Background(), p, sdb, cat, rec.memo); err != nil {
+			t.Fatalf("plan %d: warm: %v", i, err)
+		}
+		if rec.misses != n {
+			t.Errorf("plan %d: warm pass computed %d fresh passes, want 0",
+				i, rec.misses-n)
+		}
+		if rec.hits != n {
+			t.Errorf("plan %d: warm pass hit %d passes, want one per operator (%d)",
+				i, rec.hits, n)
+		}
+	}
+}

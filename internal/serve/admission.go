@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	uaqetp "repro"
 	"repro/internal/stats"
@@ -47,7 +48,11 @@ type Decision struct {
 	QueueLen int `json:"queue_len"`
 }
 
-// queued is one admitted request awaiting execution.
+// queued is one admitted request awaiting execution. Instances cycle
+// through queuedPool: Submit takes one from the pool, the drain path
+// returns it after the outcome is recorded. releaseQueued zeroes every
+// field before Put, so a pooled entry never pins a tenant, query, or
+// prediction past its dequeue — the pool holds only dead shells.
 type queued struct {
 	id          uint64
 	tenant      *Tenant
@@ -56,6 +61,15 @@ type queued struct {
 	plansig     string
 	absDeadline float64 // virtual clock value the query must finish by
 	key         float64 // drain-order key from the server's QueuePolicy
+}
+
+var queuedPool = sync.Pool{New: func() any { return new(queued) }}
+
+// releaseQueued clears it (dropping the tenant/query/prediction
+// references) and returns the shell to the pool.
+func releaseQueued(it *queued) {
+	*it = queued{}
+	queuedPool.Put(it)
 }
 
 // requestHeap orders admitted work by the queue policy's key (smallest
@@ -153,7 +167,8 @@ func (s *Server) Submit(ctx context.Context, req Request) (Decision, error) {
 	t.admitted.Add(1)
 	s.qWaitMean += pred.Mean()
 	s.qWaitVar += pred.Sigma() * pred.Sigma()
-	heap.Push(&s.queue, &queued{
+	it := queuedPool.Get().(*queued)
+	*it = queued{
 		id:          d.ID,
 		tenant:      t,
 		query:       req.Query,
@@ -161,7 +176,8 @@ func (s *Server) Submit(ctx context.Context, req Request) (Decision, error) {
 		plansig:     plansig,
 		absDeadline: s.clock + deadline,
 		key:         s.cfg.Policy.Key(s.clock+deadline, pred, t.slo),
-	})
+	}
+	heap.Push(&s.queue, it)
 	d.QueueLen = s.queue.Len()
 	return d, nil
 }
@@ -194,9 +210,25 @@ type Outcome struct {
 // via AdvanceClock and schedules a completion event at Finish — while
 // DrainOne keeps the historical back-to-back drain semantics.
 func (s *Server) StepOne() (*Outcome, error) {
+	var out Outcome
+	ok, err := s.StepOneInto(&out)
+	if !ok {
+		return nil, err
+	}
+	return &out, err
+}
+
+// StepOneInto is StepOne writing the outcome into caller-owned storage:
+// ok reports whether a request was consumed (false with a nil error
+// means the queue was empty), and out is meaningful only when ok. On an
+// execution failure out carries the skeleton StepOne's error outcome
+// would (ID/Tenant/Query/Deadline; no times). Event-loop drivers reuse
+// one Outcome across steps and so keep the steady-state drain path
+// allocation-free.
+func (s *Server) StepOneInto(out *Outcome) (ok bool, err error) {
 	s.drainMu.Lock()
 	defer s.drainMu.Unlock()
-	return s.stepOneLocked()
+	return s.stepOneLocked(out)
 }
 
 // DrainOne is StepOne plus advancing the virtual clock to the outcome's
@@ -208,21 +240,25 @@ func (s *Server) StepOne() (*Outcome, error) {
 func (s *Server) DrainOne() (*Outcome, error) {
 	s.drainMu.Lock()
 	defer s.drainMu.Unlock()
-	out, err := s.stepOneLocked()
-	if out != nil && err == nil {
+	var out Outcome
+	ok, err := s.stepOneLocked(&out)
+	if !ok {
+		return nil, err
+	}
+	if err == nil {
 		// Advance while still holding drainMu so a concurrent drain
 		// cannot step the next request against a stale clock.
 		s.AdvanceClock(out.Finish)
 	}
-	return out, err
+	return &out, err
 }
 
-// stepOneLocked is StepOne with drainMu held by the caller.
-func (s *Server) stepOneLocked() (*Outcome, error) {
+// stepOneLocked is StepOneInto with drainMu held by the caller.
+func (s *Server) stepOneLocked(out *Outcome) (bool, error) {
 	s.qmu.Lock()
 	if s.queue.Len() == 0 {
 		s.qmu.Unlock()
-		return nil, nil
+		return false, nil
 	}
 	it := heap.Pop(&s.queue).(*queued)
 	// The popped request leaves the predicted backlog; zero the
@@ -243,12 +279,14 @@ func (s *Server) stepOneLocked() (*Outcome, error) {
 		// identifying the consumed request (ID/Tenant/Query; no times),
 		// so drivers tracking admissions by ID can release theirs.
 		it.tenant.execFailed.Add(1)
-		skel := &Outcome{ID: it.id, Tenant: it.tenant.name, Query: it.query.Name, Deadline: it.absDeadline}
-		return skel, fmt.Errorf("serve: execute %q: %w", it.query.Name, err)
+		*out = Outcome{ID: it.id, Tenant: it.tenant.name, Query: it.query.Name, Deadline: it.absDeadline}
+		err = fmt.Errorf("serve: execute %q: %w", it.query.Name, err)
+		releaseQueued(it)
+		return true, err
 	}
 
 	s.qmu.Lock()
-	out := &Outcome{
+	*out = Outcome{
 		ID:        it.id,
 		Tenant:    it.tenant.name,
 		Query:     it.query.Name,
@@ -272,7 +310,8 @@ func (s *Server) stepOneLocked() (*Outcome, error) {
 		it.tenant.deadlinesMissed.Add(1)
 	}
 	it.tenant.feedback.record(it.pred, elapsed, it.plansig)
-	return out, nil
+	releaseQueued(it)
+	return true, nil
 }
 
 // Drain executes every queued request in priority order and returns the

@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"context"
+	"testing"
+)
+
+// TestQueuedPoolRetainsNoReferences pins the pooling contract of the
+// submit/drain path: a queued shell released back to queuedPool must be
+// fully zeroed, so the pool never pins a tenant (and its whole System),
+// a query, or a prediction past the request's dequeue. The test seeds
+// the pool with a known shell, drives one request through
+// Submit/StepOneInto on a single goroutine (sync.Pool's per-P slot then
+// recycles that exact shell), and checks the shell comes back dead.
+func TestQueuedPoolRetainsNoReferences(t *testing.T) {
+	srv, qs := newTestServer(t, Config{})
+
+	seed := new(queued)
+	queuedPool.Put(seed)
+
+	dec, err := srv.Submit(context.Background(), Request{
+		Tenant: "alpha", Query: qs[0], Deadline: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Admitted {
+		t.Fatalf("request rejected: %s", dec.Reason)
+	}
+	var out Outcome
+	ok, err := srv.StepOneInto(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("StepOneInto found an empty queue")
+	}
+	if out.Query != qs[0].Name {
+		t.Fatalf("outcome query %q, want %q", out.Query, qs[0].Name)
+	}
+
+	got := queuedPool.Get().(*queued)
+	if got != seed {
+		// Another shell came back first (scheduling moved the request to
+		// a different P's slot) — the zeroing assertion below still
+		// holds for whichever shell the drain path released.
+		t.Logf("pool returned a different shell than the seeded one")
+	}
+	if got.tenant != nil || got.query != nil || got.pred != nil {
+		t.Errorf("released shell retains references: tenant=%p query=%p pred=%p",
+			got.tenant, got.query, got.pred)
+	}
+	if *got != (queued{}) {
+		t.Errorf("released shell not zeroed: %+v", *got)
+	}
+}

@@ -460,6 +460,26 @@ func (s *Server) QueueState() (length int, waitMean, waitVar float64) {
 	return s.queue.Len(), s.qWaitMean + s.residualLocked(), s.qWaitVar
 }
 
+// QueueStateAt is QueueState with the in-flight residual measured
+// against virtual time now (or the server's clock, whichever is later)
+// instead of the clock alone. It is a pure read: the clock does not
+// move and no recalibration checks run, so an event-driven caller can
+// poll many servers at one instant — the simulator's routers do, per
+// arrival — without paying a clock broadcast to all of them.
+func (s *Server) QueueStateAt(now float64) (length int, waitMean, waitVar float64) {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	ref := s.clock
+	if now > ref {
+		ref = now
+	}
+	resid := 0.0
+	if s.inflight > ref {
+		resid = s.inflight - ref
+	}
+	return s.queue.Len(), s.qWaitMean + resid, s.qWaitVar
+}
+
 // residualLocked is the remaining service time of the in-flight
 // request (0 when idle or when the clock has caught up). Caller holds
 // qmu.

@@ -28,11 +28,14 @@
 // (least-risk-shared) on identical traffic: same scenario, same seed,
 // same queries, byte-identical reports across runs.
 //
-// Everything is deterministic per (Scenario, Seed): the event loop is
-// single-threaded, every RNG derives from the scenario seed, and the
-// underlying prediction/execution stack is deterministic by contract,
-// so the same config produces the same Report bytes regardless of
-// GOMAXPROCS or the race detector.
+// Everything is deterministic per (Scenario, Seed): arrivals are
+// processed on one goroutine, concurrent service steps (see
+// Scenario.Parallelism) touch only machine-local state and commit
+// their shared effects in event order, every RNG derives from the
+// scenario seed, and the underlying prediction/execution stack is
+// deterministic by contract — so the same config produces the same
+// Report bytes regardless of GOMAXPROCS, parallelism, or the race
+// detector.
 package sim
 
 import (
@@ -92,6 +95,14 @@ type Scenario struct {
 	// recalibration cadence on every machine (serve.Config.RecalEvery);
 	// 0 disables it.
 	RecalEvery float64 `json:"recal_every,omitempty"`
+	// Parallelism bounds how many machines' service intervals are
+	// stepped concurrently between event-ordering barriers; 0 or 1
+	// selects serial stepping. The report is byte-identical for every
+	// value (and every GOMAXPROCS) — concurrent steps touch only
+	// machine-local state and their shared effects are merged in
+	// deterministic event order — so the knob trades wall-clock for
+	// cores, never reproducibility.
+	Parallelism int `json:"parallelism,omitempty"`
 	// Tenants are the traffic sources; every tenant exists on every
 	// machine (the router spreads its arrivals across the fleet).
 	Tenants []TenantSpec `json:"tenants"`
@@ -176,6 +187,9 @@ func (sc Scenario) normalized() (Scenario, error) {
 	}
 	if sc.SamplingRatio == 0 {
 		sc.SamplingRatio = 0.05
+	}
+	if sc.Parallelism < 0 {
+		return sc, fmt.Errorf("sim: parallelism %d must not be negative", sc.Parallelism)
 	}
 	if len(sc.Tenants) == 0 {
 		return sc, fmt.Errorf("sim: scenario needs at least one tenant")

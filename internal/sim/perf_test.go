@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	uaqetp "repro"
+	"repro/internal/serve"
+)
+
+// TestSimParallelSteppingByteIdentical pins the parallel-stepping
+// contract: the report is byte-identical for every parallelism setting
+// and every GOMAXPROCS — concurrent service steps touch only
+// machine-local state and commit their shared effects in event order.
+func TestSimParallelSteppingByteIdentical(t *testing.T) {
+	base := testScenario()
+	ref, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := ref.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 4} {
+		runtime.GOMAXPROCS(procs)
+		for _, par := range []int{1, 2, 4} {
+			sc := testScenario()
+			sc.Parallelism = par
+			rep, err := Run(sc)
+			if err != nil {
+				t.Fatalf("GOMAXPROCS=%d parallelism=%d: %v", procs, par, err)
+			}
+			got, err := rep.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(refJSON) {
+				t.Errorf("GOMAXPROCS=%d parallelism=%d: report differs from serial run", procs, par)
+			}
+		}
+	}
+}
+
+// TestAllRejectedTenantReport pins the empty-sample edges of the report
+// path: a tenant whose every query is rejected (an impossible deadline
+// under a strict confidence floor) must produce a finite, marshalable
+// report — zero-N quantiles, no NaN attainment, no panic.
+func TestAllRejectedTenantReport(t *testing.T) {
+	sc := testScenario()
+	sc.Name = "all-rejected"
+	sc.Tenants = append([]TenantSpec(nil), sc.Tenants...)
+	sc.Tenants = append(sc.Tenants, TenantSpec{
+		Name:     "doomed",
+		Bench:    "seljoin",
+		Queries:  4,
+		Deadline: 1e-9, // unmeetable: P(T_q <= d) ~ 0 for every query
+		SLO:      serve.SLO{Confidence: 0.99, DefaultDeadline: 1e-9, Quantile: 0.9},
+		Arrivals: ArrivalSpec{Process: ProcessPoisson, Rate: 2},
+	})
+	rep, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rep.JSON(); err != nil {
+		t.Fatalf("report not marshalable (NaN/Inf leak?): %v", err)
+	}
+	var doomed *TenantReport
+	for i := range rep.Tenants {
+		if rep.Tenants[i].Name == "doomed" {
+			doomed = &rep.Tenants[i]
+		}
+	}
+	if doomed == nil {
+		t.Fatal("doomed tenant missing from report")
+	}
+	if doomed.Submitted == 0 || doomed.Rejected != doomed.Submitted {
+		t.Fatalf("doomed tenant not all-rejected: %+v", doomed)
+	}
+	if doomed.Executed != 0 || doomed.Latency.N != 0 || doomed.QueueWait.N != 0 {
+		t.Fatalf("doomed tenant executed work: %+v", doomed)
+	}
+	for name, v := range map[string]float64{
+		"slo_attainment":      doomed.SLOAttainment,
+		"attainment_executed": doomed.AttainmentExecuted,
+		"latency_mean":        doomed.Latency.Mean,
+		"latency_p99":         doomed.Latency.P99,
+		"queue_wait_mean":     doomed.QueueWait.Mean,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("doomed tenant %s = %v, want finite", name, v)
+		}
+	}
+}
+
+// TestEventDispatchAllocs is the alloc-regression gate on the event
+// loop: with the System opened and caches warm, dispatching one event
+// (arrival routing + admission or completion + next-request execution)
+// must stay within a fixed allocation budget. The seed trajectory spent
+// ~300 allocs/event; the pooled/cursor-based engine runs near 40. The
+// bound leaves headroom for noise while catching any return of
+// per-event heap traffic.
+func TestEventDispatchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc, err := testScenario().normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, err := parseDBKind(sc.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qpol, err := serve.QueuePolicyByName(sc.QueuePolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := uaqetp.NewEstimateCache(1024)
+	sys, err := uaqetp.Open(uaqetp.Config{
+		DB: kind, Machine: sc.MachineProfile, SamplingRatio: sc.SamplingRatio,
+		Seed: sc.Seed, Cache: cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm run: fills the plan memo and the estimate/run cache sections.
+	warm, err := runWith(sc, qpol, sys, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Events == 0 {
+		t.Fatal("warm run processed no events")
+	}
+	perRun := testing.AllocsPerRun(3, func() {
+		if _, err := runWith(sc, qpol, sys, cache); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perEvent := perRun / float64(warm.Events)
+	const budget = 150
+	if perEvent > budget {
+		t.Errorf("event dispatch allocates %.1f allocs/event (%.0f/run over %d events), budget %d",
+			perEvent, perRun, warm.Events, budget)
+	}
+	t.Logf("event dispatch: %.1f allocs/event", perEvent)
+}

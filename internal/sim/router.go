@@ -65,7 +65,7 @@ func (s *simRun) route(ts *tenantState, ti int, q *uaqetp.Query, deadline, now f
 	case RouterLeastQueue:
 		best, bestWait := 0, math.Inf(1)
 		for m, ms := range s.machines {
-			_, waitMean, _ := ms.srv.QueueState()
+			_, waitMean, _ := ms.srv.QueueStateAt(now)
 			if waitMean < bestWait {
 				best, bestWait = m, waitMean
 			}
@@ -74,12 +74,12 @@ func (s *simRun) route(ts *tenantState, ti int, q *uaqetp.Query, deadline, now f
 
 	case RouterLeastRisk:
 		if s.perMachine {
-			return s.routeLeastRiskPerMachine(ti, q, deadline)
+			return s.routeLeastRiskPerMachine(ti, q, deadline, now)
 		}
-		return s.routeLeastRiskShared(ts, q, deadline)
+		return s.routeLeastRiskShared(ts, q, deadline, now)
 
 	case RouterLeastRiskShared:
-		return s.routeLeastRiskShared(ts, q, deadline)
+		return s.routeLeastRiskShared(ts, q, deadline, now)
 	}
 	return 0, fmt.Errorf("sim: unknown router %q", s.router)
 }
@@ -88,11 +88,11 @@ func (s *simRun) route(ts *tenantState, ti int, q *uaqetp.Query, deadline, now f
 // fleet-shared prediction of T_q: correct on homogeneous fleets (and
 // byte-identical to the pre-heterogeneity router there), an ablation on
 // labeled ones.
-func (s *simRun) routeLeastRiskShared(ts *tenantState, q *uaqetp.Query, deadline float64) (int, error) {
-	// The subsequent Submit on the chosen machine predicts again; the
-	// expensive part (the sampling pass) is shared through the fleet
-	// cache, so the duplication costs one plan build plus the analytic
-	// moment propagation per arrival.
+func (s *simRun) routeLeastRiskShared(ts *tenantState, q *uaqetp.Query, deadline, now float64) (int, error) {
+	// The subsequent Submit on the chosen machine predicts again; both
+	// calls resolve through the planner's structural memo and the
+	// predictor stage's pointer-keyed memo, so the duplication costs a
+	// couple of map probes per arrival.
 	pred, err := ts.sys.PredictContext(s.ctx, q)
 	if err != nil {
 		return 0, fmt.Errorf("sim: route predict %q: %w", q.Name, err)
@@ -104,7 +104,7 @@ func (s *simRun) routeLeastRiskShared(ts *tenantState, q *uaqetp.Query, deadline
 	// the load instead of herding onto the first index.
 	best, bestP, bestWait := 0, math.Inf(-1), math.Inf(1)
 	for m, ms := range s.machines {
-		_, wait, waitVar := ms.srv.QueueState()
+		_, wait, waitVar := ms.srv.QueueStateAt(now)
 		total := stats.Normal{
 			Mu:    pred.Mean() + wait,
 			Sigma: math.Sqrt(pred.Sigma()*pred.Sigma() + math.Max(waitVar, 0)),
@@ -124,14 +124,14 @@ func (s *simRun) routeLeastRiskShared(ts *tenantState, q *uaqetp.Query, deadline
 // swap in. The sampling pass behind every prediction is shared through
 // the fleet cache (estimates are machine-independent), so the
 // per-machine work is one analytic unit propagation each.
-func (s *simRun) routeLeastRiskPerMachine(ti int, q *uaqetp.Query, deadline float64) (int, error) {
+func (s *simRun) routeLeastRiskPerMachine(ti int, q *uaqetp.Query, deadline, now float64) (int, error) {
 	best, bestP, bestWait := 0, math.Inf(-1), math.Inf(1)
 	for m, ms := range s.machines {
 		pred, err := ms.tenants[ti].System().PredictContext(s.ctx, q)
 		if err != nil {
 			return 0, fmt.Errorf("sim: route predict %q on machine %d: %w", q.Name, m, err)
 		}
-		_, wait, waitVar := ms.srv.QueueState()
+		_, wait, waitVar := ms.srv.QueueStateAt(now)
 		total := stats.Normal{
 			Mu:    pred.Mean() + wait,
 			Sigma: math.Sqrt(pred.Sigma()*pred.Sigma() + math.Max(waitVar, 0)),

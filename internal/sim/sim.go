@@ -1,62 +1,56 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
 
 	uaqetp "repro"
 	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
-// eventKind discriminates the two discrete events.
-type eventKind int
+// The event engine holds the two discrete event kinds in separate
+// structures shaped for their sizes. Arrivals — the bulk, potentially
+// millions — are drawn up front, sorted once, and consumed through a
+// cursor: no heap traffic, no per-event allocation, and the query clone
+// each arrival needs is made lazily at processing time, so a
+// million-arrival scenario never holds a million cloned queries at
+// once. Completions (one in-flight query per machine, so at most
+// #machines outstanding) live in a small value-based binary heap over a
+// reused backing slice.
+//
+// The merged order is (time, tie: arrivals first, then completion push
+// order) — exactly the order the previous pointer-heap produced, where
+// arrivals were assigned the lowest sequence numbers up front.
 
-const (
-	// evArrival is one query arriving at the router.
-	evArrival eventKind = iota
-	// evFree is a machine finishing its in-flight query.
-	evFree
-)
+// arrival is one query arriving at the router: a template reference
+// plus placement, cloned into a uniquely named query only when the
+// event fires.
+type arrival struct {
+	at     float64
+	tenant int32
+	ord    int32
+	tmpl   *uaqetp.Query
+}
 
-// event is one entry in the simulation's time-ordered event queue.
-type event struct {
-	at   float64
-	seq  uint64 // tie-break at equal times: assignment order
-	kind eventKind
-
-	// Arrival fields.
-	tenant   int
-	q        *uaqetp.Query
-	deadline float64 // effective deadline, for the router's risk math
-
-	// Free fields.
+// freeEvent is a machine finishing its in-flight query.
+type freeEvent struct {
+	at      float64
+	seq     uint64 // tie-break at equal times: push order
 	machine int
 }
 
-// eventHeap orders events by (time, seq): a deterministic total order.
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func freeLess(a, b freeEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
+	return a.seq < b.seq
 }
 
 // pendingArrival remembers when an admitted request arrived (and whose
@@ -64,6 +58,15 @@ func (h *eventHeap) Pop() any {
 type pendingArrival struct {
 	tenant int
 	at     float64
+}
+
+// latRec is one executed request's latency sample, staged machine-side
+// during a (possibly parallel) service step and committed to the
+// tenant's series in deterministic batch order.
+type latRec struct {
+	tenant  int
+	latency float64
+	qwait   float64
 }
 
 // machineState is one simulated execution server: a serve.Server over
@@ -86,6 +89,15 @@ type machineState struct {
 	busyTime float64
 	executed int
 	pending  map[uint64]pendingArrival
+
+	// Scratch reused across service steps. out is the Outcome the
+	// drain path fills in place; staged/freeAt/freePending carry a
+	// step's shared-state effects out of the (possibly concurrent)
+	// machine-local phase into the serial commit.
+	out         serve.Outcome
+	staged      []latRec
+	freeAt      float64
+	freePending bool
 }
 
 // tenantState is one traffic source.
@@ -110,18 +122,28 @@ type simRun struct {
 	// path, byte-identical to the homogeneous simulator.
 	perMachine bool
 
-	events    eventHeap
-	seq       uint64
+	arrivals []arrival
+	cursor   int
+	frees    []freeEvent
+	freeSeq  uint64
+	// templates are the distinct pool queries the arrivals draw from,
+	// in first-appearance order; their plans are executed once up front
+	// so the run cache is warm before any (possibly parallel) stepping.
+	templates []*uaqetp.Query
+
+	par       int
+	batch     []freeEvent
 	processed int
-	arrivals  int
 	rrNext    int
 }
 
 // Run executes the scenario to completion — every arrival routed,
 // admitted work drained — and returns the report. Same scenario + seed
-// => identical Report, regardless of GOMAXPROCS or the race detector:
-// the event loop is single-threaded and every RNG stream derives from
-// the scenario seed.
+// => identical Report, regardless of GOMAXPROCS, the race detector, or
+// the scenario's parallelism setting: arrivals are processed on one
+// goroutine, concurrent service steps touch only machine-local state,
+// and their shared-state effects are committed in deterministic event
+// order.
 func Run(sc Scenario) (*Report, error) {
 	sc, err := sc.normalized()
 	if err != nil {
@@ -203,6 +225,10 @@ func runWith(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache *uaq
 	s := &simRun{
 		sc: sc, ctx: context.Background(), router: sc.Router, cache: cache,
 		perMachine: sc.Machines.Labeled(),
+		par:        sc.Parallelism,
+	}
+	if s.par < 1 {
+		s.par = 1
 	}
 	for m := range fleet {
 		srv := serve.New(serve.Config{
@@ -227,6 +253,16 @@ func runWith(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache *uaq
 	if err := s.buildArrivals(sys); err != nil {
 		return nil, err
 	}
+	// Warm the shared cache's run section (and the plan memo and
+	// estimate sections with it) by executing each distinct template
+	// once, serially, before the loop: parallel service steps then only
+	// ever *read* the run section, so its hit/miss counters — which the
+	// report carries — cannot depend on which worker got there first.
+	// Templates that fail to execute are simply skipped; the loop
+	// tallies such failures per arrival exactly as before.
+	for _, q := range s.templates {
+		_, _ = sys.Execute(q)
+	}
 	if err := s.loop(); err != nil {
 		return nil, err
 	}
@@ -244,27 +280,41 @@ func arrivalSeed(seed int64, tenant int) int64 {
 }
 
 // cloneQuery gives one arrival its own copy of a pool query under a
-// unique name. The plan (and therefore every cached sampling pass and
-// run result) is unchanged — only the executor's measurement stream,
-// which is seeded per query name, differs — so repeated arrivals of the
-// same template draw independent deterministic running times instead of
+// unique name (tenant/template#ordinal, ordinal zero-padded to five
+// digits). The plan (and therefore every cached sampling pass and run
+// result) is unchanged — only the executor's measurement stream, which
+// is seeded per query name, differs — so repeated arrivals of the same
+// template draw independent deterministic running times instead of
 // replaying one number.
 func cloneQuery(base *uaqetp.Query, tenant string, ordinal int) *uaqetp.Query {
 	q := *base
-	q.Name = fmt.Sprintf("%s/%s#%05d", tenant, base.Name, ordinal)
+	o := strconv.Itoa(ordinal)
+	var b strings.Builder
+	b.Grow(len(tenant) + len(base.Name) + len(o) + 7)
+	b.WriteString(tenant)
+	b.WriteByte('/')
+	b.WriteString(base.Name)
+	b.WriteByte('#')
+	for i := len(o); i < 5; i++ {
+		b.WriteByte('0')
+	}
+	b.WriteString(o)
+	q.Name = b.String()
 	return &q
 }
 
-// buildArrivals draws every tenant's arrival sequence and seeds the
-// event queue with it, in one deterministic global order.
+// buildArrivals draws every tenant's arrival sequence into one sorted
+// slice — template references only; queries are cloned when the event
+// fires — and sizes each tenant's latency series for its share.
 func (s *simRun) buildArrivals(sys *uaqetp.System) error {
-	type pendingEvent struct {
-		at      float64
-		tenant  int
-		ordinal int
-		q       *uaqetp.Query
+	seen := make(map[*uaqetp.Query]bool)
+	note := func(q *uaqetp.Query) *uaqetp.Query {
+		if !seen[q] {
+			seen[q] = true
+			s.templates = append(s.templates, q)
+		}
+		return q
 	}
-	var all []pendingEvent
 	for ti, spec := range s.sc.Tenants {
 		bench, err := parseBench(spec.Bench)
 		if err != nil {
@@ -308,9 +358,8 @@ func (s *simRun) buildArrivals(sys *uaqetp.System) error {
 				if e.At >= s.sc.Horizon {
 					break
 				}
-				all = append(all, pendingEvent{
-					at: e.At, tenant: ti, ordinal: k,
-					q: cloneQuery(e.Query, spec.Name, k),
+				s.arrivals = append(s.arrivals, arrival{
+					at: e.At, tenant: int32(ti), ord: int32(k), tmpl: note(e.Query),
 				})
 			}
 			continue
@@ -321,39 +370,77 @@ func (s *simRun) buildArrivals(sys *uaqetp.System) error {
 			return fmt.Errorf("sim: tenant %q workload: %w", spec.Name, err)
 		}
 		for k, at := range spec.Arrivals.times(rng, s.sc.Horizon) {
-			all = append(all, pendingEvent{
-				at: at, tenant: ti, ordinal: k,
-				q: cloneQuery(pool[rng.Intn(len(pool))], spec.Name, k),
+			s.arrivals = append(s.arrivals, arrival{
+				at: at, tenant: int32(ti), ord: int32(k), tmpl: note(pool[rng.Intn(len(pool))]),
 			})
 		}
 	}
 	// One global deterministic order: by time, ties by (tenant,
-	// ordinal). Sequence numbers assigned in this order keep the heap's
-	// total order stable across runs.
-	sort.Slice(all, func(i, j int) bool {
-		a, b := all[i], all[j]
+	// ordinal) — the order the event loop consumes through its cursor.
+	sort.Slice(s.arrivals, func(i, j int) bool {
+		a, b := s.arrivals[i], s.arrivals[j]
 		if a.at != b.at {
 			return a.at < b.at
 		}
 		if a.tenant != b.tenant {
 			return a.tenant < b.tenant
 		}
-		return a.ordinal < b.ordinal
+		return a.ord < b.ord
 	})
-	for _, pe := range all {
-		s.pushEvent(&event{
-			at: pe.at, kind: evArrival, tenant: pe.tenant,
-			q: pe.q, deadline: s.tenants[pe.tenant].effDeadline,
-		})
+	// Preallocate each tenant's latency series at its arrival count (an
+	// upper bound: rejected work records nothing), so million-event
+	// runs never regrow them.
+	counts := make([]int, len(s.tenants))
+	for _, a := range s.arrivals {
+		counts[a.tenant]++
 	}
-	s.arrivals = len(all)
+	for ti, ts := range s.tenants {
+		ts.latencies = make([]float64, 0, counts[ti])
+		ts.queueWaits = make([]float64, 0, counts[ti])
+	}
 	return nil
 }
 
-func (s *simRun) pushEvent(ev *event) {
-	ev.seq = s.seq
-	s.seq++
-	heap.Push(&s.events, ev)
+// pushFree schedules a machine completion, assigning the next sequence
+// number (completion ties at equal times resolve in push order, after
+// any arrival at the same instant).
+func (s *simRun) pushFree(at float64, machine int) {
+	s.frees = append(s.frees, freeEvent{at: at, seq: s.freeSeq, machine: machine})
+	s.freeSeq++
+	i := len(s.frees) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !freeLess(s.frees[i], s.frees[p]) {
+			break
+		}
+		s.frees[i], s.frees[p] = s.frees[p], s.frees[i]
+		i = p
+	}
+}
+
+// popFree removes and returns the earliest completion.
+func (s *simRun) popFree() freeEvent {
+	top := s.frees[0]
+	n := len(s.frees) - 1
+	s.frees[0] = s.frees[n]
+	s.frees = s.frees[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		sm := i
+		if l < n && freeLess(s.frees[l], s.frees[sm]) {
+			sm = l
+		}
+		if r < n && freeLess(s.frees[r], s.frees[sm]) {
+			sm = r
+		}
+		if sm == i {
+			break
+		}
+		s.frees[i], s.frees[sm] = s.frees[sm], s.frees[i]
+		i = sm
+	}
+	return top
 }
 
 // loop processes events until none remain. Arrivals route, advance the
@@ -361,79 +448,179 @@ func (s *simRun) pushEvent(ev *event) {
 // work starts immediately on an idle machine. A machine finishing its
 // query frees at the outcome's finish time and starts the next queued
 // request, so queues drain to completion after the arrival horizon.
+//
+// Clocks advance lazily: an arrival touches only the machine it lands
+// on (the routers read other machines' states at event time through
+// the read-only QueueStateAt, which is arithmetic-identical to
+// advancing them first), a completion touches its own machine, and the
+// loop ends by aligning every machine with the final arrival instant —
+// so each machine's clock finishes exactly where the broadcast version
+// left it.
+//
+// Completions due before the next arrival are independent per machine
+// — service steps touch only the machine's own server, queue, façades,
+// and feedback — so up to par of them (pairwise-distinct machines) are
+// stepped concurrently between event-ordering barriers, and their
+// shared-state effects (latency samples, scheduled completions) are
+// committed serially in batch order. Reports are byte-identical for
+// every par and GOMAXPROCS.
 func (s *simRun) loop() error {
-	for s.events.Len() > 0 {
-		ev := heap.Pop(&s.events).(*event)
-		s.processed++
-		switch ev.kind {
-		case evArrival:
-			// Align every machine's clock with event time first: the
-			// placement policies read residual in-flight service off the
-			// servers' queue state, which is measured against their
-			// clocks, and idle machines accrue cadence checks too.
-			for _, ms := range s.machines {
-				ms.srv.AdvanceClock(ev.at)
-			}
-			ts := s.tenants[ev.tenant]
-			m, err := s.route(ts, ev.tenant, ev.q, ev.deadline, ev.at)
-			if err != nil {
+	for {
+		hasArr := s.cursor < len(s.arrivals)
+		hasFree := len(s.frees) > 0
+		if !hasArr && !hasFree {
+			break
+		}
+		if hasArr && (!hasFree || s.arrivals[s.cursor].at <= s.frees[0].at) {
+			a := s.arrivals[s.cursor]
+			s.cursor++
+			s.processed++
+			if err := s.handleArrival(a); err != nil {
 				return err
 			}
-			ms := s.machines[m]
-			dec, err := ms.srv.Submit(s.ctx, serve.Request{
-				Tenant: ts.spec.Name, Query: ev.q, Deadline: ts.spec.Deadline,
-			})
-			if err != nil {
-				// An unpredictable query is already tallied as a rejection
-				// by the server; the simulation carries on.
-				continue
+			continue
+		}
+
+		// Batch consecutive completions on distinct machines that all
+		// precede the next arrival.
+		nextArr := math.Inf(1)
+		if hasArr {
+			nextArr = s.arrivals[s.cursor].at
+		}
+		s.batch = s.batch[:0]
+	collect:
+		for len(s.frees) > 0 && len(s.batch) < s.par {
+			top := s.frees[0]
+			if top.at >= nextArr {
+				break
 			}
-			if dec.Admitted {
-				ms.pending[dec.ID] = pendingArrival{tenant: ev.tenant, at: ev.at}
-				if !ms.busy {
-					s.startNext(m)
+			for _, b := range s.batch {
+				if b.machine == top.machine {
+					break collect
 				}
 			}
-		case evFree:
-			ms := s.machines[ev.machine]
-			ms.busy = false
-			ms.srv.AdvanceClock(ev.at)
-			s.startNext(ev.machine)
+			s.batch = append(s.batch, s.popFree())
+		}
+		s.processed += len(s.batch)
+		if len(s.batch) == 1 {
+			s.serviceFree(s.batch[0])
+		} else {
+			var wg sync.WaitGroup
+			for _, ev := range s.batch {
+				wg.Add(1)
+				go func(ev freeEvent) {
+					defer wg.Done()
+					s.serviceFree(ev)
+				}(ev)
+			}
+			wg.Wait()
+		}
+		for _, ev := range s.batch {
+			s.commitMachine(ev.machine)
+		}
+	}
+	// Align every machine with the last arrival instant, exactly as the
+	// per-arrival clock broadcast used to.
+	if n := len(s.arrivals); n > 0 {
+		last := s.arrivals[n-1].at
+		for _, ms := range s.machines {
+			ms.srv.AdvanceClock(last)
 		}
 	}
 	return nil
 }
 
-// startNext pops and executes the machine's best queued request at its
-// current clock, marking the machine busy until the outcome's finish
-// (when an evFree event fires). Execution failures consume the request
-// (tallied by the server) and the next queued request is tried.
-func (s *simRun) startNext(m int) {
+// handleArrival clones the arrival's template, routes it, and runs
+// admission on the chosen machine at event time.
+func (s *simRun) handleArrival(a arrival) error {
+	ts := s.tenants[a.tenant]
+	q := cloneQuery(a.tmpl, ts.spec.Name, int(a.ord))
+	m, err := s.route(ts, int(a.tenant), q, ts.effDeadline, a.at)
+	if err != nil {
+		return err
+	}
 	ms := s.machines[m]
+	ms.srv.AdvanceClock(a.at)
+	dec, err := ms.srv.Submit(s.ctx, serve.Request{
+		Tenant: ts.spec.Name, Query: q, Deadline: ts.spec.Deadline,
+	})
+	if err != nil {
+		// An unpredictable query is already tallied as a rejection
+		// by the server; the simulation carries on.
+		return nil
+	}
+	if dec.Admitted {
+		ms.pending[dec.ID] = pendingArrival{tenant: int(a.tenant), at: a.at}
+		if !ms.busy {
+			s.stepMachine(ms)
+			s.commitMachine(m)
+		}
+	}
+	return nil
+}
+
+// serviceFree is the machine-local half of one completion event: mark
+// the machine free, advance its clock to the completion instant, and
+// start its next queued request. Safe to run concurrently with other
+// machines' serviceFree calls.
+func (s *simRun) serviceFree(ev freeEvent) {
+	ms := s.machines[ev.machine]
+	ms.busy = false
+	ms.srv.AdvanceClock(ev.at)
+	s.stepMachine(ms)
+}
+
+// stepMachine pops and executes the machine's best queued request at
+// its current clock, staging the latency sample and completion time on
+// the machine for a later commitMachine. Execution failures consume
+// the request (tallied by the server) and the next queued request is
+// tried. Everything touched is machine-local: the machine's server,
+// queue, pending map, and scratch Outcome.
+func (s *simRun) stepMachine(ms *machineState) {
+	ms.staged = ms.staged[:0]
+	ms.freePending = false
 	for {
-		out, err := ms.srv.StepOne()
+		ok, err := ms.srv.StepOneInto(&ms.out)
+		if !ok {
+			return // queue empty; machine idle
+		}
 		if err != nil {
 			// The failed request is consumed (tallied by the server);
 			// release its admission-tracking entry and try the next.
-			if out != nil {
-				delete(ms.pending, out.ID)
-			}
+			delete(ms.pending, ms.out.ID)
 			continue
 		}
-		if out == nil {
-			return // queue empty; machine idle
-		}
 		ms.busy = true
-		ms.busyTime += out.Elapsed
+		ms.busyTime += ms.out.Elapsed
 		ms.executed++
-		if p, ok := ms.pending[out.ID]; ok {
-			delete(ms.pending, out.ID)
-			ts := s.tenants[p.tenant]
-			ts.latencies = append(ts.latencies, out.Finish-p.at)
-			ts.queueWaits = append(ts.queueWaits, out.Start-p.at)
+		if p, found := ms.pending[ms.out.ID]; found {
+			delete(ms.pending, ms.out.ID)
+			ms.staged = append(ms.staged, latRec{
+				tenant:  p.tenant,
+				latency: ms.out.Finish - p.at,
+				qwait:   ms.out.Start - p.at,
+			})
 		}
-		s.pushEvent(&event{at: out.Finish, kind: evFree, machine: m})
+		ms.freeAt = ms.out.Finish
+		ms.freePending = true
 		return
+	}
+}
+
+// commitMachine applies a step's staged shared-state effects — tenant
+// latency samples and the next completion event — on the event-loop
+// goroutine, in deterministic batch order.
+func (s *simRun) commitMachine(m int) {
+	ms := s.machines[m]
+	for _, lr := range ms.staged {
+		ts := s.tenants[lr.tenant]
+		ts.latencies = append(ts.latencies, lr.latency)
+		ts.queueWaits = append(ts.queueWaits, lr.qwait)
+	}
+	ms.staged = ms.staged[:0]
+	if ms.freePending {
+		s.pushFree(ms.freeAt, m)
+		ms.freePending = false
 	}
 }
 
@@ -446,7 +633,7 @@ func (s *simRun) report() *Report {
 		QueuePolicy: s.sc.QueuePolicy,
 		Machines:    len(s.machines),
 		Events:      s.processed,
-		Arrivals:    s.arrivals,
+		Arrivals:    len(s.arrivals),
 		Cache:       s.cache.Stats(),
 	}
 	if rep.QueuePolicy == "" {

@@ -14,6 +14,12 @@
 // nonzero — the `make bench-check` regression gate. Benchmarks present
 // on only one side are ignored (renames and new benchmarks are not
 // regressions).
+//
+// Allocation counts are compared advisorily: a benchmark whose
+// allocs/op grew by more than -alloc-threshold (default 0.25) is
+// reported on stderr but never fails the run — allocs are a leading
+// indicator worth surfacing in CI logs, not a hard gate (pool warm-up
+// and iteration counts make them noisier than throughput).
 package main
 
 import (
@@ -39,6 +45,7 @@ type Result struct {
 func main() {
 	compare := flag.String("compare", "", "baseline JSON trajectory to compare against; exit nonzero on throughput regression")
 	threshold := flag.Float64("threshold", 0.25, "allowed fractional throughput drop vs the baseline (0.25 = 25%)")
+	allocThreshold := flag.Float64("alloc-threshold", 0.25, "fractional allocs/op growth vs the baseline to warn about (advisory, never fails)")
 	flag.Parse()
 
 	// Non-nil so an empty run encodes as [], never null.
@@ -74,6 +81,9 @@ func main() {
 	if err := json.Unmarshal(data, &baseline); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: parse %s: %v\n", *compare, err)
 		os.Exit(1)
+	}
+	for _, w := range allocGrowth(baseline, results, *allocThreshold) {
+		fmt.Fprintln(os.Stderr, "benchjson: ALLOCS (advisory):", w)
 	}
 	regs := regressions(baseline, results, *threshold)
 	for _, r := range regs {
@@ -114,6 +124,34 @@ func regressions(baseline, current []Result, threshold float64) []string {
 		}
 	}
 	return regs
+}
+
+// allocGrowth compares current against baseline by name and describes
+// every benchmark whose allocs/op grew by more than threshold. Purely
+// advisory: callers print the descriptions to stderr without affecting
+// the exit status. Benchmarks missing an allocs/op column on either
+// side (run without -benchmem) are skipped.
+func allocGrowth(baseline, current []Result, threshold float64) []string {
+	if threshold <= 0 {
+		return nil
+	}
+	old := make(map[string]Result, len(baseline))
+	for _, r := range baseline {
+		old[r.Name] = r
+	}
+	var warns []string
+	for _, r := range current {
+		o, ok := old[r.Name]
+		if !ok || o.AllocsPerOp <= 0 || r.AllocsPerOp <= 0 {
+			continue
+		}
+		if r.AllocsPerOp > o.AllocsPerOp*(1+threshold) {
+			grow := r.AllocsPerOp/o.AllocsPerOp - 1
+			warns = append(warns, fmt.Sprintf("%s: %.0f -> %.0f allocs/op (+%.1f%%, advisory limit +%.0f%%)",
+				r.Name, o.AllocsPerOp, r.AllocsPerOp, 100*grow, 100*threshold))
+		}
+	}
+	return warns
 }
 
 // parse decodes one "BenchmarkFoo-8  100  123 ns/op  45 B/op  6 allocs/op"

@@ -48,3 +48,34 @@ func TestRegressions(t *testing.T) {
 		t.Fatalf("bad threshold not rejected: %v", regs)
 	}
 }
+
+func TestAllocGrowth(t *testing.T) {
+	base := []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "BenchmarkB-8", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "BenchmarkNoMem-8", NsPerOp: 1000},
+	}
+	cur := []Result{
+		// +20%: inside the 25% advisory budget.
+		{Name: "BenchmarkA-8", NsPerOp: 1000, AllocsPerOp: 120},
+		// +50%: warned about.
+		{Name: "BenchmarkB-8", NsPerOp: 1000, AllocsPerOp: 150},
+		// No allocs column on the baseline side: skipped.
+		{Name: "BenchmarkNoMem-8", NsPerOp: 1000, AllocsPerOp: 1e6},
+		// No baseline at all: skipped.
+		{Name: "BenchmarkNew-8", NsPerOp: 1000, AllocsPerOp: 1e6},
+	}
+	warns := allocGrowth(base, cur, 0.25)
+	if len(warns) != 1 || !strings.Contains(warns[0], "BenchmarkB-8") {
+		t.Fatalf("allocGrowth = %v, want exactly BenchmarkB-8", warns)
+	}
+	// The boundary itself is not a warning: limit is old*(1+t).
+	exact := []Result{{Name: "BenchmarkA-8", NsPerOp: 1000, AllocsPerOp: 125}}
+	if warns := allocGrowth(base, exact, 0.25); len(warns) != 0 {
+		t.Fatalf("boundary flagged: %v", warns)
+	}
+	// Disabled threshold returns nothing.
+	if warns := allocGrowth(base, cur, 0); warns != nil {
+		t.Fatalf("threshold 0 produced warnings: %v", warns)
+	}
+}

@@ -10,8 +10,12 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 
+	"repro/internal/cache"
 	"repro/internal/calibrate"
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -101,23 +105,89 @@ type Executor interface {
 // ---------------------------------------------------------------------
 // Default stage implementations.
 
-// defaultPlanner wraps internal/plan.
+// planMemoSize bounds the structural plan memo: serving workloads draw
+// queries from small template pools, so a few hundred distinct shapes
+// cover any realistic mix while keeping the memo's footprint trivial.
+const planMemoSize = 512
+
+// defaultPlanner wraps internal/plan behind a structural memo: plan.Build
+// is a pure function of the query's structure and the (immutable)
+// catalog — the query name feeds only error messages — so two queries
+// with equal fingerprints share one compiled *Plan. The memo is shared
+// across every façade derived from one Open (plans do not depend on
+// machine profile or sampling ratio), which is what makes per-arrival
+// planning in the simulator effectively free. Cached plans are shared
+// and read-only; nothing downstream mutates an operator tree.
 type defaultPlanner struct {
-	cat *catalog.Catalog
+	cat  *catalog.Catalog
+	memo *cache.LRU[string, *Plan]
 }
 
-func (d defaultPlanner) BuildPlan(ctx context.Context, q *Query) (*Plan, error) {
+func newDefaultPlanner(cat *catalog.Catalog) *defaultPlanner {
+	return &defaultPlanner{cat: cat, memo: cache.NewLRU[string, *Plan](planMemoSize)}
+}
+
+// queryFingerprint renders every Query field plan.Build's output depends
+// on — tables, predicates, join conditions, aggregate spec — and
+// excludes Name, which Build uses only in error text.
+func queryFingerprint(q *Query) string {
+	var b strings.Builder
+	b.Grow(64)
+	for _, t := range q.Tables {
+		b.WriteString(t)
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	for i := range q.Preds {
+		p := &q.Preds[i]
+		b.WriteString(p.Col)
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(int(p.Op)))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatInt(p.Lo, 10))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatInt(p.Hi, 10))
+		b.WriteByte(';')
+	}
+	b.WriteByte('|')
+	for _, j := range q.Joins {
+		b.WriteString(j.LeftTable)
+		b.WriteByte('.')
+		b.WriteString(j.LeftCol)
+		b.WriteByte('=')
+		b.WriteString(j.RightTable)
+		b.WriteByte('.')
+		b.WriteString(j.RightCol)
+		b.WriteByte(';')
+	}
+	if q.Agg != nil {
+		b.WriteString("|agg:")
+		b.WriteString(q.Agg.GroupCol)
+		if q.Agg.SortInput {
+			b.WriteString(":sorted")
+		}
+	}
+	return b.String()
+}
+
+func (d *defaultPlanner) BuildPlan(ctx context.Context, q *Query) (*Plan, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	key := queryFingerprint(q)
+	if p, ok := d.memo.Get(key); ok {
+		return p, nil
 	}
 	n, err := plan.Build(q, d.cat)
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{root: n, sig: n.String()}, nil
+	p := &Plan{root: n, sig: n.String()}
+	d.memo.Put(key, p)
+	return p, nil
 }
 
-func (d defaultPlanner) Alternatives(ctx context.Context, q *Query, maxAlts int) ([]*Plan, error) {
+func (d *defaultPlanner) Alternatives(ctx context.Context, q *Query, maxAlts int) ([]*Plan, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -166,9 +236,35 @@ func (d *defaultEstimator) passMemo(ctx context.Context) sample.PassMemo {
 	}
 }
 
-// defaultPredictor wraps the core variance-propagating predictor.
+// predMemoSize caps the prediction memo before a generation reset. The
+// memo is a plain map rather than an LRU because keys are pointer pairs
+// with no eviction-order signal worth tracking; a full reset at the cap
+// is cheaper than bookkeeping and the working set (template pool x
+// resident estimates) is far below it.
+const predMemoSize = 4096
+
+// predKey identifies a prediction by the identity of its inputs: plans
+// come from the planner's structural memo and estimates from the shared
+// LRU, so while both stay resident the same pointers recur for the same
+// logical inputs and equality is exact with zero hashing of strings.
+// A fresh defaultPredictor is built per recalibration/swap, so stale
+// memos die with their stage.
+type predKey struct {
+	root *engine.Node
+	est  *sample.Estimates
+}
+
+// defaultPredictor wraps the core variance-propagating predictor behind
+// a pointer-keyed memo: predictions are pure functions of (plan,
+// estimates, calibrated units), and the units are fixed for the lifetime
+// of one stage instance. Memoized *Prediction values are shared across
+// callers and must be treated as read-only (the built-in pipeline never
+// mutates one).
 type defaultPredictor struct {
 	pred *core.Predictor
+
+	mu   sync.Mutex
+	memo map[predKey]*Prediction
 }
 
 func (d *defaultPredictor) Predict(ctx context.Context, p *Plan, est *Estimates) (*Prediction, error) {
@@ -181,7 +277,24 @@ func (d *defaultPredictor) Predict(ctx context.Context, p *Plan, est *Estimates)
 	if est == nil || est.est == nil {
 		return nil, fmt.Errorf("uaqetp: nil estimates (estimates must come from an Estimator)")
 	}
-	return d.pred.Predict(p.root, est.est)
+	k := predKey{root: p.root, est: est.est}
+	d.mu.Lock()
+	v := d.memo[k]
+	d.mu.Unlock()
+	if v != nil {
+		return v, nil
+	}
+	out, err := d.pred.Predict(p.root, est.est)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	if d.memo == nil || len(d.memo) >= predMemoSize {
+		d.memo = make(map[predKey]*Prediction, 64)
+	}
+	d.memo[k] = out
+	d.mu.Unlock()
+	return out, nil
 }
 
 // simExecutor runs plans on the simulated hardware with the
@@ -206,7 +319,7 @@ func (x simExecutor) Execute(ctx context.Context, q *Query, p *Plan) (float64, e
 	if err := p.valid(); err != nil {
 		return 0, err
 	}
-	_, actual, err := runSimulated(ctx, x.cache, x.runNS, x.db, x.profile, x.seed, q, p.root)
+	_, actual, err := runSimulated(ctx, x.cache, x.runNS, x.db, x.profile, x.seed, q, p.root, p.sig)
 	return actual, err
 }
 
@@ -214,8 +327,8 @@ func (x simExecutor) Execute(ctx context.Context, q *Query, p *Plan) (float64, e
 // section — and measures it with the deterministic per-call stream. It
 // is the single implementation behind the default Executor and
 // System.Measure, so their measured times cannot diverge.
-func runSimulated(ctx context.Context, c *EstimateCache, ns string, db *engine.DB, profile *hardware.Profile, seed int64, q *Query, root *engine.Node) (*engine.OpResult, float64, error) {
-	res, err := c.getOrComputeRun(ctx, ns+"\x00"+root.String(), func() (*engine.OpResult, error) {
+func runSimulated(ctx context.Context, c *EstimateCache, ns string, db *engine.DB, profile *hardware.Profile, seed int64, q *Query, root *engine.Node, sig string) (*engine.OpResult, float64, error) {
+	res, err := c.getOrComputeRun(ctx, ns+"\x00"+sig, func() (*engine.OpResult, error) {
 		r, err := engine.Run(db, root)
 		if err != nil {
 			return nil, err
@@ -225,7 +338,7 @@ func runSimulated(ctx context.Context, c *EstimateCache, ns string, db *engine.D
 	if err != nil {
 		return nil, 0, err
 	}
-	rng := rand.New(rand.NewSource(execSeed(seed, q.Name, root.String())))
+	rng := rand.New(rand.NewSource(execSeed(seed, q.Name, sig)))
 	return res, profile.MeasurePlan(res, rng), nil
 }
 
