@@ -31,17 +31,27 @@ race:
 # twice each and fails on any nondeterminism: same config + seed must
 # produce byte-identical reports. The second run pins GOMAXPROCS=2 so
 # the comparison also covers the scheduler-independence half of the
-# contract. It is the cheap end-to-end gate on the simulator's core
-# determinism.
+# contract. The heterogeneous scenario additionally runs with full
+# decision tracing on, byte-comparing the trace JSONL as well — the
+# trace stream is part of the determinism contract. It is the cheap
+# end-to-end gate on the simulator's core determinism.
 sim-smoke:
 	@for sc in scenario scenario-hetero scenario-cluster; do \
-		$(GO) run ./cmd/uaqp sim -config examples/sim/$$sc.json -o sim-smoke-1.json || exit 1; \
-		GOMAXPROCS=2 $(GO) run ./cmd/uaqp sim -config examples/sim/$$sc.json -o sim-smoke-2.json || exit 1; \
+		$(GO) run ./cmd/uaqp sim -config examples/sim/$$sc.json -o sim-smoke-1.json 2>/dev/null || exit 1; \
+		GOMAXPROCS=2 $(GO) run ./cmd/uaqp sim -config examples/sim/$$sc.json -o sim-smoke-2.json 2>/dev/null || exit 1; \
 		cmp sim-smoke-1.json sim-smoke-2.json \
 			|| { echo "sim-smoke: $$sc reports differ across identical runs"; rm -f sim-smoke-1.json sim-smoke-2.json; exit 1; }; \
 		rm sim-smoke-1.json sim-smoke-2.json; \
 		echo "sim-smoke: $$sc deterministic"; \
 	done
+	@$(GO) run ./cmd/uaqp sim -config examples/sim/scenario-hetero.json -trace-level full -trace sim-smoke-trace-1.jsonl -o sim-smoke-1.json 2>/dev/null || exit 1; \
+	GOMAXPROCS=2 $(GO) run ./cmd/uaqp sim -config examples/sim/scenario-hetero.json -trace-level full -trace sim-smoke-trace-2.jsonl -o sim-smoke-2.json 2>/dev/null || exit 1; \
+	cmp sim-smoke-1.json sim-smoke-2.json \
+		|| { echo "sim-smoke: traced scenario-hetero reports differ"; rm -f sim-smoke-1.json sim-smoke-2.json sim-smoke-trace-1.jsonl sim-smoke-trace-2.jsonl; exit 1; }; \
+	cmp sim-smoke-trace-1.jsonl sim-smoke-trace-2.jsonl \
+		|| { echo "sim-smoke: scenario-hetero traces differ across identical runs"; rm -f sim-smoke-1.json sim-smoke-2.json sim-smoke-trace-1.jsonl sim-smoke-trace-2.jsonl; exit 1; }; \
+	rm sim-smoke-1.json sim-smoke-2.json sim-smoke-trace-1.jsonl sim-smoke-trace-2.jsonl; \
+	echo "sim-smoke: scenario-hetero trace deterministic"
 
 # bench runs the batched-prediction and serve-path benchmarks with
 # allocation reporting and records the parsed results in

@@ -20,6 +20,8 @@
 //	-tenants T   serve tenant names, comma-separated (default "alpha,beta")
 //	-confidence  serve SLO admission confidence (default 0.95)
 //	-deadline D  serve default deadline in virtual seconds (default 1.0)
+//	-trace FILE  sim decision-trace output file (JSONL, deterministic)
+//	-trace-level sim trace detail: off | decisions | full
 package main
 
 import (
@@ -37,6 +39,7 @@ import (
 	"repro/internal/exper"
 	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -77,18 +80,21 @@ func usage() {
   uaqp demo [-bench B] [-db D] [-machine M] [-sr R] [-queries N] [-seed S]
   uaqp batch [-bench B] [-db D] [-machine M] [-sr R] [-queries N] [-seed S] [-workers W]
   uaqp serve [-addr A] [-db D] [-machine M] [-sr R] [-seed S] [-tenants T] [-confidence C] [-deadline D]
-  uaqp sim -config FILE [-seed S] [-router R] [-o FILE]`)
+  uaqp sim -config FILE [-seed S] [-router R] [-o FILE] [-trace FILE] [-trace-level L]`)
 }
 
 // simCmd runs a discrete-event cluster-simulation scenario and prints
 // the structured report. For a fixed scenario file and seed the output
-// is byte-identical across runs (the basis of `make sim-smoke`).
+// is byte-identical across runs — and so is the decision trace JSONL
+// written by -trace (the basis of `make sim-smoke`).
 func simCmd(args []string) error {
 	fs := flag.NewFlagSet("sim", flag.ExitOnError)
 	config := fs.String("config", "", "scenario JSON file (see examples/sim/scenario.json)")
 	seed := fs.Int64("seed", 0, "override the scenario seed (0 keeps the file's)")
 	router := fs.String("router", "", "override the scenario router: round-robin | least-queue | least-risk | least-risk-shared")
 	out := fs.String("o", "", "write the report to a file instead of stdout")
+	traceOut := fs.String("trace", "", "write the decision trace as JSONL to a file")
+	traceLevel := fs.String("trace-level", "", "decision trace detail: off | decisions | full (default: the scenario's trace_level, or decisions when -trace is set)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -105,10 +111,52 @@ func simCmd(args []string) error {
 	if *router != "" {
 		sc.Router = *router
 	}
-	rep, err := sim.Run(sc)
-	if err != nil {
-		return err
+
+	// Precedence: explicit -trace-level > the scenario's trace_level >
+	// "decisions" when -trace asks for a file.
+	level := trace.Off
+	if *traceLevel != "" {
+		if level, err = trace.ParseLevel(*traceLevel); err != nil {
+			return err
+		}
+	} else if sc.TraceLevel != "" {
+		if level, err = trace.ParseLevel(sc.TraceLevel); err != nil {
+			return err
+		}
+	} else if *traceOut != "" {
+		level = trace.Decisions
 	}
+
+	var rep *sim.Report
+	if level > trace.Off || *traceOut != "" {
+		var events []trace.Event
+		rep, events, err = sim.RunTraced(sc, level)
+		if err != nil {
+			return err
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			if err := trace.WriteJSONL(f, events); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "sim: %d trace events (%s) -> %s\n", len(events), level, *traceOut)
+		}
+	} else {
+		if rep, err = sim.Run(sc); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sim: fitness %.4f (attainment %.4f, fairness %.4f, p95 %.3fs, util %.3f)\n",
+		rep.Fitness.Score, rep.Fitness.Attainment, rep.Fitness.Fairness,
+		rep.Fitness.LatencyP95, rep.Fitness.Utilization)
+
 	data, err := rep.JSON()
 	if err != nil {
 		return err

@@ -24,6 +24,7 @@ func boundFixture() (scan, join *engine.Node, info map[int]*varInfo) {
 			dist:      stats.NewNormal(0.3, 0.02),
 			leafComp:  map[int]float64{0: 0.0004},
 			leafN:     map[int]int{0: 500},
+			leafKeys:  []int{0},
 			numLeaves: 1,
 		},
 		other.ID: {
@@ -31,6 +32,7 @@ func boundFixture() (scan, join *engine.Node, info map[int]*varInfo) {
 			dist:      stats.NewNormal(1.0, 0),
 			leafComp:  map[int]float64{1: 0},
 			leafN:     map[int]int{1: 500},
+			leafKeys:  []int{1},
 			numLeaves: 1,
 		},
 		join.ID: {
@@ -38,6 +40,7 @@ func boundFixture() (scan, join *engine.Node, info map[int]*varInfo) {
 			dist:      stats.NewNormal(0.001, 0.0002),
 			leafComp:  map[int]float64{0: 3e-8, 1: 1e-8},
 			leafN:     map[int]int{0: 500, 1: 500},
+			leafKeys:  []int{0, 1},
 			numLeaves: 2,
 		},
 	}

@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/catalog"
 	"repro/internal/costmodel"
@@ -128,6 +129,10 @@ type varInfo struct {
 	// restricted sums give the S^2_{rho}(m,n) bounds of Theorem 7.
 	leafComp map[int]float64
 	leafN    map[int]int
+	// leafKeys is leafComp's key set sorted ascending: restricted sums
+	// iterate it instead of the map, so their accumulation order — and
+	// floating-point rounding — never depends on map iteration order.
+	leafKeys []int
 	// numLeaves is K, the number of leaf relations of the operator.
 	numLeaves int
 }
@@ -173,12 +178,18 @@ func (p *Predictor) assemble(root *engine.Node, est *sample.Estimates) (*assembl
 			v = 0
 			lc = map[int]float64{}
 		}
+		keys := make([]int, 0, len(lc))
+		for k := range lc {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
 		vars[n.ID] = stats.NormalFromVar(e.Rho, v)
 		info[n.ID] = &varInfo{
 			node:      n,
 			dist:      vars[n.ID],
 			leafComp:  lc,
 			leafN:     e.LeafN,
+			leafKeys:  keys,
 			numLeaves: len(n.LeafTables),
 		}
 	}
@@ -338,16 +349,30 @@ func (p *Predictor) covTerms(a, b costmodel.Term, info map[int]*varInfo) (float6
 // exactTermCov factors E[ab] per variable (independent across distinct
 // variables), using normal moments up to order 4.
 func exactTermCov(a, b costmodel.Term, info map[int]*varInfo) float64 {
-	pow := make(map[int]int, 4)
+	// Joint power per variable, accumulated in term order — NOT via a
+	// map — so the product's floating-point rounding (and hence the
+	// predicted sigma) is bit-identical from run to run.
+	var ids, pows [4]int
+	n := 0
+	add := func(v, p int) {
+		for i := 0; i < n; i++ {
+			if ids[i] == v {
+				pows[i] += p
+				return
+			}
+		}
+		ids[n], pows[n] = v, p
+		n++
+	}
 	for i := 0; i < a.NVars; i++ {
-		pow[a.Vars[i]] += a.Pows[i]
+		add(a.Vars[i], a.Pows[i])
 	}
 	for i := 0; i < b.NVars; i++ {
-		pow[b.Vars[i]] += b.Pows[i]
+		add(b.Vars[i], b.Pows[i])
 	}
 	eab := a.Coef * b.Coef
-	for v, k := range pow {
-		eab *= info[v].dist.Moment(k)
+	for i := 0; i < n; i++ {
+		eab *= info[ids[i]].dist.Moment(pows[i])
 	}
 	return eab - termMean(a, info)*termMean(b, info)
 }
@@ -452,9 +477,9 @@ func sharedLeaves(a, b *varInfo) (m, n int) {
 // restricted to the leaf relations it shares with `with` (Appendix A.7).
 func restrictedVar(of, with *varInfo) float64 {
 	var s float64
-	for k, w := range of.leafComp {
+	for _, k := range of.leafKeys {
 		if _, ok := with.leafN[k]; ok {
-			s += w
+			s += of.leafComp[k]
 		}
 	}
 	return s

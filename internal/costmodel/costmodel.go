@@ -214,17 +214,30 @@ func termCovSameFunc(a, b Term, vars map[int]stats.Normal) float64 {
 	if a.NVars == 0 || b.NVars == 0 {
 		return 0
 	}
-	// Joint power per variable.
-	pow := make(map[int]int, 4)
+	// Joint power per variable, accumulated in term order — NOT via a
+	// map — so the product's floating-point rounding (and hence the
+	// predicted variance) is bit-identical from run to run.
+	var ids, pows [4]int
+	n := 0
+	add := func(v, p int) {
+		for i := 0; i < n; i++ {
+			if ids[i] == v {
+				pows[i] += p
+				return
+			}
+		}
+		ids[n], pows[n] = v, p
+		n++
+	}
 	for i := 0; i < a.NVars; i++ {
-		pow[a.Vars[i]] += a.Pows[i]
+		add(a.Vars[i], a.Pows[i])
 	}
 	for i := 0; i < b.NVars; i++ {
-		pow[b.Vars[i]] += b.Pows[i]
+		add(b.Vars[i], b.Pows[i])
 	}
 	eab := a.Coef * b.Coef
-	for v, p := range pow {
-		eab *= vars[v].Moment(p)
+	for i := 0; i < n; i++ {
+		eab *= vars[ids[i]].Moment(pows[i])
 	}
 	return eab - a.Mean(vars)*b.Mean(vars)
 }

@@ -31,11 +31,67 @@ type Setting struct {
 	Variant    core.Variant
 	NumQueries int
 	Seed       int64
+	// Stages, when non-nil, swaps custom pipeline stages into the
+	// setting's System — the seam for grids that ablate Config-level
+	// stages (an instrumented executor, a clamped estimator) against the
+	// defaults. A pointer so Setting stays comparable (the memoization
+	// key); the same *Stages value across cells shares derived Systems
+	// and measurements, distinct values never do.
+	Stages *Stages
 }
 
 // String implements fmt.Stringer.
 func (s Setting) String() string {
-	return fmt.Sprintf("%v/%v/%s/SR=%g/%v", s.Bench, s.DB, s.Machine, s.SR, s.Variant)
+	base := fmt.Sprintf("%v/%v/%s/SR=%g/%v", s.Bench, s.DB, s.Machine, s.SR, s.Variant)
+	if s.Stages != nil {
+		return base + "/stages=" + s.Stages.name()
+	}
+	return base
+}
+
+// Stages bundles custom pipeline-stage constructors for a Setting.
+// Each non-nil constructor is called with the setting's fully-sampled
+// System (so a custom stage can wrap or delegate to the default stage
+// it replaces) and its result installed via System.With.
+type Stages struct {
+	// Name labels the combination in Setting.String() and reports.
+	Name      string
+	Planner   func(*uaqetp.System) uaqetp.Planner
+	Estimator func(*uaqetp.System) uaqetp.Estimator
+	Predictor func(*uaqetp.System) uaqetp.Predictor
+	Executor  func(*uaqetp.System) uaqetp.Executor
+}
+
+func (st *Stages) name() string {
+	if st == nil {
+		return ""
+	}
+	if st.Name != "" {
+		return st.Name
+	}
+	return "custom"
+}
+
+// options builds the System.With option list for sys; nil receiver or
+// all-nil constructors yield none.
+func (st *Stages) options(sys *uaqetp.System) []uaqetp.SystemOption {
+	if st == nil {
+		return nil
+	}
+	var opts []uaqetp.SystemOption
+	if st.Planner != nil {
+		opts = append(opts, uaqetp.WithPlanner(st.Planner(sys)))
+	}
+	if st.Estimator != nil {
+		opts = append(opts, uaqetp.WithEstimator(st.Estimator(sys)))
+	}
+	if st.Predictor != nil {
+		opts = append(opts, uaqetp.WithPredictor(st.Predictor(sys)))
+	}
+	if st.Executor != nil {
+		opts = append(opts, uaqetp.WithExecutor(st.Executor(sys)))
+	}
+	return opts
 }
 
 // OpObservation pairs one selective operator's estimated selectivity
@@ -110,10 +166,14 @@ type baseKey struct {
 	Seed    int64
 }
 
-// sysKey identifies one fully-sampled System.
+// sysKey identifies one fully-sampled System, including any custom
+// stage combination (pointer identity): custom stages change what
+// Measure and Predict observe, so measurements memoized under one
+// stage set must never leak into another.
 type sysKey struct {
 	baseKey
-	SR float64
+	SR     float64
+	Stages *Stages
 }
 
 // measKey identifies one variant-independent query measurement. The
@@ -209,7 +269,7 @@ func (l *Lab) baseFor(k baseKey, sr float64) (*uaqetp.System, error) {
 // and sampling ratio, with the complete predictor; variants are derived
 // by the caller via WithVariant.
 func (l *Lab) systemFor(s Setting) (*uaqetp.System, error) {
-	k := sysKey{baseKey{s.DB, s.Machine, s.Seed}, s.SR}
+	k := sysKey{baseKey{s.DB, s.Machine, s.Seed}, s.SR, s.Stages}
 	l.mu.Lock()
 	e, ok := l.systems[k]
 	if !ok {
@@ -223,7 +283,15 @@ func (l *Lab) systemFor(s Setting) (*uaqetp.System, error) {
 			e.err = err
 			return
 		}
-		e.sys, e.err = base.WithSamplingRatio(s.SR)
+		sys, err := base.WithSamplingRatio(s.SR)
+		if err != nil {
+			e.err = err
+			return
+		}
+		if opts := s.Stages.options(sys); len(opts) > 0 {
+			sys = sys.With(opts...)
+		}
+		e.sys = sys
 	})
 	return e.sys, e.err
 }
@@ -302,7 +370,7 @@ func (l *Lab) run(s Setting) (*RunResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("exper: %w", err)
 	}
-	sk := sysKey{baseKey{s.DB, s.Machine, s.Seed}, s.SR}
+	sk := sysKey{baseKey{s.DB, s.Machine, s.Seed}, s.SR, s.Stages}
 	ms := make([]*uaqetp.Measurement, len(queries))
 	err = fanOut(len(queries), 0, func(i int) error {
 		m, err := l.measureFor(sys, measKey{sk, s.Bench, s.NumQueries, queries[i].Name}, queries[i])

@@ -1,0 +1,132 @@
+package exper
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	uaqetp "repro"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// countingEstimator delegates to the setting's default estimator,
+// counting calls — the minimal custom stage: observable,
+// behavior-preserving. (The estimator runs under both Predict and
+// Measure, so it sees every query of a run.)
+type countingEstimator struct {
+	inner uaqetp.Estimator
+	calls *atomic.Int64
+}
+
+func (c *countingEstimator) Estimate(ctx context.Context, p *uaqetp.Plan) (*uaqetp.Estimates, error) {
+	c.calls.Add(1)
+	return c.inner.Estimate(ctx, p)
+}
+
+// scalingPredictor doubles the default predictor's mean — a stage that
+// visibly changes outcomes, for telling memoized systems apart.
+type scalingPredictor struct {
+	inner uaqetp.Predictor
+}
+
+func (s *scalingPredictor) Predict(ctx context.Context, p *uaqetp.Plan, est *uaqetp.Estimates) (*uaqetp.Prediction, error) {
+	pr, err := s.inner.Predict(ctx, p, est)
+	if err != nil {
+		return nil, err
+	}
+	scaled := *pr
+	scaled.Dist = scaled.Dist.Scale(2)
+	return &scaled, nil
+}
+
+func TestSettingStagesInstallCustomEstimator(t *testing.T) {
+	lab := NewLab()
+	base := smallSetting(workload.Micro, core.All, 0.05)
+	ref, err := lab.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var calls atomic.Int64
+	counted := base
+	counted.Stages = &Stages{
+		Name: "counted",
+		Estimator: func(sys *uaqetp.System) uaqetp.Estimator {
+			return &countingEstimator{inner: sys.Estimator(), calls: &calls}
+		},
+	}
+	if got := counted.String(); got != base.String()+"/stages=counted" {
+		t.Errorf("Setting.String() = %q, want stages suffix", got)
+	}
+
+	res, err := lab.Run(counted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("custom estimator never called")
+	}
+	// Delegating stage: outcomes match the default system exactly.
+	if len(res.Outcomes) != len(ref.Outcomes) {
+		t.Fatalf("outcomes %d vs %d", len(res.Outcomes), len(ref.Outcomes))
+	}
+	for i, o := range res.Outcomes {
+		if o.Actual != ref.Outcomes[i].Actual || o.PredMean != ref.Outcomes[i].PredMean {
+			t.Errorf("%s: counted (%v, %v) != default (%v, %v)", o.Name,
+				o.Actual, o.PredMean, ref.Outcomes[i].Actual, ref.Outcomes[i].PredMean)
+		}
+	}
+
+	// The same Setting (same *Stages pointer) is memoized: a rerun
+	// reuses the cell's results without another estimation pass.
+	before := calls.Load()
+	if _, err := lab.Run(counted); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != before {
+		t.Errorf("rerun re-estimated: %d calls, was %d", calls.Load(), before)
+	}
+}
+
+func TestSettingStagesSeparateMemoization(t *testing.T) {
+	lab := NewLab()
+	base := smallSetting(workload.Micro, core.All, 0.05)
+	ref, err := lab.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	doubled := base
+	doubled.Stages = &Stages{
+		Name: "x2",
+		Predictor: func(sys *uaqetp.System) uaqetp.Predictor {
+			return &scalingPredictor{inner: sys.Predictor()}
+		},
+	}
+	res, err := lab.Run(doubled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct *Stages ⇒ distinct system: every predicted mean doubles
+	// while the (predictor-independent) measurements stay put.
+	for i, o := range res.Outcomes {
+		if math.Abs(o.PredMean-2*ref.Outcomes[i].PredMean) > 1e-12*o.PredMean {
+			t.Errorf("%s: mean %v, want 2x default %v", o.Name, o.PredMean, ref.Outcomes[i].PredMean)
+		}
+		if o.Actual != ref.Outcomes[i].Actual {
+			t.Errorf("%s: actual %v != default %v", o.Name, o.Actual, ref.Outcomes[i].Actual)
+		}
+	}
+	// ...and the default cell's memoized results are untouched.
+	again, err := lab.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range again.Outcomes {
+		if o.PredMean != ref.Outcomes[i].PredMean {
+			t.Errorf("%s: default cell perturbed: %v vs %v", o.Name, o.PredMean, ref.Outcomes[i].PredMean)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package sample
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/catalog"
 	"repro/internal/engine"
@@ -173,23 +174,31 @@ func relVar(e *OpEstimate) float64 {
 }
 
 func mergeComp(l, r *OpEstimate, total float64) map[int]float64 {
-	out := make(map[int]float64, len(l.LeafComp)+len(r.LeafComp))
 	// Split the variance across leaves proportionally to the children's
-	// shares so restricted sums stay meaningful.
-	childSum := 0.0
-	for _, v := range l.LeafComp {
-		childSum += v
-	}
-	for _, v := range r.LeafComp {
-		childSum += v
-	}
+	// shares so restricted sums stay meaningful. Accumulate over sorted
+	// leaf keys: summing in map iteration order would reorder the float
+	// additions and wobble downstream predictions run to run.
+	comp := make(map[int]float64, len(l.LeafComp)+len(r.LeafComp))
+	keys := make([]int, 0, len(l.LeafComp)+len(r.LeafComp))
 	for _, m := range []map[int]float64{l.LeafComp, r.LeafComp} {
 		for k, v := range m {
-			if childSum > 0 {
-				out[k] = total * v / childSum
-			} else {
-				out[k] = total / float64(len(l.LeafComp)+len(r.LeafComp))
+			if _, ok := comp[k]; !ok {
+				keys = append(keys, k)
 			}
+			comp[k] += v
+		}
+	}
+	sort.Ints(keys)
+	childSum := 0.0
+	for _, k := range keys {
+		childSum += comp[k]
+	}
+	out := make(map[int]float64, len(keys))
+	for _, k := range keys {
+		if childSum > 0 {
+			out[k] = total * comp[k] / childSum
+		} else {
+			out[k] = total / float64(len(keys))
 		}
 	}
 	return out

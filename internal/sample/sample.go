@@ -165,9 +165,14 @@ func (e *Estimates) at(id int) *OpEstimate {
 // TotalSampleCounts sums the sample-run resource counts across the plan,
 // used to measure the relative overhead of sampling (Section 6.4).
 func (e *Estimates) TotalSampleCounts() engine.Counts {
+	ids := make([]int, 0, len(e.ByID))
+	for id := range e.ByID {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	var total engine.Counts
-	for _, op := range e.ByID {
-		total = total.Add(op.SampleCounts)
+	for _, id := range ids {
+		total = total.Add(e.ByID[id].SampleCounts)
 	}
 	return total
 }
@@ -427,32 +432,35 @@ func evalJoin(n *engine.Node, left, right *evalResult, nLeaves int, sdb *DB, est
 	rho := float64(len(out)) / prodN
 
 	// Q_{k,j,n} accumulation (Algorithm 1 lines 11-13): scan the join
-	// result once, incrementing per-leaf hash maps keyed by provenance.
-	qmaps := make(map[int]map[int32]float64, len(ords))
-	for _, k := range ords {
-		qmaps[k] = make(map[int32]float64)
+	// result once, incrementing dense per-leaf arrays indexed by
+	// provenance (sample-tuple index, always in [0, n_k) here — tainted
+	// subtrees never reach evalJoin). Dense arrays instead of hash maps:
+	// the variance sum below must run in a fixed order, or float rounding
+	// would wobble with map iteration order and leak run-to-run
+	// nondeterminism into every downstream prediction.
+	qs := make([][]float64, len(ords))
+	for i, k := range ords {
+		qs[i] = make([]float64, leafN[k])
 	}
 	for _, t := range out {
-		for _, k := range ords {
-			qmaps[k][t.prov[ordPos(ords, k)]]++
+		for i := range ords {
+			qs[i][t.prov[i]]++
 		}
 	}
 
 	// Per-leaf variance components: V_k = (1/(n_k-1)) sum_j
 	// (Q_{k,j}/prod_{k'!=k} n_{k'} - rho)^2, W_k = V_k / n_k.
+	// Tuples j with Q_{k,j} = 0 contribute d = -rho, i.e. rho^2 each.
 	leafComp := make(map[int]float64, len(ords))
 	var totalVar float64
-	for _, k := range ords {
+	for i, k := range ords {
 		nk := float64(leafN[k])
 		denom := prodN / nk // prod of the other sample sizes
 		var ss float64
-		for _, q := range qmaps[k] {
+		for _, q := range qs[i] {
 			d := q/denom - rho
 			ss += d * d
 		}
-		// Tuples j with Q_{k,j} = 0 contribute rho^2 each.
-		zeros := nk - float64(len(qmaps[k]))
-		ss += zeros * rho * rho
 		vk := 0.0
 		if nk > 1 {
 			vk = ss / (nk - 1)
@@ -763,13 +771,4 @@ func colIndex(cols []string, name string) int {
 		}
 	}
 	return -1
-}
-
-func ordPos(ords []int, k int) int {
-	for i, o := range ords {
-		if o == k {
-			return i
-		}
-	}
-	panic(fmt.Sprintf("sample: leaf ordinal %d not in %v", k, ords))
 }

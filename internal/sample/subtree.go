@@ -451,29 +451,31 @@ func joinPass(n *engine.Node, left, right *Pass, cat *catalog.Catalog) (*Pass, e
 	rho := float64(len(out)) / prodN
 
 	// Q_{k,j,n} accumulation: one scan of the join result, incrementing
-	// per-leaf maps keyed by provenance. Position o is local ordinal o.
-	qmaps := make([]map[int32]float64, k)
-	for o := range qmaps {
-		qmaps[o] = make(map[int32]float64)
+	// dense per-leaf arrays indexed by provenance (position o is local
+	// ordinal o). Dense arrays keep the variance sum below in a fixed
+	// order — map iteration would reorder the float additions run to run
+	// and break the byte-identical determinism contract.
+	qs := make([][]float64, k)
+	for o := range qs {
+		qs[o] = make([]float64, leafN[o])
 	}
 	for _, t := range out {
 		for o := 0; o < k; o++ {
-			qmaps[o][t.prov[o]]++
+			qs[o][t.prov[o]]++
 		}
 	}
 
+	// Tuples j with Q_{k,j} = 0 contribute d = -rho, i.e. rho^2 each.
 	leafComp := make(map[int]float64, k)
 	var totalVar float64
 	for o := 0; o < k; o++ {
 		nk := float64(leafN[o])
 		denom := prodN / nk
 		var ss float64
-		for _, q := range qmaps[o] {
+		for _, q := range qs[o] {
 			d := q/denom - rho
 			ss += d * d
 		}
-		zeros := nk - float64(len(qmaps[o]))
-		ss += zeros * rho * rho
 		vk := 0.0
 		if nk > 1 {
 			vk = ss / (nk - 1)

@@ -9,6 +9,7 @@ import (
 
 	uaqetp "repro"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Request is one incoming query with a deadline.
@@ -125,6 +126,14 @@ func (s *Server) Submit(ctx context.Context, req Request) (Decision, error) {
 		// An unpredictable query is a rejected submission: keep
 		// admitted+rejected reconcilable against submission traffic.
 		t.rejected.Add(1)
+		if rec := s.cfg.Trace; rec != nil && rec.Enabled(trace.Decisions) {
+			rec.Record(&trace.Event{
+				Kind: trace.KindAdmission, At: s.Clock(), Tenant: t.name,
+				Query: req.Query.Name, Verdict: "reject",
+				Reason: "predict: " + err.Error(), Deadline: deadline,
+				Threshold: t.slo.Confidence,
+			})
+		}
 		return Decision{}, fmt.Errorf("serve: predict %q: %w", req.Query.Name, err)
 	}
 
@@ -162,6 +171,7 @@ func (s *Server) Submit(ctx context.Context, req Request) (Decision, error) {
 	if !d.Admitted {
 		t.rejected.Add(1)
 		d.QueueLen = s.queue.Len()
+		s.traceAdmission(t, req.Query.Name, &d)
 		return d, nil
 	}
 	t.admitted.Add(1)
@@ -179,7 +189,29 @@ func (s *Server) Submit(ctx context.Context, req Request) (Decision, error) {
 	}
 	heap.Push(&s.queue, it)
 	d.QueueLen = s.queue.Len()
+	s.traceAdmission(t, req.Query.Name, &d)
 	return d, nil
+}
+
+// traceAdmission emits the decision as a trace event (caller holds
+// qmu, so At reads the clock directly). The Enabled gate keeps the
+// disabled path allocation-free.
+func (s *Server) traceAdmission(t *Tenant, query string, d *Decision) {
+	rec := s.cfg.Trace
+	if rec == nil || !rec.Enabled(trace.Decisions) {
+		return
+	}
+	verdict := "reject"
+	if d.Admitted {
+		verdict = "admit"
+	}
+	rec.Record(&trace.Event{
+		Kind: trace.KindAdmission, At: s.clock, Tenant: t.name, Query: query,
+		ID: d.ID, Verdict: verdict, Reason: d.Reason, Deadline: d.Deadline,
+		PredMean: d.PredMean, PredSigma: d.PredSigma,
+		QueueWaitMean: d.QueueWaitMean, QueueWaitSigma: d.QueueWaitSigma,
+		PMeet: d.PMeet, Threshold: t.slo.Confidence, QueueLen: d.QueueLen,
+	})
 }
 
 // Outcome is the result of executing one admitted request.
@@ -280,6 +312,13 @@ func (s *Server) stepOneLocked(out *Outcome) (bool, error) {
 		// so drivers tracking admissions by ID can release theirs.
 		it.tenant.execFailed.Add(1)
 		*out = Outcome{ID: it.id, Tenant: it.tenant.name, Query: it.query.Name, Deadline: it.absDeadline}
+		if rec := s.cfg.Trace; rec != nil && rec.Enabled(trace.Full) {
+			rec.Record(&trace.Event{
+				Kind: trace.KindOutcome, At: s.Clock(), Tenant: out.Tenant,
+				Query: out.Query, ID: out.ID, Deadline: out.Deadline,
+				Reason: "execute: " + err.Error(),
+			})
+		}
 		err = fmt.Errorf("serve: execute %q: %w", it.query.Name, err)
 		releaseQueued(it)
 		return true, err
@@ -308,6 +347,14 @@ func (s *Server) stepOneLocked(out *Outcome) (bool, error) {
 		it.tenant.deadlinesMet.Add(1)
 	} else {
 		it.tenant.deadlinesMissed.Add(1)
+	}
+	if rec := s.cfg.Trace; rec != nil && rec.Enabled(trace.Full) {
+		rec.Record(&trace.Event{
+			Kind: trace.KindOutcome, At: out.Finish, Tenant: out.Tenant,
+			Query: out.Query, ID: out.ID, Deadline: out.Deadline,
+			Start: out.Start, Finish: out.Finish, Elapsed: out.Elapsed,
+			Met: out.Met, PredMean: out.PredMean, PredSigma: out.PredSigma,
+		})
 	}
 	it.tenant.feedback.record(it.pred, elapsed, it.plansig)
 	releaseQueued(it)

@@ -16,6 +16,7 @@ import (
 //	POST /drain        execute queued work in priority order -> outcomes
 //	POST /recalibrate  {"tenant", "seed", "force"}      -> recalibration report
 //	GET  /stats        cache/queue/tenant/drift snapshot
+//	GET  /metrics      the same counters in Prometheus text format
 //
 // Queries use the uaqetp.Query JSON shape (see the README for the
 // predicate operator codes). Request contexts propagate into the
@@ -29,6 +30,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /drain", s.handleDrain)
 	mux.HandleFunc("POST /recalibrate", s.handleRecalibrate)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func scrape(t *testing.T, ts *httptest.Server) (string, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), resp.Header.Get("Content-Type")
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, qs := newTestServer(t, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, ctype := scrape(t, ts)
+	if ctype != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("content type %q", ctype)
+	}
+	// Consecutive scrapes of an idle server are byte-identical — the
+	// exposition order is fixed, not map-ordered.
+	again, _ := scrape(t, ts)
+	if body != again {
+		t.Error("idle scrapes differ; exposition order is nondeterministic")
+	}
+
+	// The text format contract: HELP/TYPE headers precede samples, and
+	// the core vocabulary is present even on an idle server.
+	for _, want := range []string{
+		"# HELP uaqp_queue_len ",
+		"# TYPE uaqp_queue_len gauge\n",
+		"uaqp_queue_len 0\n",
+		"# TYPE uaqp_cache_hits_total counter\n",
+		`uaqp_cache_hits_total{section="estimate"} `,
+		`uaqp_cache_entries{section="subtree"} `,
+		"# TYPE uaqp_tenant_admitted_total counter\n",
+		`uaqp_tenant_admitted_total{tenant="alpha"} 0`,
+		`uaqp_tenant_rejected_total{tenant="beta"} 0`,
+		"uaqp_queue_wait_mean_seconds ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+
+	// Counters move with traffic: one admitted request shows up under
+	// its tenant, and the queue gauge reflects the backlog.
+	resp, out := postJSON(t, ts, "/submit", Request{Tenant: "alpha", Query: qs[0], Deadline: 5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, out)
+	}
+	body, _ = scrape(t, ts)
+	for _, want := range []string{
+		`uaqp_tenant_predictions_total{tenant="alpha"} 1`,
+		`uaqp_tenant_admitted_total{tenant="alpha"} 1`,
+		"uaqp_queue_len 1\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("post-submit metrics missing %q", want)
+		}
+	}
+
+	// Writes are method-gated: POST to a scrape endpoint is rejected.
+	post, err := http.Post(ts.URL+"/metrics", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics status %d, want 405", post.StatusCode)
+	}
+}

@@ -3,6 +3,8 @@ package serve
 import (
 	"context"
 	"fmt"
+
+	"repro/internal/trace"
 )
 
 // RecalibrateRequest asks one tenant's cost units to be recalibrated.
@@ -65,6 +67,7 @@ func (s *Server) Recalibrate(ctx context.Context, req RecalibrateRequest) (Recal
 		Drift:   rep,
 	}
 	if !rep.RecalibrationAdvised && !req.Force {
+		s.traceRecal(t, &resp)
 		return resp, nil
 	}
 	seed := req.Seed
@@ -83,5 +86,20 @@ func (s *Server) Recalibrate(ctx context.Context, req RecalibrateRequest) (Recal
 	resp.Recalibrated = true
 	resp.Seed = seed
 	resp.UnitsAfter = t.sys.CostUnits()
+	s.traceRecal(t, &resp)
 	return resp, nil
+}
+
+// traceRecal emits a recalibration event (Full level): a cadence check
+// that declined records Advised/Recalibrated false, so the trace shows
+// when the feedback loop looked, not only when it acted.
+func (s *Server) traceRecal(t *Tenant, resp *RecalibrateResponse) {
+	rec := s.cfg.Trace
+	if rec == nil || !rec.Enabled(trace.Full) {
+		return
+	}
+	rec.Record(&trace.Event{
+		Kind: trace.KindRecalibration, At: s.Clock(), Tenant: t.name,
+		Advised: resp.Advised, Recalibrated: resp.Recalibrated,
+	})
 }

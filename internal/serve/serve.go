@@ -59,6 +59,7 @@ import (
 	"time"
 
 	uaqetp "repro"
+	"repro/internal/trace"
 )
 
 // SLO is one tenant's service-level objective.
@@ -122,6 +123,15 @@ type Config struct {
 	// tenants whose reports advise it (closing the feedback loop without
 	// a manual /recalibrate). 0 disables the automatic policy.
 	RecalEvery float64
+	// Trace, when non-nil, receives structured decision events:
+	// admission verdicts (trace.Decisions), execution outcomes and
+	// recalibrations (trace.Full). Every emission is gated on
+	// Trace.Enabled, so a disabled recorder costs one branch per
+	// decision and zero allocations. A recorder shared by concurrent
+	// callers must be safe for concurrent use (trace.Buffer is); the
+	// cluster simulator instead hands each machine its own recorder and
+	// merges in event order.
+	Trace trace.Recorder
 }
 
 func (c Config) normalized() Config {

@@ -53,17 +53,23 @@ func BenchmarkSimPoisson(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	var events int
+	var fitness float64
 	for i := 0; i < b.N; i++ {
 		rep, err := runWith(sc, qpol, sys, cache)
 		if err != nil {
 			b.Fatal(err)
 		}
 		events += rep.Events
+		fitness = rep.Fitness.Score
 	}
 	b.StopTimer()
 	if b.Elapsed() > 0 {
 		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 	}
+	// Deterministic per (scenario, seed): the trajectory records policy
+	// quality next to raw speed, so BENCH_batch.json catches a change
+	// that makes the simulator faster by making its decisions worse.
+	b.ReportMetric(fitness, "fitness")
 }
 
 // BenchmarkSimHeterogeneous measures per-machine routing throughput on
@@ -118,15 +124,18 @@ func BenchmarkSimHeterogeneous(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	var events int
+	var fitness float64
 	for i := 0; i < b.N; i++ {
 		rep, err := runWith(sc, qpol, sys, cache)
 		if err != nil {
 			b.Fatal(err)
 		}
 		events += rep.Events
+		fitness = rep.Fitness.Score
 	}
 	b.StopTimer()
 	if b.Elapsed() > 0 {
 		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 	}
+	b.ReportMetric(fitness, "fitness")
 }

@@ -43,11 +43,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
+	"sort"
 	"strings"
 
 	"repro/internal/datagen"
 	"repro/internal/hardware"
 	"repro/internal/serve"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -103,6 +106,12 @@ type Scenario struct {
 	// deterministic event order — so the knob trades wall-clock for
 	// cores, never reproducibility.
 	Parallelism int `json:"parallelism,omitempty"`
+	// TraceLevel enables decision tracing when the scenario runs
+	// through RunTraced (`uaqp sim -trace`): "off" (default),
+	// "decisions" (admissions + placements with candidate scoring
+	// vectors), or "full" (adds execution outcomes and
+	// recalibrations). Plain Run ignores it.
+	TraceLevel string `json:"trace_level,omitempty"`
 	// Tenants are the traffic sources; every tenant exists on every
 	// machine (the router spreads its arrivals across the fleet).
 	Tenants []TenantSpec `json:"tenants"`
@@ -129,16 +138,32 @@ type TenantSpec struct {
 	Arrivals ArrivalSpec `json:"arrivals"`
 }
 
-// Load reads a Scenario from a JSON file, rejecting unknown fields.
-// Relative trace_file paths resolve against the scenario file's
-// directory, so a scenario and its traces travel together.
+// Load reads a Scenario from a JSON file, rejecting unknown fields —
+// top-level typos are reported with the full valid-key vocabulary
+// (same idiom as hardware.ParseProfile), so a misspelled knob like
+// "trace_levle" fails loudly instead of silently no-opping. Relative
+// trace_file paths resolve against the scenario file's directory, so a
+// scenario and its traces travel together.
 func Load(path string) (Scenario, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return Scenario{}, fmt.Errorf("sim: %w", err)
 	}
-	defer f.Close()
-	dec := json.NewDecoder(f)
+	// First pass: check the top-level key vocabulary, so the error for a
+	// typo'd key lists what would have been accepted. Nested objects
+	// keep the plain DisallowUnknownFields errors of the strict decode.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return Scenario{}, fmt.Errorf("sim: parse %s: %w", path, err)
+	}
+	valid := scenarioKeys()
+	for key := range raw {
+		if !slicesContains(valid, key) {
+			return Scenario{}, fmt.Errorf("sim: parse %s: unknown scenario key %q (valid keys: %s)",
+				path, key, strings.Join(valid, ", "))
+		}
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
 	dec.DisallowUnknownFields()
 	var sc Scenario
 	if err := dec.Decode(&sc); err != nil {
@@ -151,6 +176,32 @@ func Load(path string) (Scenario, error) {
 		}
 	}
 	return sc, nil
+}
+
+// scenarioKeys derives the valid top-level scenario keys from the
+// Scenario struct's json tags, sorted — one source of truth, so a new
+// field is automatically part of the accepted (and reported)
+// vocabulary.
+func scenarioKeys() []string {
+	t := reflect.TypeOf(Scenario{})
+	keys := make([]string, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		name, _, _ := strings.Cut(t.Field(i).Tag.Get("json"), ",")
+		if name != "" && name != "-" {
+			keys = append(keys, name)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func slicesContains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }
 
 // normalized fills defaults and validates the scenario.
@@ -190,6 +241,9 @@ func (sc Scenario) normalized() (Scenario, error) {
 	}
 	if sc.Parallelism < 0 {
 		return sc, fmt.Errorf("sim: parallelism %d must not be negative", sc.Parallelism)
+	}
+	if _, err := trace.ParseLevel(sc.TraceLevel); err != nil {
+		return sc, fmt.Errorf("sim: trace_level: %w", err)
 	}
 	if len(sc.Tenants) == 0 {
 		return sc, fmt.Errorf("sim: scenario needs at least one tenant")

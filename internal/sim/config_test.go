@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Load must reject unknown top-level keys and tell the user what the
+// valid vocabulary is — a typo'd scenario silently falling back to
+// defaults is the worst failure mode a config loader can have.
+func TestLoadRejectsUnknownKeysWithListing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sc.json")
+	if err := os.WriteFile(path, []byte(`{"name": "x", "hori_zon": 10}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path)
+	if err == nil {
+		t.Fatal("Load accepted a scenario with an unknown key")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"hori_zon"`) {
+		t.Errorf("error does not name the offending key: %v", err)
+	}
+	if !strings.Contains(msg, "valid keys:") {
+		t.Errorf("error does not list the valid vocabulary: %v", err)
+	}
+	// The listing is derived from the struct tags, so it must track the
+	// schema: spot-check long-standing keys and this PR's addition.
+	for _, key := range []string{"horizon", "machines", "tenants", "trace_level"} {
+		if !strings.Contains(msg, key) {
+			t.Errorf("valid-key listing missing %q: %v", key, err)
+		}
+	}
+}
+
+func TestLoadAcceptsAllDocumentedKeys(t *testing.T) {
+	// Every shipped example scenario must load cleanly (they are the
+	// documentation of the vocabulary).
+	for _, sc := range []string{"scenario", "scenario-hetero", "scenario-cluster"} {
+		if _, err := Load(filepath.Join("../../examples/sim", sc+".json")); err != nil {
+			t.Errorf("shipped scenario %s fails to load: %v", sc, err)
+		}
+	}
+}

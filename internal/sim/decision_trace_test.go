@@ -1,0 +1,389 @@
+package sim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	uaqetp "repro"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// traceJSONL renders an event stream the way `uaqp sim -trace` does.
+func traceJSONL(t *testing.T, events []trace.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceByteIdentical extends the parallel-stepping determinism
+// contract (TestSimParallelSteppingByteIdentical) to the decision
+// trace: the JSONL stream is byte-identical for every parallelism
+// setting and every GOMAXPROCS — serve-side events are staged per
+// machine and merged in deterministic event order, and placements are
+// emitted serially on the event loop.
+func TestTraceByteIdentical(t *testing.T) {
+	_, refEvents, err := RunTraced(testScenario(), trace.Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refEvents) == 0 {
+		t.Fatal("reference run recorded no events")
+	}
+	ref := traceJSONL(t, refEvents)
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 4} {
+		runtime.GOMAXPROCS(procs)
+		for _, par := range []int{1, 2, 4} {
+			sc := testScenario()
+			sc.Parallelism = par
+			_, events, err := RunTraced(sc, trace.Full)
+			if err != nil {
+				t.Fatalf("GOMAXPROCS=%d parallelism=%d: %v", procs, par, err)
+			}
+			if got := traceJSONL(t, events); !bytes.Equal(got, ref) {
+				t.Errorf("GOMAXPROCS=%d parallelism=%d: trace differs from serial run", procs, par)
+			}
+		}
+	}
+}
+
+// TestRunTracedMatchesRun pins that observation is pure: installing
+// recorders (even at Full) must not change a single byte of the report.
+func TestRunTracedMatchesRun(t *testing.T) {
+	plain, err := Run(testScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, _, err := RunTraced(testScenario(), trace.Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := plain.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tj, err := traced.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pj, tj) {
+		t.Error("tracing changed the report")
+	}
+}
+
+// TestTraceDecisionContent pins what each event kind carries: every
+// placement the full per-machine candidate scoring vector and a
+// tie-break reason, every admission the distribution it was judged on,
+// and (at Full) outcomes and sequence numbers in deterministic order.
+func TestTraceDecisionContent(t *testing.T) {
+	sc := testScenario()
+	rep, events, err := RunTraced(sc, trace.Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := sc.Machines.Size()
+	var placements, admissions, outcomes int
+	for i, ev := range events {
+		if ev.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d, want dense ascending", i, ev.Seq)
+		}
+		switch ev.Kind {
+		case trace.KindPlacement:
+			placements++
+			if len(ev.Candidates) != machines {
+				t.Fatalf("placement %d has %d candidates, want %d", i, len(ev.Candidates), machines)
+			}
+			if ev.TieBreak != "risk" && ev.TieBreak != "wait" {
+				t.Fatalf("placement %d tie_break %q", i, ev.TieBreak)
+			}
+			if ev.Router != RouterLeastRisk {
+				t.Fatalf("placement %d router %q", i, ev.Router)
+			}
+			c := ev.Candidates[ev.Machine]
+			if c.Machine != ev.Machine || c.PredMean <= 0 || c.PredSigma <= 0 {
+				t.Fatalf("placement %d chose machine %d with empty scoring: %+v", i, ev.Machine, c)
+			}
+		case trace.KindAdmission:
+			admissions++
+			if ev.Verdict != "admit" && ev.Verdict != "reject" {
+				t.Fatalf("admission %d verdict %q", i, ev.Verdict)
+			}
+			if ev.Threshold <= 0 || ev.Deadline <= 0 || ev.Tenant == "" {
+				t.Fatalf("admission %d missing fields: %+v", i, ev)
+			}
+			if ev.Verdict == "admit" && (ev.PredMean <= 0 || ev.PMeet < ev.Threshold) {
+				t.Fatalf("admitted event %d inconsistent with its own numbers: %+v", i, ev)
+			}
+		case trace.KindOutcome:
+			outcomes++
+			if ev.Finish < ev.Start || ev.Elapsed <= 0 {
+				t.Fatalf("outcome %d times: %+v", i, ev)
+			}
+		}
+	}
+	if placements != rep.Arrivals {
+		t.Errorf("placements = %d, want one per arrival (%d)", placements, rep.Arrivals)
+	}
+	if admissions != rep.Arrivals {
+		t.Errorf("admissions = %d, want one per arrival (%d)", admissions, rep.Arrivals)
+	}
+	var executed int
+	for _, tr := range rep.Tenants {
+		executed += tr.Executed + tr.ExecFailed
+	}
+	if outcomes != executed {
+		t.Errorf("outcomes = %d, want one per executed query (%d)", outcomes, executed)
+	}
+
+	// Decisions level drops outcomes but keeps both decision kinds.
+	_, dec, err := RunTraced(sc, trace.Decisions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range dec {
+		if ev.Kind == trace.KindOutcome || ev.Kind == trace.KindRecalibration {
+			t.Fatalf("decisions-level trace carries %s events", ev.Kind)
+		}
+	}
+	if len(dec) != placements+admissions {
+		t.Errorf("decisions-level trace has %d events, want %d", len(dec), placements+admissions)
+	}
+}
+
+// TestTraceLevelFromScenario pins the trace_level scenario knob: a
+// RunTraced at Off defers to the file's own setting.
+func TestTraceLevelFromScenario(t *testing.T) {
+	sc := testScenario()
+	sc.TraceLevel = "decisions"
+	_, events, err := RunTraced(sc, trace.Off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("scenario trace_level ignored")
+	}
+	sc.TraceLevel = "invalid"
+	if _, _, err := RunTraced(sc, trace.Off); err == nil {
+		t.Fatal("invalid trace_level accepted")
+	}
+}
+
+// TestReplayHeteroReproducesAttainmentGap is the acceptance test for
+// counterfactual replay: on the shipped heterogeneous scenario,
+// swapping least-risk for least-queue over the identical arrival
+// sequence must (a) reproduce each run's SLO attainment from the
+// decision traces alone, (b) show the attainment gap the PR 5 router
+// comparison measures from reports, and (c) pinpoint where the two
+// policies first diverged.
+func TestReplayHeteroReproducesAttainmentGap(t *testing.T) {
+	sc := shippedHeteroScenario(t)
+	res, err := Replay(sc, nil, Override{Router: RouterLeastQueue})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// (a) Trace-derived attainment must equal the reports' numbers for
+	// every tenant on both sides — the trace carries the outcome.
+	for _, side := range []struct {
+		name   string
+		events []trace.Event
+		rep    *Report
+	}{{"base", res.Base, res.BaseReport}, {"variant", res.Variant, res.VariantReport}} {
+		tallies := trace.TallyByTenant(side.events)
+		for _, tr := range side.rep.Tenants {
+			tal, ok := tallies[tr.Name]
+			if !ok {
+				t.Fatalf("%s trace has no events for tenant %q", side.name, tr.Name)
+			}
+			if tal.Submitted != tr.Submitted || tal.Admitted != tr.Admitted ||
+				tal.Rejected != tr.Rejected || tal.Met != tr.DeadlinesMet {
+				t.Errorf("%s tenant %q: trace tally %+v vs report %+v", side.name, tr.Name, tal, tr)
+			}
+			if tal.Attainment() != tr.SLOAttainment {
+				t.Errorf("%s tenant %q: trace attainment %v, report %v",
+					side.name, tr.Name, tal.Attainment(), tr.SLOAttainment)
+			}
+		}
+	}
+
+	// (b) The least-risk > least-queue fleet attainment gap, from the
+	// replay's own reports (same numbers PR 5's router comparison pins).
+	if res.BaseReport.SLOAttainment <= res.VariantReport.SLOAttainment {
+		t.Errorf("least-risk attainment %v not above least-queue %v",
+			res.BaseReport.SLOAttainment, res.VariantReport.SLOAttainment)
+	}
+	// ... and per-tenant deltas derived from traces must sum to the same
+	// story: at least one tenant lost attainment under least-queue.
+	var lost bool
+	for _, td := range res.Tenants {
+		if td.Delta < 0 {
+			lost = true
+		}
+	}
+	if !lost {
+		t.Error("no tenant lost attainment under least-queue, gap unexplained")
+	}
+
+	// (c) Divergence is located and described.
+	if res.Diverged == 0 || res.First == nil {
+		t.Fatalf("router swap produced no divergence: %d/%d", res.Diverged, res.Decisions)
+	}
+	if res.First.Base.Kind != res.First.Variant.Kind {
+		t.Errorf("first divergence compares %s against %s", res.First.Base.Kind, res.First.Variant.Kind)
+	}
+	if res.First.Base.Kind == trace.KindPlacement && res.First.Base.Machine == res.First.Variant.Machine {
+		t.Errorf("first placement divergence chose the same machine %d", res.First.Base.Machine)
+	}
+	if !strings.Contains(res.Override, RouterLeastQueue) {
+		t.Errorf("override description %q does not name the swapped router", res.Override)
+	}
+}
+
+// TestReplayOverrideValidation pins the knob plumbing: an empty
+// override errors; SLOConfidence rewrites every tenant without
+// mutating the caller's scenario.
+func TestReplayOverrideValidation(t *testing.T) {
+	if _, err := Replay(testScenario(), nil, Override{}); err == nil {
+		t.Fatal("empty override accepted")
+	}
+	sc := testScenario()
+	ov := Override{SLOConfidence: 0.5}
+	varSc := ov.apply(sc)
+	if varSc.Tenants[0].SLO.Confidence != 0.5 {
+		t.Fatal("override did not rewrite tenant confidence")
+	}
+	if sc.Tenants[0].SLO.Confidence != 0.9 {
+		t.Fatal("override mutated the caller's scenario")
+	}
+	zero := 0.0
+	if desc := (Override{RecalEvery: &zero}).describe(sc); !strings.Contains(desc, "recal_every") {
+		t.Fatalf("describe = %q", desc)
+	}
+}
+
+// TestReplayReusesBaseEvents pins the baseEvents fast path: feeding a
+// previously recorded Full trace yields the same diff as recording the
+// base run inside Replay.
+func TestReplayReusesBaseEvents(t *testing.T) {
+	sc := testScenario()
+	_, baseEvents, err := RunTraced(sc, trace.Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Replay(sc, nil, Override{QueuePolicy: "fifo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, err := Replay(sc, baseEvents, Override{QueuePolicy: "fifo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Diverged != reused.Diverged || fresh.Decisions != reused.Decisions {
+		t.Errorf("reused base events changed the diff: %d/%d vs %d/%d",
+			reused.Diverged, reused.Decisions, fresh.Diverged, fresh.Decisions)
+	}
+}
+
+// TestTraceJSONLRoundTripFile pins the CLI interchange: events written
+// as JSONL read back equal, through a real file.
+func TestTraceJSONLRoundTripFile(t *testing.T) {
+	_, events, err := RunTraced(testScenario(), trace.Decisions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteJSONL(f, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	back, err := trace.ReadJSONL(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("round trip lost events: %d vs %d", len(back), len(events))
+	}
+	if !reflect.DeepEqual(back, events) {
+		t.Error("round trip changed event contents")
+	}
+}
+
+// TestTraceOffAllocs pins the zero-alloc-when-disabled contract: a run
+// with recorders installed but switched Off must cost, amortized per
+// event, essentially nothing over the nil-recorder path — every
+// emission site guards with Enabled before constructing an Event.
+func TestTraceOffAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc, err := testScenario().normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, err := parseDBKind(sc.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qpol, err := serve.QueuePolicyByName(sc.QueuePolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := uaqetp.NewEstimateCache(1024)
+	sys, err := uaqetp.Open(uaqetp.Config{
+		DB: kind, Machine: sc.MachineProfile, SamplingRatio: sc.SamplingRatio,
+		Seed: sc.Seed, Cache: cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := runWith(sc, qpol, sys, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Events == 0 {
+		t.Fatal("warm run processed no events")
+	}
+	baseline := testing.AllocsPerRun(3, func() {
+		if _, err := runWith(sc, qpol, sys, cache); err != nil {
+			t.Fatal(err)
+		}
+	})
+	disabled := testing.AllocsPerRun(3, func() {
+		if _, _, err := runTraced(sc, qpol, sys, cache, trace.Off); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The installed-but-off path may allocate the per-machine recorder
+	// shells (a handful per run), never per event.
+	extraPerEvent := (disabled - baseline) / float64(warm.Events)
+	if extraPerEvent > 1 {
+		t.Errorf("disabled tracing adds %.2f allocs/event (baseline %.0f, off %.0f over %d events), want ~0",
+			extraPerEvent, baseline, disabled, warm.Events)
+	}
+	t.Logf("tracing off: %+.3f allocs/event over the nil-recorder path", extraPerEvent)
+}

@@ -16,6 +16,7 @@ type Quantiles struct {
 	Mean float64 `json:"mean"`
 	P50  float64 `json:"p50"`
 	P90  float64 `json:"p90"`
+	P95  float64 `json:"p95"`
 	P99  float64 `json:"p99"`
 	Max  float64 `json:"max"`
 }
@@ -41,6 +42,7 @@ func summarize(xs []float64) Quantiles {
 	q.Mean = sum / float64(len(sorted))
 	q.P50 = rank(0.50)
 	q.P90 = rank(0.90)
+	q.P95 = rank(0.95)
 	q.P99 = rank(0.99)
 	q.Max = sorted[len(sorted)-1]
 	return q
@@ -110,10 +112,18 @@ type Report struct {
 	// queued query finished.
 	MakeSpan float64 `json:"makespan"`
 	// SLOAttainment is deadlines met over submitted, fleet-wide.
-	SLOAttainment float64           `json:"slo_attainment"`
-	Tenants       []TenantReport    `json:"tenants"`
-	PerMachine    []MachineReport   `json:"per_machine"`
-	Cache         uaqetp.CacheStats `json:"cache"`
+	SLOAttainment float64 `json:"slo_attainment"`
+	// Latency summarizes end-to-end latency (queue wait included) over
+	// every executed query fleet-wide — the sample the fitness latency
+	// penalty reads.
+	Latency Quantiles `json:"latency"`
+	// Fitness is the weighted multi-objective score of this report
+	// under DefaultFitnessWeights; re-score with ComputeFitness to
+	// re-weigh.
+	Fitness    Fitness           `json:"fitness"`
+	Tenants    []TenantReport    `json:"tenants"`
+	PerMachine []MachineReport   `json:"per_machine"`
+	Cache      uaqetp.CacheStats `json:"cache"`
 }
 
 // JSON renders the report with stable indentation — the byte-level

@@ -6,6 +6,7 @@ import (
 
 	uaqetp "repro"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // The placement policies.
@@ -55,20 +56,40 @@ func parseRouter(name string) (string, error) {
 // route picks the machine for an arrival at virtual time now. All
 // policies break ties toward the lowest machine index, keeping
 // placement deterministic.
+//
+// When decision tracing is on, every policy leaves its per-machine
+// candidate scoring vector in s.cands (machine order) and the reason
+// the winner won in s.tieBreak; capturing is pure observation — the
+// comparisons and the chosen machine are identical with tracing off.
 func (s *simRun) route(ts *tenantState, ti int, q *uaqetp.Query, deadline, now float64) (int, error) {
+	capture := s.level >= trace.Decisions
+	if capture {
+		s.cands = s.cands[:0]
+	}
 	switch s.router {
 	case RouterRoundRobin:
 		m := s.rrNext % len(s.machines)
 		s.rrNext++
+		if capture {
+			s.tieBreak = "rotation"
+		}
 		return m, nil
 
 	case RouterLeastQueue:
 		best, bestWait := 0, math.Inf(1)
 		for m, ms := range s.machines {
-			_, waitMean, _ := ms.srv.QueueStateAt(now)
+			qlen, waitMean, waitVar := ms.srv.QueueStateAt(now)
+			if capture {
+				s.cands = append(s.cands, trace.Candidate{
+					Machine: m, QueueLen: qlen, WaitMean: waitMean, WaitVar: waitVar,
+				})
+			}
 			if waitMean < bestWait {
 				best, bestWait = m, waitMean
 			}
+		}
+		if capture {
+			s.tieBreak = "wait"
 		}
 		return best, nil
 
@@ -102,16 +123,31 @@ func (s *simRun) routeLeastRiskShared(ts *tenantState, q *uaqetp.Query, deadline
 	// fleet, where every machine is equally certain — break toward
 	// the least expected wait: among equally safe machines, spread
 	// the load instead of herding onto the first index.
+	capture := s.level >= trace.Decisions
 	best, bestP, bestWait := 0, math.Inf(-1), math.Inf(1)
 	for m, ms := range s.machines {
-		_, wait, waitVar := ms.srv.QueueStateAt(now)
+		qlen, wait, waitVar := ms.srv.QueueStateAt(now)
 		total := stats.Normal{
 			Mu:    pred.Mean() + wait,
 			Sigma: math.Sqrt(pred.Sigma()*pred.Sigma() + math.Max(waitVar, 0)),
 		}
 		p := total.CDF(deadline)
-		if p > bestP+riskEps || (p > bestP-riskEps && wait < bestWait) {
+		if capture {
+			s.cands = append(s.cands, trace.Candidate{
+				Machine: m, QueueLen: qlen, WaitMean: wait, WaitVar: waitVar,
+				PredMean: pred.Mean(), PredSigma: pred.Sigma(), PMeet: p,
+			})
+		}
+		if p > bestP+riskEps {
 			best, bestP, bestWait = m, p, wait
+			if capture {
+				s.tieBreak = "risk"
+			}
+		} else if p > bestP-riskEps && wait < bestWait {
+			best, bestP, bestWait = m, p, wait
+			if capture {
+				s.tieBreak = "wait"
+			}
 		}
 	}
 	return best, nil
@@ -125,20 +161,35 @@ func (s *simRun) routeLeastRiskShared(ts *tenantState, q *uaqetp.Query, deadline
 // the fleet cache (estimates are machine-independent), so the
 // per-machine work is one analytic unit propagation each.
 func (s *simRun) routeLeastRiskPerMachine(ti int, q *uaqetp.Query, deadline, now float64) (int, error) {
+	capture := s.level >= trace.Decisions
 	best, bestP, bestWait := 0, math.Inf(-1), math.Inf(1)
 	for m, ms := range s.machines {
 		pred, err := ms.tenants[ti].System().PredictContext(s.ctx, q)
 		if err != nil {
 			return 0, fmt.Errorf("sim: route predict %q on machine %d: %w", q.Name, m, err)
 		}
-		_, wait, waitVar := ms.srv.QueueStateAt(now)
+		qlen, wait, waitVar := ms.srv.QueueStateAt(now)
 		total := stats.Normal{
 			Mu:    pred.Mean() + wait,
 			Sigma: math.Sqrt(pred.Sigma()*pred.Sigma() + math.Max(waitVar, 0)),
 		}
 		p := total.CDF(deadline)
-		if p > bestP+riskEps || (p > bestP-riskEps && wait < bestWait) {
+		if capture {
+			s.cands = append(s.cands, trace.Candidate{
+				Machine: m, QueueLen: qlen, WaitMean: wait, WaitVar: waitVar,
+				PredMean: pred.Mean(), PredSigma: pred.Sigma(), PMeet: p,
+			})
+		}
+		if p > bestP+riskEps {
 			best, bestP, bestWait = m, p, wait
+			if capture {
+				s.tieBreak = "risk"
+			}
+		} else if p > bestP-riskEps && wait < bestWait {
+			best, bestP, bestWait = m, p, wait
+			if capture {
+				s.tieBreak = "wait"
+			}
 		}
 	}
 	return best, nil

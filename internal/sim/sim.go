@@ -12,6 +12,7 @@ import (
 
 	uaqetp "repro"
 	"repro/internal/serve"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -98,6 +99,31 @@ type machineState struct {
 	staged      []latRec
 	freeAt      float64
 	freePending bool
+
+	// rec stages this machine's serve-emitted trace events (admission,
+	// outcome, recalibration) exactly like staged carries latency
+	// samples: machine-local during a possibly concurrent service step,
+	// drained into the run's global event order by commitMachine. Nil
+	// when the run is untraced.
+	rec *machineRecorder
+}
+
+// machineRecorder is the per-machine trace.Recorder the simulator
+// installs as each server's Config.Trace: events append to a
+// machine-local staging slice (no locks — each machine steps on at
+// most one goroutine at a time) and get their machine index stamped
+// here, since serve has no notion of its own fleet position.
+type machineRecorder struct {
+	level   trace.Level
+	machine int
+	events  []trace.Event
+}
+
+func (r *machineRecorder) Enabled(l trace.Level) bool { return l > trace.Off && l <= r.level }
+
+func (r *machineRecorder) Record(ev *trace.Event) {
+	ev.Machine = r.machine
+	r.events = append(r.events, *ev)
 }
 
 // tenantState is one traffic source.
@@ -135,6 +161,17 @@ type simRun struct {
 	batch     []freeEvent
 	processed int
 	rrNext    int
+
+	// Decision tracing. level gates emission (Off for untraced runs);
+	// events is the deterministic global stream, seq the next sequence
+	// number; cands/tieBreak are the router's scratch for the current
+	// placement (filled only when tracing decisions, so the untraced
+	// hot path never touches them).
+	level    trace.Level
+	events   []trace.Event
+	seq      uint64
+	cands    []trace.Candidate
+	tieBreak string
 }
 
 // Run executes the scenario to completion — every arrival routed,
@@ -145,17 +182,42 @@ type simRun struct {
 // and their shared-state effects are committed in deterministic event
 // order.
 func Run(sc Scenario) (*Report, error) {
+	rep, _, err := run(sc, trace.Off, false)
+	return rep, err
+}
+
+// RunTraced is Run additionally recording decision events at the given
+// level (Off falls back to the scenario's own trace_level). The event
+// stream is part of the determinism contract: same scenario + seed =>
+// byte-identical trace JSONL, regardless of GOMAXPROCS or the
+// scenario's parallelism — serve-side events are staged per machine and
+// merged in deterministic event order, exactly like latency samples.
+func RunTraced(sc Scenario, level trace.Level) (*Report, []trace.Event, error) {
+	if level == trace.Off {
+		var err error
+		if level, err = trace.ParseLevel(sc.TraceLevel); err != nil {
+			return nil, nil, err
+		}
+	}
+	return run(sc, level, true)
+}
+
+// run normalizes the scenario, opens the fleet's base System, and
+// executes it; install selects whether per-machine trace recorders are
+// wired in at all (an installed recorder at level Off records nothing
+// but exercises the disabled-recorder path the allocation tests pin).
+func run(sc Scenario, level trace.Level, install bool) (*Report, []trace.Event, error) {
 	sc, err := sc.normalized()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	kind, err := parseDBKind(sc.DB)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	qpol, err := serve.QueuePolicyByName(sc.QueuePolicy)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// One expensive Open for the whole fleet: machines with the default
@@ -174,9 +236,13 @@ func Run(sc Scenario) (*Report, error) {
 		Seed: sc.Seed, Cache: cache,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("sim: open system: %w", err)
+		return nil, nil, fmt.Errorf("sim: open system: %w", err)
 	}
-	return runWith(sc, qpol, sys, cache)
+	if !install {
+		rep, err := runWith(sc, qpol, sys, cache)
+		return rep, nil, err
+	}
+	return runTraced(sc, qpol, sys, cache, level)
 }
 
 // machineSystems derives one System per machine from the base System:
@@ -211,31 +277,52 @@ func machineSystems(sc Scenario, fleet []MachineSpec, base *uaqetp.System) ([]*u
 
 // runWith executes an already normalized scenario against an existing
 // base System and cache — the seam benchmarks use to amortize the
-// expensive Open across iterations. The fleet (servers, queues, clocks,
+// expensive Open across iterations — with no trace recorders installed
+// (the nil-Recorder fast path). The fleet (servers, queues, clocks,
 // per-machine sibling Systems) is rebuilt fresh per call.
 func runWith(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache *uaqetp.EstimateCache) (*Report, error) {
+	rep, _, err := runSim(sc, qpol, sys, cache, trace.Off, false)
+	return rep, err
+}
+
+// runTraced is runWith with per-machine trace recorders installed at
+// the given level. Recorders are wired in even at level Off — they then
+// record nothing, but the Enabled gates still run, which is exactly the
+// disabled-recorder overhead the allocation tests measure.
+func runTraced(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache *uaqetp.EstimateCache, level trace.Level) (*Report, []trace.Event, error) {
+	return runSim(sc, qpol, sys, cache, level, true)
+}
+
+func runSim(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache *uaqetp.EstimateCache, level trace.Level, install bool) (*Report, []trace.Event, error) {
 	fleet, err := sc.Machines.resolve(sc.MachineProfile)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	msys, err := machineSystems(sc, fleet, sys)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	s := &simRun{
 		sc: sc, ctx: context.Background(), router: sc.Router, cache: cache,
 		perMachine: sc.Machines.Labeled(),
 		par:        sc.Parallelism,
+		level:      level,
 	}
 	if s.par < 1 {
 		s.par = 1
 	}
 	for m := range fleet {
-		srv := serve.New(serve.Config{
+		cfg := serve.Config{
 			Cache: cache, MaxQueue: sc.MaxQueue, Policy: qpol, RecalEvery: sc.RecalEvery,
-		})
+		}
+		var rec *machineRecorder
+		if install {
+			rec = &machineRecorder{level: level, machine: m}
+			cfg.Trace = rec
+		}
+		srv := serve.New(cfg)
 		ms := &machineState{
-			srv: srv, sys: msys[m], pending: make(map[uint64]pendingArrival),
+			srv: srv, sys: msys[m], pending: make(map[uint64]pendingArrival), rec: rec,
 		}
 		if s.perMachine {
 			ms.spec = fleet[m]
@@ -243,7 +330,7 @@ func runWith(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache *uaq
 		for _, spec := range sc.Tenants {
 			t, err := srv.AddTenantSystem(spec.Name, msys[m], spec.SLO)
 			if err != nil {
-				return nil, fmt.Errorf("sim: machine %d: %w", m, err)
+				return nil, nil, fmt.Errorf("sim: machine %d: %w", m, err)
 			}
 			ms.tenants = append(ms.tenants, t)
 		}
@@ -251,7 +338,7 @@ func runWith(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache *uaq
 	}
 
 	if err := s.buildArrivals(sys); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Warm the shared cache's run section (and the plan memo and
 	// estimate sections with it) by executing each distinct template
@@ -264,9 +351,9 @@ func runWith(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache *uaq
 		_, _ = sys.Execute(q)
 	}
 	if err := s.loop(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return s.report(), nil
+	return s.report(), s.events, nil
 }
 
 // arrivalSeed derives one tenant's arrival RNG seed from the scenario
@@ -520,18 +607,24 @@ func (s *simRun) loop() error {
 		}
 	}
 	// Align every machine with the last arrival instant, exactly as the
-	// per-arrival clock broadcast used to.
+	// per-arrival clock broadcast used to. The alignment may trigger
+	// final auto-recalibration checks; drain their events in machine
+	// order.
 	if n := len(s.arrivals); n > 0 {
 		last := s.arrivals[n-1].at
 		for _, ms := range s.machines {
 			ms.srv.AdvanceClock(last)
+			s.drainTrace(ms)
 		}
 	}
 	return nil
 }
 
 // handleArrival clones the arrival's template, routes it, and runs
-// admission on the chosen machine at event time.
+// admission on the chosen machine at event time. Runs on the event-loop
+// goroutine only, so its trace emissions (the placement event directly,
+// then the serve-staged admission/recalibration events via drainTrace)
+// land in deterministic arrival order.
 func (s *simRun) handleArrival(a arrival) error {
 	ts := s.tenants[a.tenant]
 	q := cloneQuery(a.tmpl, ts.spec.Name, int(a.ord))
@@ -540,10 +633,27 @@ func (s *simRun) handleArrival(a arrival) error {
 		return err
 	}
 	ms := s.machines[m]
+	if s.level >= trace.Decisions {
+		ev := trace.Event{
+			Kind: trace.KindPlacement, At: a.at, Machine: m,
+			Tenant: ts.spec.Name, Query: q.Name,
+			Router: s.router, TieBreak: s.tieBreak,
+		}
+		if len(s.cands) > 0 {
+			ev.Candidates = append([]trace.Candidate(nil), s.cands...)
+		}
+		ev.Seq = s.seq
+		s.seq++
+		s.events = append(s.events, ev)
+	}
 	ms.srv.AdvanceClock(a.at)
 	dec, err := ms.srv.Submit(s.ctx, serve.Request{
 		Tenant: ts.spec.Name, Query: q, Deadline: ts.spec.Deadline,
 	})
+	// Auto-recalibrations triggered by the clock advance and the
+	// admission verdict are staged on the machine recorder in temporal
+	// order; drain them before any execution the admission may start.
+	s.drainTrace(ms)
 	if err != nil {
 		// An unpredictable query is already tallied as a rejection
 		// by the server; the simulation carries on.
@@ -618,10 +728,27 @@ func (s *simRun) commitMachine(m int) {
 		ts.queueWaits = append(ts.queueWaits, lr.qwait)
 	}
 	ms.staged = ms.staged[:0]
+	s.drainTrace(ms)
 	if ms.freePending {
 		s.pushFree(ms.freeAt, m)
 		ms.freePending = false
 	}
+}
+
+// drainTrace moves the machine's staged trace events into the global
+// deterministic stream, assigning sequence numbers. Called only on the
+// event-loop goroutine (arrival handling and batch-order commits).
+func (s *simRun) drainTrace(ms *machineState) {
+	if ms.rec == nil || len(ms.rec.events) == 0 {
+		return
+	}
+	for i := range ms.rec.events {
+		ev := ms.rec.events[i]
+		ev.Seq = s.seq
+		s.seq++
+		s.events = append(s.events, ev)
+	}
+	ms.rec.events = ms.rec.events[:0]
 }
 
 // report aggregates the fleet into the final Report.
@@ -663,7 +790,9 @@ func (s *simRun) report() *Report {
 	}
 
 	var fleetMet, fleetSubmitted int
+	var fleetLat []float64
 	for _, ts := range s.tenants {
+		fleetLat = append(fleetLat, ts.latencies...)
 		tr := TenantReport{Name: ts.spec.Name}
 		for m := range s.machines {
 			for _, st := range perMachine[m].Tenants {
@@ -696,6 +825,8 @@ func (s *simRun) report() *Report {
 	if fleetSubmitted > 0 {
 		rep.SLOAttainment = float64(fleetMet) / float64(fleetSubmitted)
 	}
+	rep.Latency = summarize(fleetLat)
 	sort.Slice(rep.Tenants, func(i, j int) bool { return rep.Tenants[i].Name < rep.Tenants[j].Name })
+	rep.Fitness = ComputeFitness(rep, DefaultFitnessWeights())
 	return rep
 }

@@ -32,14 +32,17 @@ import (
 	"strings"
 )
 
-// Result is one parsed benchmark line.
+// Result is one parsed benchmark line. Custom b.ReportMetric columns
+// (events/s, fitness, ...) land in Metrics keyed by unit, so domain
+// numbers ride the trajectory next to the timing columns.
 type Result struct {
-	Name        string  `json:"name"`
-	Procs       int     `json:"procs"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"b_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -180,13 +183,18 @@ func parse(line string) (Result, bool) {
 		if err != nil {
 			return Result{}, false
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			r.NsPerOp = v
 		case "B/op":
 			r.BytesPerOp = v
 		case "allocs/op":
 			r.AllocsPerOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
 		}
 	}
 	if r.NsPerOp == 0 {

@@ -21,6 +21,24 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestParseCustomMetrics(t *testing.T) {
+	r, ok := parse("BenchmarkSimPoisson-8   	      10	 12345678 ns/op	      2500000 events/s	         1.375 fitness	 45678 B/op	     321 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.NsPerOp != 12345678 || r.BytesPerOp != 45678 || r.AllocsPerOp != 321 {
+		t.Fatalf("standard columns misparsed: %+v", r)
+	}
+	if r.Metrics["events/s"] != 2500000 || r.Metrics["fitness"] != 1.375 {
+		t.Fatalf("custom metrics = %v, want events/s and fitness", r.Metrics)
+	}
+	// Lines without custom columns keep a nil map (omitted from JSON).
+	r, ok = parse("BenchmarkPlain-8   	     100	  1000 ns/op")
+	if !ok || r.Metrics != nil {
+		t.Fatalf("plain line: ok=%v metrics=%v", ok, r.Metrics)
+	}
+}
+
 func TestRegressions(t *testing.T) {
 	base := []Result{
 		{Name: "BenchmarkA-8", NsPerOp: 1000},
