@@ -27,7 +27,8 @@ race:
 
 # sim-smoke runs the shipped cluster-simulation scenarios — the
 # homogeneous bursty showcase, the heterogeneous mixed-profile fleet,
-# and the 1000-machine million-arrival cluster (parallel stepping on) —
+# the 1000-machine million-arrival cluster (parallel stepping on), and
+# the 4-shard 10k-tenant sharded topology (front door + cache tier) —
 # twice each and fails on any nondeterminism: same config + seed must
 # produce byte-identical reports. The second run pins GOMAXPROCS=2 so
 # the comparison also covers the scheduler-independence half of the
@@ -36,7 +37,7 @@ race:
 # trace stream is part of the determinism contract. It is the cheap
 # end-to-end gate on the simulator's core determinism.
 sim-smoke:
-	@for sc in scenario scenario-hetero scenario-cluster; do \
+	@for sc in scenario scenario-hetero scenario-cluster scenario-sharded; do \
 		$(GO) run ./cmd/uaqp sim -config examples/sim/$$sc.json -o sim-smoke-1.json 2>/dev/null || exit 1; \
 		GOMAXPROCS=2 $(GO) run ./cmd/uaqp sim -config examples/sim/$$sc.json -o sim-smoke-2.json 2>/dev/null || exit 1; \
 		cmp sim-smoke-1.json sim-smoke-2.json \

@@ -4,7 +4,8 @@
 //	uaqp experiment <id> [flags]   regenerate one table or figure
 //	uaqp demo [flags]              predict-and-run a benchmark workload
 //	uaqp batch [flags]             batched concurrent prediction throughput demo
-//	uaqp serve [flags]             multi-tenant HTTP prediction service
+//	uaqp serve [flags]             multi-tenant HTTP prediction service (one serving shard with -shard)
+//	uaqp front [flags]             sharded-topology routing tier over a directory file
 //	uaqp sim [flags]               discrete-event cluster simulation from a scenario file
 //
 // Flags:
@@ -16,10 +17,15 @@
 //	-machine M   demo machine: PC1 | PC2
 //	-sr R        demo sampling ratio (default 0.05)
 //	-workers W   batch worker pool size (default GOMAXPROCS)
-//	-addr A      serve listen address (default :8080)
+//	-addr A      serve/front listen address (default :8080)
 //	-tenants T   serve tenant names, comma-separated (default "alpha,beta")
 //	-confidence  serve SLO admission confidence (default 0.95)
 //	-deadline D  serve default deadline in virtual seconds (default 1.0)
+//	-shard NAME  serve as the named shard, registering in -dir
+//	-dir FILE    static shard-directory file (serve registration, front routing)
+//	-rate R      front token-bucket refill rate, requests/second (0 = unlimited)
+//	-burst B     front token-bucket capacity (default = rate)
+//	-predictive  front sheds hopeless submissions before spending tokens
 //	-trace FILE  sim decision-trace output file (JSONL, deterministic)
 //	-trace-level sim trace detail: off | decisions | full
 package main
@@ -38,6 +44,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/exper"
 	"repro/internal/serve"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -61,6 +68,8 @@ func main() {
 		err = batch(args)
 	case "serve":
 		err = serveCmd(args)
+	case "front":
+		err = frontCmd(args)
 	case "sim":
 		err = simCmd(args)
 	default:
@@ -79,7 +88,8 @@ func usage() {
   uaqp experiment <id> [-queries N] [-seed S]
   uaqp demo [-bench B] [-db D] [-machine M] [-sr R] [-queries N] [-seed S]
   uaqp batch [-bench B] [-db D] [-machine M] [-sr R] [-queries N] [-seed S] [-workers W]
-  uaqp serve [-addr A] [-db D] [-machine M] [-sr R] [-seed S] [-tenants T] [-confidence C] [-deadline D]
+  uaqp serve [-addr A] [-db D] [-machine M] [-sr R] [-seed S] [-tenants T] [-confidence C] [-deadline D] [-shard NAME -dir FILE]
+  uaqp front -dir FILE [-addr A] [-rate R] [-burst B] [-predictive] [-confidence C]
   uaqp sim -config FILE [-seed S] [-router R] [-o FILE] [-trace FILE] [-trace-level L]`)
 }
 
@@ -171,7 +181,10 @@ func simCmd(args []string) error {
 
 // serveCmd starts the multi-tenant HTTP prediction service: one System
 // per tenant over a shared sampling-pass cache, deadline-aware
-// admission, and a background dispatcher draining admitted work.
+// admission, and a background dispatcher draining admitted work. With
+// -shard and -dir the process serves as one shard of a multi-process
+// topology: it registers its name and address in the static directory
+// file, which a `uaqp front` process routes from.
 func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
@@ -182,12 +195,23 @@ func serveCmd(args []string) error {
 	tenants := fs.String("tenants", "alpha,beta", "comma-separated tenant names")
 	confidence := fs.Float64("confidence", 0.95, "SLO admission confidence")
 	deadline := fs.Float64("deadline", 1.0, "default deadline (virtual seconds)")
+	shardName := fs.String("shard", "", "serve as this named shard, registering in -dir")
+	dirFile := fs.String("dir", "", "shard directory file to register in (requires -shard)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	kind, err := parseDB(*db)
 	if err != nil {
 		return err
+	}
+	if (*shardName == "") != (*dirFile == "") {
+		return fmt.Errorf("serve: -shard and -dir must be used together")
+	}
+	if *shardName != "" {
+		if err := registerShard(*dirFile, *shardName, *addr, *seed); err != nil {
+			return err
+		}
+		fmt.Printf("shard %q registered in %s\n", *shardName, *dirFile)
 	}
 
 	srv := serve.New(serve.Config{})
@@ -209,6 +233,98 @@ func serveCmd(args []string) error {
 
 	fmt.Printf("serving on %s — POST /predict /submit /drain /recalibrate, GET /stats /healthz\n", *addr)
 	return http.ListenAndServe(*addr, srv.Handler())
+}
+
+// registerShard upserts this process into the static directory file,
+// creating the file on first registration. The advertised address is
+// the listen address with a loopback host filled in when only a port
+// was given. Registration is a read-modify-write of a shared file, and
+// shard processes typically start concurrently, so it runs under a
+// sibling lockfile — without it, two shards loading the same snapshot
+// would silently drop each other's entries.
+func registerShard(dirFile, name, addr string, seed int64) error {
+	unlock, err := lockFile(dirFile + ".lock")
+	if err != nil {
+		return err
+	}
+	defer unlock()
+
+	file, err := shard.LoadFile(dirFile)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return err
+		}
+		file = &shard.File{Seed: seed}
+	}
+	advertise := addr
+	if strings.HasPrefix(advertise, ":") {
+		advertise = "127.0.0.1" + advertise
+	}
+	if !strings.Contains(advertise, "://") {
+		advertise = "http://" + advertise
+	}
+	file.Register(name, advertise)
+	return file.Save(dirFile)
+}
+
+// lockFile takes an advisory lock by exclusively creating path,
+// retrying briefly while another process holds it. A lock older than
+// ten seconds is treated as abandoned (a crashed registrant) and
+// broken.
+func lockFile(path string) (func(), error) {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			f.Close()
+			return func() { os.Remove(path) }, nil
+		}
+		if !os.IsExist(err) {
+			return nil, err
+		}
+		if st, serr := os.Stat(path); serr == nil && time.Since(st.ModTime()) > 10*time.Second {
+			os.Remove(path)
+			continue
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("uaqp: timed out waiting for lock %s", path)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// frontCmd starts the routing tier of the sharded topology: it builds
+// the consistent-hash directory from the shared directory file and
+// routes tenant traffic to the registered `uaqp serve -shard`
+// processes, shedding at the front door first.
+func frontCmd(args []string) error {
+	fs := flag.NewFlagSet("front", flag.ExitOnError)
+	addr := fs.String("addr", ":8090", "listen address")
+	dirFile := fs.String("dir", "", "shard directory file (written by `uaqp serve -shard`)")
+	rate := fs.Float64("rate", 0, "token-bucket refill rate, requests/second (0 = unlimited)")
+	burst := fs.Float64("burst", 0, "token-bucket capacity (0 = rate)")
+	predictive := fs.Bool("predictive", false, "shed hopeless submissions before spending tokens")
+	confidence := fs.Float64("confidence", 0.5, "predictive-shed confidence for submissions without one")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dirFile == "" {
+		return fmt.Errorf("front: -dir is required")
+	}
+	file, err := shard.LoadFile(*dirFile)
+	if err != nil {
+		return err
+	}
+	front, err := shard.NewFront(file, shard.FrontConfig{
+		FrontDoor:  shard.FrontDoorConfig{Rate: *rate, Burst: *burst, Predictive: *predictive},
+		Confidence: *confidence,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("front on %s over %d shard(s) — POST /predict /submit, GET /place /metrics /healthz\n",
+		*addr, len(file.Shards))
+	return http.ListenAndServe(*addr, front.Handler())
 }
 
 // batch demonstrates the concurrent batched prediction pipeline: it

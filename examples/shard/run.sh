@@ -1,0 +1,39 @@
+#!/bin/sh
+# Multi-process form of the sharded serving demo: three `uaqp serve`
+# processes register themselves in a static directory file, then a
+# `uaqp front` process routes by consistent hash and sheds at the
+# front door. Run from the repository root.
+set -eu
+
+DIR="$(mktemp -d)"
+PIDS=""
+cleanup() {
+	[ -n "$PIDS" ] && kill $PIDS 2>/dev/null
+	rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$DIR/uaqp" ./cmd/uaqp
+
+for i in 0 1 2; do
+	"$DIR/uaqp" serve -addr "127.0.0.1:810$((i + 1))" -shard "shard-$i" \
+		-dir "$DIR/dir.json" >"$DIR/shard-$i.log" 2>&1 &
+	PIDS="$PIDS $!"
+done
+sleep 0.5
+
+"$DIR/uaqp" front -addr 127.0.0.1:8090 -dir "$DIR/dir.json" \
+	-rate 100 -burst 10 -predictive >"$DIR/front.log" 2>&1 &
+PIDS="$PIDS $!"
+sleep 0.5
+
+echo "== directory file =="
+cat "$DIR/dir.json"
+echo
+
+echo "== placement for tenant alpha =="
+curl -s "http://127.0.0.1:8090/place?tenant=alpha"
+echo
+
+echo "== front metrics =="
+curl -s http://127.0.0.1:8090/metrics | head -n 12

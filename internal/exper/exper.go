@@ -219,7 +219,7 @@ type onceRun struct {
 // setting's own seed (per-cell seeds, per-query measurement streams)
 // rather than shared RNG state.
 type Lab struct {
-	cache *uaqetp.EstimateCache
+	cache uaqetp.EstimateCache
 
 	mu      sync.Mutex
 	bases   map[baseKey]*onceSys

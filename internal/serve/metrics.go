@@ -5,6 +5,8 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+
+	uaqetp "repro"
 )
 
 // WriteMetrics renders a point-in-time snapshot of the server in the
@@ -31,9 +33,9 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	// ("estimate"), join-subtree ("subtree"), and run-result ("run")
 	// sections of uaqetp.CacheStats.
 	type section struct {
-		name                   string
-		hits, misses, evicted  uint64
-		entries                int
+		name                  string
+		hits, misses, evicted uint64
+		entries               int
 	}
 	sections := []section{
 		{"estimate", st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions, st.Cache.Entries},
@@ -55,6 +57,19 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	mw.head("uaqp_cache_entries", "Shared estimate-cache resident entries by section.", "gauge")
 	for _, c := range sections {
 		mw.labeled("uaqp_cache_entries", "section", c.name, float64(c.entries))
+	}
+
+	// Cache-tier gauges, present only when the server runs over a
+	// TieredCache (the simulated remote tier behind the EstimateCache
+	// seam).
+	if tc, ok := s.cache.(*uaqetp.TieredCache); ok {
+		ts := tc.TierStats()
+		mw.head("uaqp_cache_tier_lookups_total", "Estimate-cache lookups by tier.", "counter")
+		mw.labeled("uaqp_cache_tier_lookups_total", "tier", "local", float64(ts.LocalLookups))
+		mw.labeled("uaqp_cache_tier_lookups_total", "tier", "remote", float64(ts.RemoteLookups))
+		mw.gauge("uaqp_cache_tier_local_fraction", "Configured fraction of keys resident in the local tier.", ts.LocalFraction)
+		mw.gauge("uaqp_cache_tier_remote_latency_seconds", "Modeled latency per remote-tier lookup.", ts.RemoteLatencySeconds)
+		mw.gauge("uaqp_cache_tier_modeled_remote_seconds", "Total modeled time spent on remote-tier lookups.", ts.ModeledRemoteSeconds)
 	}
 
 	// Per-tenant counters (st.Tenants is sorted by name).

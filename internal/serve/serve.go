@@ -110,7 +110,7 @@ type Config struct {
 	// server shares instead of creating its own — the hook the cluster
 	// simulator (internal/sim) uses to let a fleet of servers share one
 	// cache, like co-located tenants do within one server.
-	Cache *uaqetp.EstimateCache
+	Cache uaqetp.EstimateCache
 	// MaxQueue bounds admitted-but-unexecuted requests; a full queue
 	// rejects further admissions (backpressure). 0 selects 1024.
 	MaxQueue int
@@ -185,7 +185,7 @@ func (t *Tenant) System() *uaqetp.System { return t.sys }
 // concurrent use.
 type Server struct {
 	cfg   Config
-	cache *uaqetp.EstimateCache
+	cache uaqetp.EstimateCache
 
 	mu      sync.RWMutex
 	tenants map[string]*Tenant
@@ -341,7 +341,7 @@ func (s *Server) AddTenantSystem(name string, sys *uaqetp.System, slo SLO) (*Ten
 
 // Cache returns the server's estimate cache, for opening tenant
 // Systems that share it (see AddTenantSystem).
-func (s *Server) Cache() *uaqetp.EstimateCache { return s.cache }
+func (s *Server) Cache() uaqetp.EstimateCache { return s.cache }
 
 // ErrUnknownTenant reports a request against a tenant that was never
 // added; the HTTP layer maps it to 404.

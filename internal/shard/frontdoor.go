@@ -1,0 +1,147 @@
+package shard
+
+import (
+	"sort"
+	"sync"
+)
+
+// Verdict is the front door's decision on one submission.
+type Verdict string
+
+const (
+	// VerdictAdmit forwards the request to its placed shard.
+	VerdictAdmit Verdict = "admit"
+	// VerdictShedPredictive sheds a request whose best achievable
+	// P(T_wait + T_q <= d) anywhere in the fleet is already below the
+	// SLO confidence: forwarding it would only burn a token (and queue
+	// capacity) on a query that is hopeless before placement.
+	VerdictShedPredictive Verdict = "shed-predictive"
+	// VerdictShedThrottle sheds a request the token bucket cannot
+	// cover: the fleet-wide intake rate cap is exceeded.
+	VerdictShedThrottle Verdict = "shed-throttle"
+)
+
+// FrontDoorConfig shapes the front door.
+type FrontDoorConfig struct {
+	// Rate is the token refill rate in requests per (virtual) second;
+	// <= 0 disables the token bucket (no throttle shedding).
+	Rate float64 `json:"rate"`
+	// Burst is the bucket capacity (and initial fill); < 1 selects
+	// Rate (a one-second burst).
+	Burst float64 `json:"burst"`
+	// Predictive enables hopelessness shedding: a submission whose
+	// best fleet-wide P(T_wait + T_q <= d) falls below its SLO
+	// confidence is shed before it can spend a token. This is the
+	// mechanism by which the predictive front door beats a naive
+	// token-only one under flash load — hopeless queries stop
+	// competing with feasible ones for intake capacity.
+	Predictive bool `json:"predictive"`
+}
+
+// ClassCounters tallies front-door verdicts for one SLO class.
+type ClassCounters struct {
+	Admitted       uint64 `json:"admitted"`
+	ShedPredictive uint64 `json:"shed_predictive"`
+	ShedThrottled  uint64 `json:"shed_throttled"`
+}
+
+// FrontDoor is the fleet's intake valve: a token bucket over a virtual
+// (or wall) clock plus an optional predictive check, with verdicts
+// tallied per SLO class. The caller supplies time and the best
+// fleet-wide P(T_wait + T_q <= d) it computed for the request — the
+// front door itself owns no predictor, so the same valve serves the
+// simulator (virtual clock, exact per-machine queue states) and the
+// HTTP front (wall clock, optimistic zero-wait bound).
+//
+// Order of checks is deliberate: predictive first, so hopeless
+// requests never consume tokens, then the bucket. Deterministic given
+// a deterministic call sequence.
+type FrontDoor struct {
+	mu      sync.Mutex
+	cfg     FrontDoorConfig
+	tokens  float64
+	last    float64
+	started bool
+	classes map[string]*ClassCounters
+}
+
+// NewFrontDoor returns a front door per cfg; the bucket starts full.
+func NewFrontDoor(cfg FrontDoorConfig) *FrontDoor {
+	if cfg.Burst < 1 {
+		cfg.Burst = cfg.Rate
+	}
+	return &FrontDoor{
+		cfg:     cfg,
+		tokens:  cfg.Burst,
+		classes: make(map[string]*ClassCounters),
+	}
+}
+
+// Admit runs the front-door checks for one submission of the given SLO
+// class at time now (seconds on the caller's clock; must be
+// non-decreasing across calls). bestP is the best fleet-wide
+// P(T_wait + T_q <= d) the caller could find for this request, and
+// confidence the SLO confidence it must clear; the predictive check
+// compares the two only when the front door is configured predictive.
+func (f *FrontDoor) Admit(class string, now, bestP, confidence float64) Verdict {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c := f.classes[class]
+	if c == nil {
+		c = &ClassCounters{}
+		f.classes[class] = c
+	}
+	if f.cfg.Rate > 0 {
+		if !f.started {
+			f.started, f.last = true, now
+		}
+		if dt := now - f.last; dt > 0 {
+			f.tokens += dt * f.cfg.Rate
+			if f.tokens > f.cfg.Burst {
+				f.tokens = f.cfg.Burst
+			}
+			f.last = now
+		}
+	}
+	if f.cfg.Predictive && bestP < confidence {
+		c.ShedPredictive++
+		return VerdictShedPredictive
+	}
+	if f.cfg.Rate > 0 {
+		if f.tokens < 1 {
+			c.ShedThrottled++
+			return VerdictShedThrottle
+		}
+		f.tokens--
+	}
+	c.Admitted++
+	return VerdictAdmit
+}
+
+// Predictive reports whether the predictive check is enabled (callers
+// skip computing bestP when it is not).
+func (f *FrontDoor) Predictive() bool { return f.cfg.Predictive }
+
+// Counters snapshots the per-class tallies.
+func (f *FrontDoor) Counters() map[string]ClassCounters {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]ClassCounters, len(f.classes))
+	for k, v := range f.classes {
+		out[k] = *v
+	}
+	return out
+}
+
+// Classes returns the sorted class names seen so far — the stable
+// iteration order reports and metrics pages need.
+func (f *FrontDoor) Classes() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.classes))
+	for k := range f.classes {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -139,3 +139,80 @@ func BenchmarkSimHeterogeneous(b *testing.B) {
 	}
 	b.ReportMetric(fitness, "fitness")
 }
+
+// BenchmarkSimSharded measures the sharded topology end to end: 10k
+// tenants placed by the consistent-hash directory over 4 shards of 2
+// machines, every arrival passing the front door (token bucket plus
+// predictive shedding) and the tiered estimate cache. Events/sec here
+// tracks the cost the sharding layer adds on top of flat routing —
+// placement lookups, per-shard routing ranges, front-door probability
+// bounds — amortizing tenant expansion into each run, since group
+// expansion is part of a sharded run.
+func BenchmarkSimSharded(b *testing.B) {
+	sc := Scenario{
+		Name:     "bench-sharded",
+		Seed:     3,
+		Horizon:  10,
+		Machines: FleetOf(8),
+		Router:   RouterLeastRisk,
+		DB:       "uniform-1G",
+		Shards: &ShardsSpec{
+			Count:     4,
+			VNodes:    64,
+			FrontDoor: &FrontDoorSpec{Rate: 300, Burst: 60, Predictive: true},
+			CacheTier: &CacheTierSpec{LocalFraction: 0.75, RemoteLatency: 0.002},
+		},
+		Tenants: []TenantSpec{{
+			Name:     "grid",
+			Count:    10000,
+			Bench:    "seljoin",
+			Queries:  8,
+			Deadline: 1.2,
+			SLO:      serve.SLO{Confidence: 0.9, DefaultDeadline: 1.2, Quantile: 0.9},
+			Arrivals: ArrivalSpec{Process: ProcessPoisson, Rate: 0.02},
+		}},
+	}
+	sc, err := sc.normalized()
+	if err != nil {
+		b.Fatal(err)
+	}
+	kind, err := parseDBKind(sc.DB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qpol, err := serve.QueuePolicyByName(sc.QueuePolicy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := uaqetp.NewTieredCache(uaqetp.TierConfig{
+		LocalFraction: sc.Shards.CacheTier.LocalFraction,
+		RemoteLatency: sc.Shards.CacheTier.RemoteLatency,
+		Seed:          sc.Seed,
+		Capacity:      1024,
+	})
+	sys, err := uaqetp.Open(uaqetp.Config{
+		DB: kind, Machine: sc.MachineProfile, SamplingRatio: sc.SamplingRatio,
+		Seed: sc.Seed, Cache: cache,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events int
+	var fitness float64
+	for i := 0; i < b.N; i++ {
+		rep, err := runWith(sc, qpol, sys, cache)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += rep.Events
+		fitness = rep.Fitness.Score
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	}
+	b.ReportMetric(fitness, "fitness")
+}

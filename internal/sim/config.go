@@ -112,15 +112,35 @@ type Scenario struct {
 	// vectors), or "full" (adds execution outcomes and
 	// recalibrations). Plain Run ignores it.
 	TraceLevel string `json:"trace_level,omitempty"`
+	// Shards, when present, partitions the fleet into a sharded serving
+	// topology: a consistent-hash tenant directory over shards of
+	// machines, an optional front door (token bucket + predictive
+	// shedding), an optional modeled cache tier, and an optional mid-run
+	// rebalance. See ShardsSpec. Absent, the scenario is the flat
+	// pre-sharding fleet with byte-identical reports.
+	Shards *ShardsSpec `json:"shards,omitempty"`
 	// Tenants are the traffic sources; every tenant exists on every
-	// machine (the router spreads its arrivals across the fleet).
+	// machine of its shard (the router spreads its arrivals across
+	// them — across the whole fleet when the scenario is unsharded).
 	Tenants []TenantSpec `json:"tenants"`
 }
 
-// TenantSpec describes one tenant's SLO and traffic.
+// TenantSpec describes one tenant's SLO and traffic — or, via Count, a
+// whole group of identically configured tenants.
 type TenantSpec struct {
-	// Name must be unique within the scenario.
+	// Name must be unique within the scenario. With Count > 1 it is
+	// the group prefix: members are named "name/0000", "name/0001", …
 	Name string `json:"name"`
+	// Count expands this spec into Count tenants sharing the SLO,
+	// benchmark, and arrival shape but each with its own independent
+	// arrival stream (per-member RNG seeds) and its own directory
+	// placement. 0 or 1 means a single tenant named exactly Name. The
+	// report aggregates the whole group under one TenantReport. Not
+	// compatible with trace arrivals.
+	Count int `json:"count,omitempty"`
+	// Class labels the group's SLO class in front-door counters and
+	// metrics; empty selects Name.
+	Class string `json:"class,omitempty"`
 	// Bench selects the query pool: "micro", "seljoin", or "tpch".
 	Bench string `json:"bench"`
 	// Queries is the number of distinct queries in the pool that
@@ -245,6 +265,11 @@ func (sc Scenario) normalized() (Scenario, error) {
 	if _, err := trace.ParseLevel(sc.TraceLevel); err != nil {
 		return sc, fmt.Errorf("sim: trace_level: %w", err)
 	}
+	if sc.Shards != nil {
+		if err := sc.Shards.validate(sc.Machines.Size()); err != nil {
+			return sc, err
+		}
+	}
 	if len(sc.Tenants) == 0 {
 		return sc, fmt.Errorf("sim: scenario needs at least one tenant")
 	}
@@ -258,6 +283,12 @@ func (sc Scenario) normalized() (Scenario, error) {
 			return sc, fmt.Errorf("sim: duplicate tenant %q", t.Name)
 		}
 		seen[t.Name] = true
+		if t.Count < 0 {
+			return sc, fmt.Errorf("sim: tenant %q: negative count %d", t.Name, t.Count)
+		}
+		if t.Count > 1 && t.Arrivals.Process == ProcessTrace {
+			return sc, fmt.Errorf("sim: tenant %q: count %d is not compatible with trace arrivals (a trace replays one tenant's stream)", t.Name, t.Count)
+		}
 		if _, err := parseBench(t.Bench); err != nil {
 			return sc, fmt.Errorf("sim: tenant %q: %w", t.Name, err)
 		}

@@ -38,7 +38,7 @@ func TestLoadRejectsUnknownKeysWithListing(t *testing.T) {
 func TestLoadAcceptsAllDocumentedKeys(t *testing.T) {
 	// Every shipped example scenario must load cleanly (they are the
 	// documentation of the vocabulary).
-	for _, sc := range []string{"scenario", "scenario-hetero", "scenario-cluster"} {
+	for _, sc := range []string{"scenario", "scenario-hetero", "scenario-cluster", "scenario-sharded"} {
 		if _, err := Load(filepath.Join("../../examples/sim", sc+".json")); err != nil {
 			t.Errorf("shipped scenario %s fails to load: %v", sc, err)
 		}

@@ -51,7 +51,7 @@ func summarize(xs []float64) Quantiles {
 // TenantReport aggregates one tenant's outcomes across the whole fleet.
 type TenantReport struct {
 	Name string `json:"name"`
-	// Submitted counts arrivals (admitted + rejected).
+	// Submitted counts arrivals (admitted + rejected + shed).
 	Submitted int `json:"submitted"`
 	Admitted  int `json:"admitted"`
 	Rejected  int `json:"rejected"`
@@ -60,10 +60,15 @@ type TenantReport struct {
 	ExecFailed      int `json:"exec_failed"`
 	DeadlinesMet    int `json:"deadlines_met"`
 	DeadlinesMissed int `json:"deadlines_missed"`
+	// Shed counts arrivals the sharded front door refused before
+	// placement (token bucket or predictive check); zero — and omitted
+	// — on unsharded runs.
+	Shed int `json:"shed,omitempty"`
 	// SLOAttainment is end-to-end goodput: the fraction of *submitted*
 	// queries that finished within their deadline — a rejection counts
 	// against it just like a miss, so admission control cannot trade
-	// attainment for rejections for free.
+	// attainment for rejections for free. Front-door sheds count
+	// against it exactly like rejections.
 	SLOAttainment float64 `json:"slo_attainment"`
 	// AttainmentExecuted is deadlines met over executed queries only.
 	AttainmentExecuted float64 `json:"attainment_executed"`
@@ -124,6 +129,56 @@ type Report struct {
 	Tenants    []TenantReport    `json:"tenants"`
 	PerMachine []MachineReport   `json:"per_machine"`
 	Cache      uaqetp.CacheStats `json:"cache"`
+	// Shards describes the sharded serving topology when the scenario
+	// has a shards block; nil — and omitted — otherwise, keeping
+	// unsharded reports byte-identical to the pre-sharding schema.
+	Shards *ShardsReport `json:"shards,omitempty"`
+}
+
+// ShardReport summarizes one serving shard: its contiguous machine
+// slice, the tenants the directory places on it (final topology), and
+// the work its machines executed.
+type ShardReport struct {
+	Shard int    `json:"shard"`
+	Name  string `json:"name"`
+	// MachineLo/MachineHi are the shard's machine index range
+	// [MachineLo, MachineHi).
+	MachineLo int `json:"machine_lo"`
+	MachineHi int `json:"machine_hi"`
+	// Tenants is how many tenants the directory places on this shard
+	// in the final topology (after any add/remove rebalance).
+	Tenants  int `json:"tenants"`
+	Executed int `json:"executed"`
+}
+
+// ClassReport is one SLO class's front-door tally.
+type ClassReport struct {
+	Class          string `json:"class"`
+	Admitted       uint64 `json:"admitted"`
+	ShedPredictive uint64 `json:"shed_predictive"`
+	ShedThrottled  uint64 `json:"shed_throttled"`
+}
+
+// FrontDoorReport summarizes the fleet's intake valve: configuration
+// plus per-SLO-class verdict counters, classes sorted by name.
+type FrontDoorReport struct {
+	Rate       float64       `json:"rate"`
+	Burst      float64       `json:"burst"`
+	Predictive bool          `json:"predictive"`
+	Classes    []ClassReport `json:"classes"`
+}
+
+// ShardsReport is the sharded-topology section of a Report.
+type ShardsReport struct {
+	Count  int `json:"count"`
+	VNodes int `json:"vnodes"`
+	// AddShardAt/RemoveShardAt echo a mid-run rebalance, when the
+	// scenario scheduled one.
+	AddShardAt    float64           `json:"add_shard_at,omitempty"`
+	RemoveShardAt float64           `json:"remove_shard_at,omitempty"`
+	PerShard      []ShardReport     `json:"per_shard"`
+	FrontDoor     *FrontDoorReport  `json:"front_door,omitempty"`
+	CacheTier     *uaqetp.TierStats `json:"cache_tier,omitempty"`
 }
 
 // JSON renders the report with stable indentation — the byte-level

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	uaqetp "repro"
 	"repro/internal/stats"
@@ -44,41 +45,50 @@ const (
 // equally safe and the least-risk routers fall back to load.
 const riskEps = 1e-9
 
-func parseRouter(name string) (string, error) {
-	switch name {
-	case RouterRoundRobin, RouterLeastQueue, RouterLeastRisk, RouterLeastRiskShared:
-		return name, nil
-	default:
-		return "", fmt.Errorf("sim: unknown router %q (want round-robin, least-queue, least-risk, or least-risk-shared)", name)
-	}
+// Routers returns the registered placement-policy names, in registration
+// order — the vocabulary parseRouter accepts and reports.
+func Routers() []string {
+	return []string{RouterRoundRobin, RouterLeastQueue, RouterLeastRisk, RouterLeastRiskShared}
 }
 
-// route picks the machine for an arrival at virtual time now. All
-// policies break ties toward the lowest machine index, keeping
-// placement deterministic.
+func parseRouter(name string) (string, error) {
+	for _, r := range Routers() {
+		if name == r {
+			return name, nil
+		}
+	}
+	return "", fmt.Errorf("sim: unknown router %q (registered: %s)", name, strings.Join(Routers(), ", "))
+}
+
+// route picks the machine for an arrival at virtual time now, among
+// the machines [lo, hi) of shard sid — the whole fleet (shard 0) on
+// unsharded runs. All policies break ties toward the lowest machine
+// index, keeping placement deterministic.
 //
 // When decision tracing is on, every policy leaves its per-machine
 // candidate scoring vector in s.cands (machine order) and the reason
 // the winner won in s.tieBreak; capturing is pure observation — the
 // comparisons and the chosen machine are identical with tracing off.
-func (s *simRun) route(ts *tenantState, ti int, q *uaqetp.Query, deadline, now float64) (int, error) {
+func (s *simRun) route(ts *tenantState, ti int, q *uaqetp.Query, deadline, now float64, lo, hi, sid int) (int, error) {
 	capture := s.level >= trace.Decisions
 	if capture {
 		s.cands = s.cands[:0]
 	}
 	switch s.router {
 	case RouterRoundRobin:
-		m := s.rrNext % len(s.machines)
-		s.rrNext++
+		// Rotation is per shard, so each shard's machines take turns
+		// regardless of how arrivals interleave across shards.
+		m := lo + s.rrNexts[sid]%(hi-lo)
+		s.rrNexts[sid]++
 		if capture {
 			s.tieBreak = "rotation"
 		}
 		return m, nil
 
 	case RouterLeastQueue:
-		best, bestWait := 0, math.Inf(1)
-		for m, ms := range s.machines {
-			qlen, waitMean, waitVar := ms.srv.QueueStateAt(now)
+		best, bestWait := lo, math.Inf(1)
+		for m := lo; m < hi; m++ {
+			qlen, waitMean, waitVar := s.machines[m].srv.QueueStateAt(now)
 			if capture {
 				s.cands = append(s.cands, trace.Candidate{
 					Machine: m, QueueLen: qlen, WaitMean: waitMean, WaitVar: waitVar,
@@ -95,12 +105,12 @@ func (s *simRun) route(ts *tenantState, ti int, q *uaqetp.Query, deadline, now f
 
 	case RouterLeastRisk:
 		if s.perMachine {
-			return s.routeLeastRiskPerMachine(ti, q, deadline, now)
+			return s.routeLeastRiskPerMachine(ti, q, deadline, now, lo, hi)
 		}
-		return s.routeLeastRiskShared(ts, q, deadline, now)
+		return s.routeLeastRiskShared(ts, q, deadline, now, lo, hi)
 
 	case RouterLeastRiskShared:
-		return s.routeLeastRiskShared(ts, q, deadline, now)
+		return s.routeLeastRiskShared(ts, q, deadline, now, lo, hi)
 	}
 	return 0, fmt.Errorf("sim: unknown router %q", s.router)
 }
@@ -109,7 +119,7 @@ func (s *simRun) route(ts *tenantState, ti int, q *uaqetp.Query, deadline, now f
 // fleet-shared prediction of T_q: correct on homogeneous fleets (and
 // byte-identical to the pre-heterogeneity router there), an ablation on
 // labeled ones.
-func (s *simRun) routeLeastRiskShared(ts *tenantState, q *uaqetp.Query, deadline, now float64) (int, error) {
+func (s *simRun) routeLeastRiskShared(ts *tenantState, q *uaqetp.Query, deadline, now float64, lo, hi int) (int, error) {
 	// The subsequent Submit on the chosen machine predicts again; both
 	// calls resolve through the planner's structural memo and the
 	// predictor stage's pointer-keyed memo, so the duplication costs a
@@ -124,9 +134,9 @@ func (s *simRun) routeLeastRiskShared(ts *tenantState, q *uaqetp.Query, deadline
 	// the least expected wait: among equally safe machines, spread
 	// the load instead of herding onto the first index.
 	capture := s.level >= trace.Decisions
-	best, bestP, bestWait := 0, math.Inf(-1), math.Inf(1)
-	for m, ms := range s.machines {
-		qlen, wait, waitVar := ms.srv.QueueStateAt(now)
+	best, bestP, bestWait := lo, math.Inf(-1), math.Inf(1)
+	for m := lo; m < hi; m++ {
+		qlen, wait, waitVar := s.machines[m].srv.QueueStateAt(now)
 		total := stats.Normal{
 			Mu:    pred.Mean() + wait,
 			Sigma: math.Sqrt(pred.Sigma()*pred.Sigma() + math.Max(waitVar, 0)),
@@ -160,10 +170,11 @@ func (s *simRun) routeLeastRiskShared(ts *tenantState, q *uaqetp.Query, deadline
 // swap in. The sampling pass behind every prediction is shared through
 // the fleet cache (estimates are machine-independent), so the
 // per-machine work is one analytic unit propagation each.
-func (s *simRun) routeLeastRiskPerMachine(ti int, q *uaqetp.Query, deadline, now float64) (int, error) {
+func (s *simRun) routeLeastRiskPerMachine(ti int, q *uaqetp.Query, deadline, now float64, lo, hi int) (int, error) {
 	capture := s.level >= trace.Decisions
-	best, bestP, bestWait := 0, math.Inf(-1), math.Inf(1)
-	for m, ms := range s.machines {
+	best, bestP, bestWait := lo, math.Inf(-1), math.Inf(1)
+	for m := lo; m < hi; m++ {
+		ms := s.machines[m]
 		pred, err := ms.tenants[ti].System().PredictContext(s.ctx, q)
 		if err != nil {
 			return 0, fmt.Errorf("sim: route predict %q on machine %d: %w", q.Name, m, err)

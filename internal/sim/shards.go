@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	uaqetp "repro"
+	"repro/internal/shard"
+	"repro/internal/stats"
+)
+
+// FrontDoorSpec is the scenario JSON shape of the fleet's intake
+// valve (shard.FrontDoorConfig).
+type FrontDoorSpec struct {
+	// Rate is the fleet-wide token refill rate in requests per virtual
+	// second; <= 0 disables the token bucket.
+	Rate float64 `json:"rate"`
+	// Burst is the bucket capacity; < 1 selects Rate.
+	Burst float64 `json:"burst,omitempty"`
+	// Predictive sheds a submission before placement when its best
+	// P(T_wait + T_q <= d) across its shard's machines is below the
+	// tenant's SLO confidence — without spending a token.
+	Predictive bool `json:"predictive,omitempty"`
+}
+
+// CacheTierSpec models a two-tier estimate cache for the scenario: the
+// fleet cache becomes a uaqetp.TieredCache with this local fraction
+// and per-remote-lookup latency (seeded by the scenario seed), and the
+// report grows a cache_tier section with the tier split and modeled
+// remote cost.
+type CacheTierSpec struct {
+	LocalFraction float64 `json:"local_fraction"`
+	RemoteLatency float64 `json:"remote_latency"`
+}
+
+// ShardsSpec partitions the scenario fleet into a sharded serving
+// topology: machines are split into Count contiguous shards, a
+// consistent-hash directory (VNodes virtual nodes per shard, seeded by
+// the scenario seed) places each tenant on one shard, and arrivals
+// route only within their tenant's shard. Optionally the topology
+// rebalances mid-run: with AddShardAt the last shard starts outside
+// the directory (its machines idle) and joins at that virtual time;
+// with RemoveShardAt the last shard leaves the directory at that time
+// (admitted work still drains). At most one of the two may be set.
+type ShardsSpec struct {
+	// Count is the number of shards; the fleet must have at least this
+	// many machines. Machines are assigned contiguously (shard 0 gets
+	// the first len/Count machines, and so on).
+	Count int `json:"count"`
+	// VNodes is the directory's virtual-node count per shard; 0
+	// selects shard.DefaultVNodes.
+	VNodes int `json:"vnodes,omitempty"`
+	// AddShardAt, in virtual seconds, holds the last shard out of the
+	// directory until that time (requires Count >= 2).
+	AddShardAt float64 `json:"add_shard_at,omitempty"`
+	// RemoveShardAt, in virtual seconds, removes the last shard from
+	// the directory at that time (requires Count >= 2).
+	RemoveShardAt float64 `json:"remove_shard_at,omitempty"`
+	// FrontDoor, when present, sheds load fleet-wide before placement.
+	FrontDoor *FrontDoorSpec `json:"front_door,omitempty"`
+	// CacheTier, when present, models the fleet cache as two tiers.
+	CacheTier *CacheTierSpec `json:"cache_tier,omitempty"`
+}
+
+func (s *ShardsSpec) validate(machines int) error {
+	if s.Count < 1 {
+		return fmt.Errorf("sim: shards count %d must be at least 1", s.Count)
+	}
+	if machines < s.Count {
+		return fmt.Errorf("sim: %d machines cannot form %d shards", machines, s.Count)
+	}
+	if s.VNodes < 0 {
+		return fmt.Errorf("sim: shards vnodes %d must not be negative", s.VNodes)
+	}
+	if s.AddShardAt < 0 || s.RemoveShardAt < 0 {
+		return fmt.Errorf("sim: shard add/remove times must not be negative")
+	}
+	if s.AddShardAt > 0 && s.RemoveShardAt > 0 {
+		return fmt.Errorf("sim: add_shard_at and remove_shard_at are mutually exclusive")
+	}
+	if (s.AddShardAt > 0 || s.RemoveShardAt > 0) && s.Count < 2 {
+		return fmt.Errorf("sim: a shard rebalance needs at least 2 shards")
+	}
+	if fd := s.FrontDoor; fd != nil {
+		if fd.Rate < 0 || fd.Burst < 0 {
+			return fmt.Errorf("sim: front_door rate/burst must not be negative")
+		}
+	}
+	if ct := s.CacheTier; ct != nil {
+		if ct.LocalFraction < 0 || ct.LocalFraction > 1 {
+			return fmt.Errorf("sim: cache_tier local_fraction %g out of [0, 1]", ct.LocalFraction)
+		}
+		if ct.RemoteLatency < 0 {
+			return fmt.Errorf("sim: cache_tier remote_latency %g must not be negative", ct.RemoteLatency)
+		}
+	}
+	return nil
+}
+
+// placeEpoch is one topology state: the directory's placement of every
+// expanded tenant, in effect from time from.
+type placeEpoch struct {
+	from  float64
+	place []int32 // expanded tenant index -> shard index
+}
+
+// shardedRun is a simulation's sharded topology: shard names, the
+// contiguous machine range per shard, the precomputed placement epochs
+// (base topology plus at most one rebalance), and the front door.
+// Placements are precomputed through shard.Directory before the event
+// loop, so the loop's per-arrival work is one epoch lookup.
+type shardedRun struct {
+	spec   ShardsSpec
+	names  []string
+	ranges [][2]int
+	epochs []placeEpoch
+	front  *shard.FrontDoor
+}
+
+// buildSharded materializes the scenario's shards block over nMachines
+// machines and the expanded tenant list.
+func buildSharded(sc Scenario, nMachines int, tenants []*tenantState) (*shardedRun, error) {
+	spec := *sc.Shards
+	sh := &shardedRun{spec: spec}
+	for i := 0; i < spec.Count; i++ {
+		sh.names = append(sh.names, fmt.Sprintf("shard-%d", i))
+	}
+	// Contiguous machine ranges; the first nMachines%Count shards get
+	// one extra machine.
+	base, extra := nMachines/spec.Count, nMachines%spec.Count
+	lo := 0
+	for i := 0; i < spec.Count; i++ {
+		n := base
+		if i < extra {
+			n++
+		}
+		sh.ranges = append(sh.ranges, [2]int{lo, lo + n})
+		lo += n
+	}
+
+	index := make(map[string]int32, spec.Count)
+	for i, n := range sh.names {
+		index[n] = int32(i)
+	}
+	placeAll := func(d *shard.Directory) []int32 {
+		out := make([]int32, len(tenants))
+		for ti, ts := range tenants {
+			out[ti] = index[d.Place(ts.name)]
+		}
+		return out
+	}
+
+	initial := sh.names
+	if spec.AddShardAt > 0 {
+		initial = sh.names[:spec.Count-1]
+	}
+	dir, err := shard.NewDirectory(initial, spec.VNodes, sc.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("sim: shards: %w", err)
+	}
+	sh.epochs = []placeEpoch{{from: 0, place: placeAll(dir)}}
+	switch {
+	case spec.AddShardAt > 0:
+		if err := dir.Add(sh.names[spec.Count-1]); err != nil {
+			return nil, fmt.Errorf("sim: shards: %w", err)
+		}
+		sh.epochs = append(sh.epochs, placeEpoch{from: spec.AddShardAt, place: placeAll(dir)})
+	case spec.RemoveShardAt > 0:
+		if err := dir.Remove(sh.names[spec.Count-1]); err != nil {
+			return nil, fmt.Errorf("sim: shards: %w", err)
+		}
+		sh.epochs = append(sh.epochs, placeEpoch{from: spec.RemoveShardAt, place: placeAll(dir)})
+	}
+
+	if spec.FrontDoor != nil {
+		sh.front = shard.NewFrontDoor(shard.FrontDoorConfig{
+			Rate: spec.FrontDoor.Rate, Burst: spec.FrontDoor.Burst,
+			Predictive: spec.FrontDoor.Predictive,
+		})
+	}
+	return sh, nil
+}
+
+// placeAt returns the shard owning expanded tenant ti at virtual time
+// at.
+func (sh *shardedRun) placeAt(ti int, at float64) int {
+	for i := len(sh.epochs) - 1; i > 0; i-- {
+		if at >= sh.epochs[i].from {
+			return int(sh.epochs[i].place[ti])
+		}
+	}
+	return int(sh.epochs[0].place[ti])
+}
+
+// onShard reports whether tenant ti is placed on shard sidx in any
+// epoch — the machines that must carry its façade.
+func (sh *shardedRun) onShard(ti, sidx int) bool {
+	for _, e := range sh.epochs {
+		if int(e.place[ti]) == sidx {
+			return true
+		}
+	}
+	return false
+}
+
+// bestPIn is the front door's predictive bound: the best
+// P(T_wait + T_q <= d) across the shard's machines, with the
+// fleet-shared prediction of T_q and each machine's own queue state —
+// the same arithmetic as the least-risk-shared router. A prediction
+// failure returns 1 (the request is forwarded; admission will tally
+// the failure exactly as on unsharded runs).
+func (s *simRun) bestPIn(ts *tenantState, q *uaqetp.Query, deadline, now float64, lo, hi int) float64 {
+	pred, err := ts.sys.PredictContext(s.ctx, q)
+	if err != nil {
+		return 1
+	}
+	best := math.Inf(-1)
+	for m := lo; m < hi; m++ {
+		_, wait, waitVar := s.machines[m].srv.QueueStateAt(now)
+		total := stats.Normal{
+			Mu:    pred.Mean() + wait,
+			Sigma: math.Sqrt(pred.Sigma()*pred.Sigma() + math.Max(waitVar, 0)),
+		}
+		if p := total.CDF(deadline); p > best {
+			best = p
+		}
+	}
+	return best
+}
+
+// shardsReport assembles the report's shards section.
+func (s *simRun) shardsReport() *ShardsReport {
+	sh := s.sh
+	vn := sh.spec.VNodes
+	if vn == 0 {
+		vn = shard.DefaultVNodes
+	}
+	rep := &ShardsReport{
+		Count: sh.spec.Count, VNodes: vn,
+		AddShardAt: sh.spec.AddShardAt, RemoveShardAt: sh.spec.RemoveShardAt,
+	}
+	final := sh.epochs[len(sh.epochs)-1].place
+	counts := make([]int, sh.spec.Count)
+	for _, si := range final {
+		counts[si]++
+	}
+	for i := range sh.names {
+		sr := ShardReport{
+			Shard: i, Name: sh.names[i],
+			MachineLo: sh.ranges[i][0], MachineHi: sh.ranges[i][1],
+			Tenants: counts[i],
+		}
+		for m := sr.MachineLo; m < sr.MachineHi; m++ {
+			sr.Executed += s.machines[m].executed
+		}
+		rep.PerShard = append(rep.PerShard, sr)
+	}
+	if fd := sh.front; fd != nil {
+		fr := &FrontDoorReport{
+			Rate: sh.spec.FrontDoor.Rate, Burst: sh.spec.FrontDoor.Burst,
+			Predictive: sh.spec.FrontDoor.Predictive,
+		}
+		counters := fd.Counters()
+		for _, class := range fd.Classes() {
+			c := counters[class]
+			fr.Classes = append(fr.Classes, ClassReport{
+				Class: class, Admitted: c.Admitted,
+				ShedPredictive: c.ShedPredictive, ShedThrottled: c.ShedThrottled,
+			})
+		}
+		rep.FrontDoor = fr
+	}
+	if tc, ok := s.cache.(*uaqetp.TieredCache); ok {
+		st := tc.TierStats()
+		rep.CacheTier = &st
+	}
+	return rep
+}

@@ -12,6 +12,7 @@ import (
 
 	uaqetp "repro"
 	"repro/internal/serve"
+	"repro/internal/shard"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -116,23 +117,38 @@ type machineState struct {
 type machineRecorder struct {
 	level   trace.Level
 	machine int
-	events  []trace.Event
+	// shard names the machine's serving shard on sharded topologies,
+	// stamped onto every staged event; empty (and omitted from the
+	// JSON) on flat fleets.
+	shard  string
+	events []trace.Event
 }
 
 func (r *machineRecorder) Enabled(l trace.Level) bool { return l > trace.Off && l <= r.level }
 
 func (r *machineRecorder) Record(ev *trace.Event) {
 	ev.Machine = r.machine
+	ev.Shard = r.shard
 	r.events = append(r.events, *ev)
 }
 
-// tenantState is one traffic source.
+// tenantState is one traffic source: a single TenantSpec, or one member
+// of a Count-expanded group.
 type tenantState struct {
-	spec        TenantSpec
+	spec TenantSpec
+	// name is the member's unique name ("spec.Name/0007" in groups,
+	// spec.Name itself otherwise); group indexes the TenantSpec this
+	// member aggregates under; class is the front door's SLO class.
+	name        string
+	group       int
+	class       string
+	confidence  float64
 	sys         *uaqetp.System
 	effDeadline float64
-	latencies   []float64
-	queueWaits  []float64
+	// shed counts front-door refusals (before placement).
+	shed       int
+	latencies  []float64
+	queueWaits []float64
 }
 
 // simRun is the mutable state of one simulation.
@@ -140,7 +156,7 @@ type simRun struct {
 	sc       Scenario
 	ctx      context.Context
 	router   string
-	cache    *uaqetp.EstimateCache
+	cache    uaqetp.EstimateCache
 	machines []*machineState
 	tenants  []*tenantState
 	// perMachine selects per-machine least-risk predictions (labeled
@@ -160,7 +176,14 @@ type simRun struct {
 	par       int
 	batch     []freeEvent
 	processed int
-	rrNext    int
+	// rrNexts is the round-robin rotation per shard — one entry (the
+	// whole fleet's) on unsharded runs.
+	rrNexts []int
+
+	// sh is the sharded topology, nil on flat fleets; sidOf maps each
+	// machine index to its shard.
+	sh    *shardedRun
+	sidOf []int
 
 	// Decision tracing. level gates emission (Off for untraced runs);
 	// events is the deterministic global stream, seq the next sequence
@@ -230,7 +253,14 @@ func run(sc Scenario, level trace.Level, install bool) (*Report, []trace.Event, 
 	if cacheCap <= 0 {
 		cacheCap = 1024
 	}
-	cache := uaqetp.NewEstimateCache(cacheCap)
+	var cache uaqetp.EstimateCache = uaqetp.NewEstimateCache(cacheCap)
+	if sc.Shards != nil && sc.Shards.CacheTier != nil {
+		ct := sc.Shards.CacheTier
+		cache = uaqetp.NewTieredCache(uaqetp.TierConfig{
+			LocalFraction: ct.LocalFraction, RemoteLatency: ct.RemoteLatency,
+			Seed: sc.Seed, Capacity: cacheCap,
+		})
+	}
 	sys, err := uaqetp.Open(uaqetp.Config{
 		DB: kind, Machine: sc.MachineProfile, SamplingRatio: sc.SamplingRatio,
 		Seed: sc.Seed, Cache: cache,
@@ -253,7 +283,7 @@ func machineSystems(sc Scenario, fleet []MachineSpec, base *uaqetp.System) ([]*u
 	derived := make(map[MachineSpec]*uaqetp.System, len(fleet))
 	out := make([]*uaqetp.System, len(fleet))
 	for m, spec := range fleet {
-		if spec.Profile == sc.MachineProfile && spec.Drift == 0 {
+		if spec.Spec == nil && spec.Profile == sc.MachineProfile && spec.Drift == 0 {
 			out[m] = base
 			continue
 		}
@@ -280,7 +310,7 @@ func machineSystems(sc Scenario, fleet []MachineSpec, base *uaqetp.System) ([]*u
 // expensive Open across iterations — with no trace recorders installed
 // (the nil-Recorder fast path). The fleet (servers, queues, clocks,
 // per-machine sibling Systems) is rebuilt fresh per call.
-func runWith(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache *uaqetp.EstimateCache) (*Report, error) {
+func runWith(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache uaqetp.EstimateCache) (*Report, error) {
 	rep, _, err := runSim(sc, qpol, sys, cache, trace.Off, false)
 	return rep, err
 }
@@ -289,11 +319,11 @@ func runWith(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache *uaq
 // the given level. Recorders are wired in even at level Off — they then
 // record nothing, but the Enabled gates still run, which is exactly the
 // disabled-recorder overhead the allocation tests measure.
-func runTraced(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache *uaqetp.EstimateCache, level trace.Level) (*Report, []trace.Event, error) {
+func runTraced(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache uaqetp.EstimateCache, level trace.Level) (*Report, []trace.Event, error) {
 	return runSim(sc, qpol, sys, cache, level, true)
 }
 
-func runSim(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache *uaqetp.EstimateCache, level trace.Level, install bool) (*Report, []trace.Event, error) {
+func runSim(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache uaqetp.EstimateCache, level trace.Level, install bool) (*Report, []trace.Event, error) {
 	fleet, err := sc.Machines.resolve(sc.MachineProfile)
 	if err != nil {
 		return nil, nil, err
@@ -311,6 +341,23 @@ func runSim(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache *uaqe
 	if s.par < 1 {
 		s.par = 1
 	}
+	s.expandTenants(sys)
+	s.sidOf = make([]int, len(fleet))
+	if sc.Shards != nil {
+		sh, err := buildSharded(sc, len(fleet), s.tenants)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.sh = sh
+		for si, r := range sh.ranges {
+			for m := r[0]; m < r[1]; m++ {
+				s.sidOf[m] = si
+			}
+		}
+		s.rrNexts = make([]int, sh.spec.Count)
+	} else {
+		s.rrNexts = make([]int, 1)
+	}
 	for m := range fleet {
 		cfg := serve.Config{
 			Cache: cache, MaxQueue: sc.MaxQueue, Policy: qpol, RecalEvery: sc.RecalEvery,
@@ -318,6 +365,9 @@ func runSim(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache *uaqe
 		var rec *machineRecorder
 		if install {
 			rec = &machineRecorder{level: level, machine: m}
+			if s.sh != nil {
+				rec.shard = s.sh.names[s.sidOf[m]]
+			}
 			cfg.Trace = rec
 		}
 		srv := serve.New(cfg)
@@ -327,8 +377,16 @@ func runSim(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache *uaqe
 		if s.perMachine {
 			ms.spec = fleet[m]
 		}
-		for _, spec := range sc.Tenants {
-			t, err := srv.AddTenantSystem(spec.Name, msys[m], spec.SLO)
+		// Register each tenant's façade only on the machines of the
+		// shard(s) the directory places it on — every machine on flat
+		// fleets. Off-shard slots stay nil: routing never reads them,
+		// because placement confines a tenant's arrivals to its shard.
+		for ti, ts := range s.tenants {
+			if s.sh != nil && !s.sh.onShard(ti, s.sidOf[m]) {
+				ms.tenants = append(ms.tenants, nil)
+				continue
+			}
+			t, err := srv.AddTenantSystem(ts.name, msys[m], ts.spec.SLO)
 			if err != nil {
 				return nil, nil, fmt.Errorf("sim: machine %d: %w", m, err)
 			}
@@ -390,9 +448,53 @@ func cloneQuery(base *uaqetp.Query, tenant string, ordinal int) *uaqetp.Query {
 	return &q
 }
 
-// buildArrivals draws every tenant's arrival sequence into one sorted
-// slice — template references only; queries are cloned when the event
-// fires — and sizes each tenant's latency series for its share.
+// expandTenants materializes the scenario's tenant specs into the
+// run's member list: one tenantState per spec, or Count members per
+// group — each named "spec.Name/0000"…, each with its own arrival
+// stream and directory placement, all aggregating under the group's
+// TenantReport. Scenarios without Count expand to exactly the legacy
+// one-state-per-spec list, member index == spec index.
+func (s *simRun) expandTenants(sys *uaqetp.System) {
+	for gi := range s.sc.Tenants {
+		spec := s.sc.Tenants[gi]
+		eff := spec.Deadline
+		if eff == 0 {
+			eff = spec.SLO.DefaultDeadline
+		}
+		if eff == 0 {
+			eff = 1.0
+		}
+		conf := spec.SLO.Confidence
+		if conf == 0 {
+			conf = 0.95
+		}
+		class := spec.Class
+		if class == "" {
+			class = spec.Name
+		}
+		n := spec.Count
+		if n < 1 {
+			n = 1
+		}
+		for k := 0; k < n; k++ {
+			name := spec.Name
+			if spec.Count > 1 {
+				name = fmt.Sprintf("%s/%04d", spec.Name, k)
+			}
+			s.tenants = append(s.tenants, &tenantState{
+				spec: spec, name: name, group: gi, class: class,
+				confidence: conf, sys: sys, effDeadline: eff,
+			})
+		}
+	}
+}
+
+// buildArrivals draws every tenant member's arrival sequence into one
+// sorted slice — template references only; queries are cloned when the
+// event fires — and sizes each member's latency series for its share.
+// Members of a Count group share one generated query pool (the pool
+// depends only on the benchmark and pool size) but draw from it with
+// independent per-member RNG streams.
 func (s *simRun) buildArrivals(sys *uaqetp.System) error {
 	seen := make(map[*uaqetp.Query]bool)
 	note := func(q *uaqetp.Query) *uaqetp.Query {
@@ -402,20 +504,13 @@ func (s *simRun) buildArrivals(sys *uaqetp.System) error {
 		}
 		return q
 	}
-	for ti, spec := range s.sc.Tenants {
+	pools := make(map[int][]*uaqetp.Query)
+	for ti, ts := range s.tenants {
+		spec := ts.spec
 		bench, err := parseBench(spec.Bench)
 		if err != nil {
 			return err
 		}
-		eff := spec.Deadline
-		if eff == 0 {
-			eff = spec.SLO.DefaultDeadline
-		}
-		if eff == 0 {
-			eff = 1.0
-		}
-		s.tenants = append(s.tenants, &tenantState{spec: spec, sys: sys, effDeadline: eff})
-
 		if spec.Arrivals.Process == ProcessTrace {
 			var entries []workload.TraceEntry
 			if spec.Arrivals.TraceFile != "" {
@@ -452,9 +547,13 @@ func (s *simRun) buildArrivals(sys *uaqetp.System) error {
 			continue
 		}
 		rng := rand.New(rand.NewSource(arrivalSeed(s.sc.Seed, ti)))
-		pool, err := sys.GenerateWorkload(bench, spec.Queries)
-		if err != nil {
-			return fmt.Errorf("sim: tenant %q workload: %w", spec.Name, err)
+		pool := pools[ts.group]
+		if pool == nil {
+			pool, err = sys.GenerateWorkload(bench, spec.Queries)
+			if err != nil {
+				return fmt.Errorf("sim: tenant %q workload: %w", ts.name, err)
+			}
+			pools[ts.group] = pool
 		}
 		for k, at := range spec.Arrivals.times(rng, s.sc.Horizon) {
 			s.arrivals = append(s.arrivals, arrival{
@@ -620,23 +719,59 @@ func (s *simRun) loop() error {
 	return nil
 }
 
-// handleArrival clones the arrival's template, routes it, and runs
-// admission on the chosen machine at event time. Runs on the event-loop
-// goroutine only, so its trace emissions (the placement event directly,
-// then the serve-staged admission/recalibration events via drainTrace)
-// land in deterministic arrival order.
+// handleArrival clones the arrival's template, passes the fleet's
+// front door (sharded topologies only), routes it within its tenant's
+// shard, and runs admission on the chosen machine at event time. Runs
+// on the event-loop goroutine only, so its trace emissions (the
+// placement event directly, then the serve-staged
+// admission/recalibration events via drainTrace) land in deterministic
+// arrival order.
 func (s *simRun) handleArrival(a arrival) error {
 	ts := s.tenants[a.tenant]
-	q := cloneQuery(a.tmpl, ts.spec.Name, int(a.ord))
-	m, err := s.route(ts, int(a.tenant), q, ts.effDeadline, a.at)
+	q := cloneQuery(a.tmpl, ts.name, int(a.ord))
+	lo, hi, sid := 0, len(s.machines), 0
+	shardName := ""
+	if s.sh != nil {
+		sid = s.sh.placeAt(int(a.tenant), a.at)
+		lo, hi = s.sh.ranges[sid][0], s.sh.ranges[sid][1]
+		shardName = s.sh.names[sid]
+		if fd := s.sh.front; fd != nil {
+			// Shed before placement: the predictive check asks whether any
+			// machine of the tenant's shard could plausibly make the
+			// deadline; a hopeless request is refused without spending a
+			// token (prediction failures pass through with bestP = 1 and
+			// are tallied by server-side admission exactly as when
+			// unsharded).
+			bestP := 1.0
+			if fd.Predictive() && ts.effDeadline > 0 {
+				bestP = s.bestPIn(ts, q, ts.effDeadline, a.at, lo, hi)
+			}
+			if v := fd.Admit(ts.class, a.at, bestP, ts.confidence); v != shard.VerdictAdmit {
+				ts.shed++
+				if s.level >= trace.Decisions {
+					ev := trace.Event{
+						Kind: trace.KindAdmission, At: a.at, Machine: -1, Shard: shardName,
+						Tenant: ts.name, Query: q.Name,
+						Verdict: string(v), Reason: "front-door",
+						Deadline: ts.effDeadline, PMeet: bestP, Threshold: ts.confidence,
+					}
+					ev.Seq = s.seq
+					s.seq++
+					s.events = append(s.events, ev)
+				}
+				return nil
+			}
+		}
+	}
+	m, err := s.route(ts, int(a.tenant), q, ts.effDeadline, a.at, lo, hi, sid)
 	if err != nil {
 		return err
 	}
 	ms := s.machines[m]
 	if s.level >= trace.Decisions {
 		ev := trace.Event{
-			Kind: trace.KindPlacement, At: a.at, Machine: m,
-			Tenant: ts.spec.Name, Query: q.Name,
+			Kind: trace.KindPlacement, At: a.at, Machine: m, Shard: shardName,
+			Tenant: ts.name, Query: q.Name,
 			Router: s.router, TieBreak: s.tieBreak,
 		}
 		if len(s.cands) > 0 {
@@ -648,7 +783,7 @@ func (s *simRun) handleArrival(a arrival) error {
 	}
 	ms.srv.AdvanceClock(a.at)
 	dec, err := ms.srv.Submit(s.ctx, serve.Request{
-		Tenant: ts.spec.Name, Query: q, Deadline: ts.spec.Deadline,
+		Tenant: ts.name, Query: q, Deadline: ts.spec.Deadline,
 	})
 	// Auto-recalibrations triggered by the clock advance and the
 	// admission verdict are staged on the machine recorder in temporal
@@ -789,44 +924,70 @@ func (s *simRun) report() *Report {
 		}
 	}
 
+	// Aggregate per group (one TenantReport per TenantSpec, covering all
+	// its expanded members): serve-side counters are matched to members
+	// through a name index rather than a per-tenant fleet scan, so a
+	// 10k-tenant run aggregates in one pass over the per-machine stats.
+	// Every sum is over integers (or sorted by summarize), so the result
+	// is independent of member and machine iteration order.
+	groups := make([]TenantReport, len(s.sc.Tenants))
+	groupLat := make([][]float64, len(groups))
+	groupQW := make([][]float64, len(groups))
+	for gi := range groups {
+		groups[gi].Name = s.sc.Tenants[gi].Name
+	}
+	memberOf := make(map[string]int, len(s.tenants))
+	for _, ts := range s.tenants {
+		memberOf[ts.name] = ts.group
+	}
+	for m := range s.machines {
+		for _, st := range perMachine[m].Tenants {
+			gi, ok := memberOf[st.Name]
+			if !ok {
+				continue
+			}
+			tr := &groups[gi]
+			tr.Admitted += int(st.Admitted)
+			tr.Rejected += int(st.Rejected)
+			tr.Executed += int(st.Executed)
+			tr.ExecFailed += int(st.ExecFailed)
+			tr.DeadlinesMet += int(st.DeadlinesMet)
+			tr.DeadlinesMissed += int(st.DeadlinesMissed)
+			tr.Recalibrations += st.Recalibrations
+			tr.AutoRecalibrations += st.AutoRecalibrations
+		}
+	}
 	var fleetMet, fleetSubmitted int
 	var fleetLat []float64
 	for _, ts := range s.tenants {
 		fleetLat = append(fleetLat, ts.latencies...)
-		tr := TenantReport{Name: ts.spec.Name}
-		for m := range s.machines {
-			for _, st := range perMachine[m].Tenants {
-				if st.Name != ts.spec.Name {
-					continue
-				}
-				tr.Admitted += int(st.Admitted)
-				tr.Rejected += int(st.Rejected)
-				tr.Executed += int(st.Executed)
-				tr.ExecFailed += int(st.ExecFailed)
-				tr.DeadlinesMet += int(st.DeadlinesMet)
-				tr.DeadlinesMissed += int(st.DeadlinesMissed)
-				tr.Recalibrations += st.Recalibrations
-				tr.AutoRecalibrations += st.AutoRecalibrations
-			}
-		}
-		tr.Submitted = tr.Admitted + tr.Rejected
+		groups[ts.group].Shed += ts.shed
+		groupLat[ts.group] = append(groupLat[ts.group], ts.latencies...)
+		groupQW[ts.group] = append(groupQW[ts.group], ts.queueWaits...)
+	}
+	for gi := range groups {
+		tr := &groups[gi]
+		tr.Submitted = tr.Admitted + tr.Rejected + tr.Shed
 		if tr.Submitted > 0 {
 			tr.SLOAttainment = float64(tr.DeadlinesMet) / float64(tr.Submitted)
 		}
 		if tr.Executed > 0 {
 			tr.AttainmentExecuted = float64(tr.DeadlinesMet) / float64(tr.Executed)
 		}
-		tr.Latency = summarize(ts.latencies)
-		tr.QueueWait = summarize(ts.queueWaits)
+		tr.Latency = summarize(groupLat[gi])
+		tr.QueueWait = summarize(groupQW[gi])
 		fleetMet += tr.DeadlinesMet
 		fleetSubmitted += tr.Submitted
-		rep.Tenants = append(rep.Tenants, tr)
 	}
+	rep.Tenants = groups
 	if fleetSubmitted > 0 {
 		rep.SLOAttainment = float64(fleetMet) / float64(fleetSubmitted)
 	}
 	rep.Latency = summarize(fleetLat)
 	sort.Slice(rep.Tenants, func(i, j int) bool { return rep.Tenants[i].Name < rep.Tenants[j].Name })
+	if s.sh != nil {
+		rep.Shards = s.shardsReport()
+	}
 	rep.Fitness = ComputeFitness(rep, DefaultFitnessWeights())
 	return rep
 }

@@ -93,8 +93,8 @@ const (
 // order. Risk routers fill the prediction fields; load-only routers
 // leave them zero.
 type Candidate struct {
-	Machine  int     `json:"machine"`
-	QueueLen int     `json:"queue_len"`
+	Machine  int `json:"machine"`
+	QueueLen int `json:"queue_len"`
 	// WaitMean/WaitVar are the machine's predicted queue backlog at
 	// decision time (T_wait).
 	WaitMean float64 `json:"wait_mean"`
@@ -117,10 +117,14 @@ type Event struct {
 	// Kind selects the shape; At is the virtual time of the decision.
 	Kind Kind    `json:"kind"`
 	At   float64 `json:"at"`
-	// Machine is the deciding (placement: chosen) machine index.
-	Machine int    `json:"machine"`
-	Tenant  string `json:"tenant,omitempty"`
-	Query   string `json:"query,omitempty"`
+	// Machine is the deciding (placement: chosen) machine index; -1 on
+	// front-door events, which are decided before any machine is.
+	Machine int `json:"machine"`
+	// Shard names the serving shard the decision belongs to on sharded
+	// topologies; empty — and omitted — otherwise.
+	Shard  string `json:"shard,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+	Query  string `json:"query,omitempty"`
 	// ID is the server-assigned admission ID (admission/outcome).
 	ID uint64 `json:"id,omitempty"`
 

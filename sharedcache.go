@@ -120,20 +120,40 @@ func (g *flightGroup[V]) do(ctx context.Context, key string, lru *cache.Sharded[
 	}
 }
 
-// EstimateCache memoizes sampling work by namespaced key in two sharded
-// LRU sections: whole-plan passes by canonical plan signature, and
-// subplan passes by canonical subtree signature (so alternative join
-// orders share their common subtrees' work even though their whole-plan
-// signatures differ). A single cache may back many Systems: tenants
-// whose configurations generate the same database and samples (same DB
-// kind, sampling ratio, and seed) share both sections, which is the
-// point of multi-tenant serving over a common catalog. Concurrent
-// requests for the same key — from one System or several — are
-// coalesced onto a single computation.
+// EstimateCache is the cache seam of the serving stack: the three
+// memoization sections every System resolves through — whole-plan
+// sampling passes ("estimate"), subplan passes ("subtree"), and plan
+// executions ("run") — behind one interface, so the storage tier is a
+// Config.Cache choice rather than a hard-wired in-process LRU. The
+// in-process tier is MemoryCache (NewEstimateCache); TieredCache wraps
+// it with a simulated remote tier (deterministic hit-rate + latency
+// model) for sharded-serving scenarios where part of the key space
+// would live off-box. The section methods are unexported on purpose:
+// implementations live in this package, next to the key construction
+// they must respect, while every consumer (serve, sim, exper) depends
+// only on the interface.
+type EstimateCache interface {
+	getOrCompute(ctx context.Context, key string, compute func() (*sample.Estimates, error)) (*sample.Estimates, error)
+	getOrComputePass(ctx context.Context, key string, compute func() (*sample.Pass, error)) (*sample.Pass, error)
+	getOrComputeRun(ctx context.Context, key string, compute func() (*engine.OpResult, error)) (*engine.OpResult, error)
+	// Stats aggregates the hit/miss/eviction counters of all sections.
+	Stats() CacheStats
+}
+
+// MemoryCache is the in-process EstimateCache tier: it memoizes
+// sampling work by namespaced key in sharded LRU sections — whole-plan
+// passes by canonical plan signature, and subplan passes by canonical
+// subtree signature (so alternative join orders share their common
+// subtrees' work even though their whole-plan signatures differ). A
+// single cache may back many Systems: tenants whose configurations
+// generate the same database and samples (same DB kind, sampling ratio,
+// and seed) share both sections, which is the point of multi-tenant
+// serving over a common catalog. Concurrent requests for the same key —
+// from one System or several — are coalesced onto a single computation.
 //
 // Estimates and passes are immutable once built, so a cached value may
 // be served to any number of concurrent readers.
-type EstimateCache struct {
+type MemoryCache struct {
 	plans  *cache.Sharded[*sample.Estimates]
 	passes *cache.Sharded[*sample.Pass]
 	runs   *cache.Sharded[*engine.OpResult]
@@ -143,15 +163,16 @@ type EstimateCache struct {
 	runFlight  flightGroup[*engine.OpResult]
 }
 
-// NewEstimateCache returns a sharded estimate cache holding at most
-// capacity whole-plan passes (and passCapacityFactor times as many
-// subtree passes) across DefaultCacheShards shards; capacity < 1
-// selects the per-System default.
-func NewEstimateCache(capacity int) *EstimateCache {
+// NewEstimateCache returns the in-process cache tier: a sharded
+// estimate cache holding at most capacity whole-plan passes (and
+// passCapacityFactor times as many subtree passes) across
+// DefaultCacheShards shards; capacity < 1 selects the per-System
+// default.
+func NewEstimateCache(capacity int) *MemoryCache {
 	if capacity < 1 {
 		capacity = estimateMemoSize
 	}
-	return &EstimateCache{
+	return &MemoryCache{
 		plans:  cache.NewSharded[*sample.Estimates](capacity, DefaultCacheShards),
 		passes: cache.NewSharded[*sample.Pass](capacity*passCapacityFactor, DefaultCacheShards),
 		runs:   cache.NewSharded[*engine.OpResult](capacity, DefaultCacheShards),
@@ -161,24 +182,24 @@ func NewEstimateCache(capacity int) *EstimateCache {
 // getOrCompute returns the cached whole-plan estimates for key,
 // computing and caching them via compute on a miss. Concurrent callers
 // with the same key wait for one computation instead of racing.
-func (c *EstimateCache) getOrCompute(ctx context.Context, key string, compute func() (*sample.Estimates, error)) (*sample.Estimates, error) {
+func (c *MemoryCache) getOrCompute(ctx context.Context, key string, compute func() (*sample.Estimates, error)) (*sample.Estimates, error) {
 	return c.planFlight.do(ctx, key, c.plans, compute)
 }
 
 // getOrComputePass is getOrCompute for the subtree-pass section.
-func (c *EstimateCache) getOrComputePass(ctx context.Context, key string, compute func() (*sample.Pass, error)) (*sample.Pass, error) {
+func (c *MemoryCache) getOrComputePass(ctx context.Context, key string, compute func() (*sample.Pass, error)) (*sample.Pass, error) {
 	return c.passFlight.do(ctx, key, c.passes, compute)
 }
 
 // getOrComputeRun is getOrCompute for the run-result section: plan
 // executions (engine.Run) memoized under machine-independent keys.
-func (c *EstimateCache) getOrComputeRun(ctx context.Context, key string, compute func() (*engine.OpResult, error)) (*engine.OpResult, error) {
+func (c *MemoryCache) getOrComputeRun(ctx context.Context, key string, compute func() (*engine.OpResult, error)) (*engine.OpResult, error) {
 	return c.runFlight.do(ctx, key, c.runs, compute)
 }
 
 // Stats aggregates the hit/miss/eviction counters of all sections
 // across shards.
-func (c *EstimateCache) Stats() CacheStats {
+func (c *MemoryCache) Stats() CacheStats {
 	p := c.plans.Snapshot()
 	sp := c.passes.Snapshot()
 	rn := c.runs.Snapshot()

@@ -10,7 +10,7 @@ import (
 // openShared opens two Systems with identical configs on one shared
 // cache, as the serving layer does for two tenants over the same
 // catalog.
-func openShared(t *testing.T) (*System, *System, *EstimateCache) {
+func openShared(t *testing.T) (*System, *System, *MemoryCache) {
 	t.Helper()
 	shared := NewEstimateCache(128)
 	cfg := DefaultConfig()

@@ -45,7 +45,7 @@ func benchAlternatives(b *testing.B, subtree bool) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var fresh *System
-		var cache *EstimateCache
+		var cache *MemoryCache
 		if subtree {
 			cache = NewEstimateCache(256)
 			fresh = sys.With(WithEstimator(&defaultEstimator{

@@ -1,0 +1,118 @@
+package uaqetp
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/sample"
+)
+
+// TestTieredCacheClassification pins the tier model: classification is
+// a pure function of (key, seed), the extremes of LocalFraction send
+// every lookup to one tier, and the modeled remote cost is exactly
+// remote lookups times the configured per-lookup latency.
+func TestTieredCacheClassification(t *testing.T) {
+	ctx := context.Background()
+	compute := func() (*sample.Estimates, error) { return &sample.Estimates{}, nil }
+
+	allLocal := NewTieredCache(TierConfig{LocalFraction: 1, RemoteLatency: 0.01, Seed: 7})
+	allRemote := NewTieredCache(TierConfig{LocalFraction: 0, RemoteLatency: 0.01, Seed: 7})
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%03d", i)
+		if _, err := allLocal.getOrCompute(ctx, key, compute); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := allRemote.getOrCompute(ctx, key, compute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := allLocal.TierStats(); st.LocalLookups != 100 || st.RemoteLookups != 0 {
+		t.Fatalf("LocalFraction=1: got %d local / %d remote lookups", st.LocalLookups, st.RemoteLookups)
+	}
+	st := allRemote.TierStats()
+	if st.LocalLookups != 0 || st.RemoteLookups != 100 {
+		t.Fatalf("LocalFraction=0: got %d local / %d remote lookups", st.LocalLookups, st.RemoteLookups)
+	}
+	if want := 100 * 0.01; st.ModeledRemoteSeconds != want {
+		t.Fatalf("modeled remote seconds = %g, want %g", st.ModeledRemoteSeconds, want)
+	}
+}
+
+// TestTieredCacheDeterministicSplit pins that the key-space split is
+// deterministic per seed (two caches with the same config tally the
+// same way over the same keys), roughly proportional to LocalFraction,
+// and order-independent: a parallel replay of the same lookups lands
+// on identical tier counters, which is what keeps sharded simulator
+// reports byte-identical under parallel machine stepping.
+func TestTieredCacheDeterministicSplit(t *testing.T) {
+	ctx := context.Background()
+	compute := func() (*sample.Estimates, error) { return &sample.Estimates{}, nil }
+	cfg := TierConfig{LocalFraction: 0.75, RemoteLatency: 0.002, Seed: 42}
+
+	keys := make([]string, 2000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("plan|%d|sig-%04d", i%7, i)
+	}
+
+	serial := NewTieredCache(cfg)
+	for _, k := range keys {
+		if _, err := serial.getOrCompute(ctx, k, compute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	parallel := NewTieredCache(cfg)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(keys); i += 8 {
+				if _, err := parallel.getOrCompute(ctx, keys[i], compute); err != nil {
+					t.Error(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	ss, ps := serial.TierStats(), parallel.TierStats()
+	if ss != ps {
+		t.Fatalf("tier stats differ between serial and parallel replay:\n serial  %+v\n parallel %+v", ss, ps)
+	}
+	frac := float64(ss.LocalLookups) / float64(ss.LocalLookups+ss.RemoteLookups)
+	if frac < 0.70 || frac > 0.80 {
+		t.Fatalf("local fraction %g far from configured 0.75", frac)
+	}
+}
+
+// TestTieredCacheServesThroughSystem pins that a TieredCache is a
+// drop-in Config.Cache: values resolve correctly through it and the
+// inner store's hit counters move exactly as the in-process tier's
+// would.
+func TestTieredCacheServesThroughSystem(t *testing.T) {
+	tc := NewTieredCache(TierConfig{LocalFraction: 0.5, RemoteLatency: 0.001, Seed: 1})
+	sys, err := Open(Config{DB: Uniform1G, SamplingRatio: 0.05, Seed: 11, Cache: tc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := joinQuery()
+	first, err := sys.Predict(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := sys.Predict(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Dist.Mu != second.Dist.Mu {
+		t.Fatalf("tiered cache changed prediction: %g vs %g", first.Dist.Mu, second.Dist.Mu)
+	}
+	if st := tc.Stats(); st.Hits == 0 {
+		t.Fatal("repeat prediction did not hit the tiered cache")
+	}
+	if ts := tc.TierStats(); ts.LocalLookups+ts.RemoteLookups == 0 {
+		t.Fatal("no lookups tallied against the tier model")
+	}
+}

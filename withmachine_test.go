@@ -9,7 +9,7 @@ import (
 
 // openMachineTestSystem opens a small System over a fresh shared cache
 // for the WithMachine tests.
-func openMachineTestSystem(t *testing.T) (*System, *EstimateCache) {
+func openMachineTestSystem(t *testing.T) (*System, *MemoryCache) {
 	t.Helper()
 	cache := NewEstimateCache(64)
 	sys, err := Open(Config{
