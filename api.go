@@ -101,6 +101,7 @@ import (
 	"hash/fnv"
 	"sort"
 
+	"repro/internal/calib"
 	"repro/internal/calibrate"
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -209,6 +210,14 @@ type Config struct {
 	Estimator Estimator
 	Predictor Predictor
 	Executor  Executor
+
+	// Observer, when non-nil, receives one calib.Observation per
+	// (prediction, measured time) pair produced by PredictAndRunContext
+	// and Measure — the calibration observatory's feed for direct System
+	// use (the serving layer has its own outcome-path hook in
+	// serve.Config). Must be safe for concurrent use; should be a
+	// pointer type when the Config may be compared.
+	Observer calib.Observer
 }
 
 // DefaultConfig returns a uniform "1 GB" database on PC1 with a 5%
@@ -240,6 +249,10 @@ type System struct {
 	profile *hardware.Profile
 	cal     *calibrate.Result
 	samples *sample.DB
+	// truth, when set (drift injection), resolves the profile Recalibrate
+	// measures: the System's *current* ground truth, which may differ
+	// from the static profile until the drift's TruthSwitch fires.
+	truth func() *hardware.Profile
 
 	planner   Planner
 	estimator Estimator
@@ -580,7 +593,8 @@ func (s *System) ChoosePlanContext(ctx context.Context, q *Query, opts ...CallOp
 }
 
 // PredictAndRunContext is a convenience helper returning both the
-// prediction and the measured time.
+// prediction and the measured time. When Config.Observer is set, the
+// pair is also streamed to the calibration observer.
 func (s *System) PredictAndRunContext(ctx context.Context, q *Query, opts ...CallOption) (*Prediction, float64, error) {
 	pred, err := s.PredictContext(ctx, q, opts...)
 	if err != nil {
@@ -589,6 +603,14 @@ func (s *System) PredictAndRunContext(ctx context.Context, q *Query, opts ...Cal
 	actual, err := s.ExecuteContext(ctx, q, opts...)
 	if err != nil {
 		return nil, 0, err
+	}
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.Observe(&calib.Observation{
+			Unit:      pred.DominantUnit(),
+			PredMean:  pred.Mean(),
+			PredSigma: pred.Sigma(),
+			Observed:  actual,
+		})
 	}
 	return pred, actual, nil
 }

@@ -28,6 +28,7 @@
 //	-predictive  front sheds hopeless submissions before spending tokens
 //	-trace FILE  sim decision-trace output file (JSONL, deterministic)
 //	-trace-level sim trace detail: off | decisions | full
+//	-calib FILE  sim calibration-stream output file (JSONL, deterministic)
 package main
 
 import (
@@ -90,13 +91,14 @@ func usage() {
   uaqp batch [-bench B] [-db D] [-machine M] [-sr R] [-queries N] [-seed S] [-workers W]
   uaqp serve [-addr A] [-db D] [-machine M] [-sr R] [-seed S] [-tenants T] [-confidence C] [-deadline D] [-shard NAME -dir FILE]
   uaqp front -dir FILE [-addr A] [-rate R] [-burst B] [-predictive] [-confidence C]
-  uaqp sim -config FILE [-seed S] [-router R] [-o FILE] [-trace FILE] [-trace-level L]`)
+  uaqp sim -config FILE [-seed S] [-router R] [-o FILE] [-trace FILE] [-trace-level L] [-calib FILE]`)
 }
 
 // simCmd runs a discrete-event cluster-simulation scenario and prints
 // the structured report. For a fixed scenario file and seed the output
-// is byte-identical across runs — and so is the decision trace JSONL
-// written by -trace (the basis of `make sim-smoke`).
+// is byte-identical across runs — and so are the decision trace JSONL
+// written by -trace and the calibration stream written by -calib (the
+// basis of `make sim-smoke`).
 func simCmd(args []string) error {
 	fs := flag.NewFlagSet("sim", flag.ExitOnError)
 	config := fs.String("config", "", "scenario JSON file (see examples/sim/scenario.json)")
@@ -105,6 +107,7 @@ func simCmd(args []string) error {
 	out := fs.String("o", "", "write the report to a file instead of stdout")
 	traceOut := fs.String("trace", "", "write the decision trace as JSONL to a file")
 	traceLevel := fs.String("trace-level", "", "decision trace detail: off | decisions | full (default: the scenario's trace_level, or decisions when -trace is set)")
+	calibOut := fs.String("calib", "", "write the calibration stream (one observed-vs-predicted event per executed request) as JSONL to a file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -138,25 +141,23 @@ func simCmd(args []string) error {
 	}
 
 	var rep *sim.Report
-	if level > trace.Off || *traceOut != "" {
-		var events []trace.Event
-		rep, events, err = sim.RunTraced(sc, level)
+	if level > trace.Off || *traceOut != "" || *calibOut != "" {
+		var events, calibEvents []trace.Event
+		rep, events, calibEvents, err = sim.RunInstrumented(sc, level, *calibOut != "")
 		if err != nil {
 			return err
 		}
 		if *traceOut != "" {
-			f, err := os.Create(*traceOut)
-			if err != nil {
-				return err
-			}
-			if err := trace.WriteJSONL(f, events); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
+			if err := writeJSONL(*traceOut, events); err != nil {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "sim: %d trace events (%s) -> %s\n", len(events), level, *traceOut)
+		}
+		if *calibOut != "" {
+			if err := writeJSONL(*calibOut, calibEvents); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "sim: %d calibration events -> %s\n", len(calibEvents), *calibOut)
 		}
 	} else {
 		if rep, err = sim.Run(sc); err != nil {
@@ -177,6 +178,19 @@ func simCmd(args []string) error {
 	}
 	_, err = os.Stdout.Write(data)
 	return err
+}
+
+// writeJSONL writes a deterministic event stream to path.
+func writeJSONL(path string, events []trace.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteJSONL(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // serveCmd starts the multi-tenant HTTP prediction service: one System

@@ -24,6 +24,7 @@ import (
 	"log"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -46,12 +47,14 @@ func main() {
 		// same risk math with fleet-shared units.
 		routers = []string{sim.RouterRoundRobin, sim.RouterLeastQueue, sim.RouterLeastRiskShared, sim.RouterLeastRisk}
 	}
+	counterfactuals := make(map[string]trace.CounterfactualSummary)
 	for _, router := range routers {
 		sc.Router = router
-		rep, err := sim.Run(sc)
+		rep, events, err := sim.RunTraced(sc, trace.Decisions)
 		if err != nil {
 			log.Fatal(err)
 		}
+		counterfactuals[router] = trace.CounterfactualK(events, 2)
 		var adm, rej, missed int
 		var p90 float64
 		for _, t := range rep.Tenants {
@@ -69,6 +72,22 @@ func main() {
 	fmt.Println()
 	fmt.Println("Same arrivals, same queries, same seed: the attainment gap is the")
 	fmt.Println("value of routing on predicted distributions instead of ignoring them.")
+
+	// Counterfactual-K over each router's own decision trace: how often
+	// did the router's 2nd-ranked candidate (by recorded P(meet)) look
+	// strictly safer than the machine it actually chose? Load-only
+	// routers record no probabilities, so they are never scored.
+	fmt.Println()
+	fmt.Println("Counterfactual-K (k=2), from the decision traces alone:")
+	for _, router := range routers {
+		cf := counterfactuals[router]
+		if cf.Scored == 0 {
+			fmt.Printf("  %-18s %d placements, none scored (no recorded risk vector)\n", router, cf.Placements)
+			continue
+		}
+		fmt.Printf("  %-18s %d placements scored, 2nd choice strictly safer in %d (%.2f%%)\n",
+			router, cf.Scored, cf.KthBetter, 100*cf.Rate())
+	}
 
 	// Counterfactual replay: re-run least-risk vs a distribution-blind
 	// override on the identical arrival sequence and pinpoint where —

@@ -3,6 +3,8 @@ package uaqetp
 import (
 	"context"
 	"fmt"
+
+	"repro/internal/calib"
 )
 
 // OpDetail pairs one selective operator's estimated selectivity
@@ -53,6 +55,19 @@ func (s *System) Measure(q *Query) (*Measurement, error) {
 	res, actual, err := s.runMeasured(q, p)
 	if err != nil {
 		return nil, err
+	}
+	if s.cfg.Observer != nil {
+		// Feed the calibration observatory: Measure is the instrumented
+		// execute, so pair its measured time with what the current
+		// predictor stage would have promised for this plan.
+		if pred, perr := s.predictResolved(ctx, p, s.Predictor()); perr == nil {
+			s.cfg.Observer.Observe(&calib.Observation{
+				Unit:      pred.DominantUnit(),
+				PredMean:  pred.Mean(),
+				PredSigma: pred.Sigma(),
+				Observed:  actual,
+			})
+		}
 	}
 	m := &Measurement{
 		Actual:     actual,

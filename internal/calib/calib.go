@@ -1,0 +1,204 @@
+// Package calib is the calibration observatory: it turns streams of
+// (predicted distribution, observed running time) pairs into rolling
+// calibration metrics — MAPE, Pearson correlation, signed bias, mean
+// standardized residual, and nominal-vs-observed central-interval
+// coverage at 50/90/95% — the measured counterpart to the paper's
+// claim that predicted *distributions* stay honest against reality.
+//
+// The package is deliberately tiny and dependency-light (stats and
+// hardware only) so every layer that sees an observation — the serving
+// layer's outcome path, System.Measure, the simulator's execution
+// loop — can feed the same accumulator without import cycles.
+//
+// Accumulators are plain values with fixed-order arithmetic: Observe
+// uses Welford/West updates, Merge uses Chan's parallel formulas, and
+// neither allocates. A producer that observes in a deterministic order
+// and merges partial accumulators in a fixed order (the simulator
+// observes machine-locally and merges in machine order) gets
+// bit-identical metrics regardless of GOMAXPROCS or parallelism.
+// Metrics is NaN-free by construction: zero and one-observation
+// accumulators report zeros, never 0/0.
+package calib
+
+import (
+	"math"
+
+	"repro/internal/hardware"
+	"repro/internal/stats"
+)
+
+// CoverageLevels are the nominal central-interval probability masses
+// tracked by every accumulator, in ascending order. They mirror the
+// serving layer's drift feedback so "coverage at 90%" means the same
+// thing in a drift advisory, a sim report, and a /metrics scrape.
+var CoverageLevels = [3]float64{0.5, 0.9, 0.95}
+
+// Observation is one (predicted distribution, observed time) pair.
+// Producers reuse the value; consumers must copy what they keep.
+type Observation struct {
+	// At is the producer's virtual time of the observation (the finish
+	// time on serving paths; zero where there is no clock).
+	At float64
+	// Tenant attributes the observation on multi-tenant producers;
+	// empty for direct System use.
+	Tenant string
+	// Unit is the cost unit dominating the predicted mean — the unit
+	// calibration drift would be attributed to.
+	Unit hardware.Unit
+	// PredMean/PredSigma are the predicted N(mu, sigma^2); Observed is
+	// the measured running time in seconds.
+	PredMean  float64
+	PredSigma float64
+	Observed  float64
+}
+
+// Observer receives observations. Implementations used by concurrent
+// producers must be safe for concurrent use; the simulator hands each
+// machine its own observer.
+type Observer interface {
+	Observe(*Observation)
+}
+
+// Accumulator is a streaming calibration aggregate over a sequence of
+// observations. The zero value is ready to use. Not safe for
+// concurrent use; shard per producer and Merge.
+type Accumulator struct {
+	n int64
+	// Welford means and central second moments of predicted means and
+	// observed times, plus their co-moment (for Pearson r).
+	meanP, meanO  float64
+	m2P, m2O, cPO float64
+	// sumZ is the sum of standardized residuals (observed-mean)/sigma,
+	// counting sigma==0 observations as zero residual.
+	sumZ float64
+	// sumErr is the sum of signed errors predicted-observed (positive =
+	// overprediction).
+	sumErr float64
+	// sumAbsRel/relN accumulate |predicted-observed|/observed over
+	// observations with observed > 0 (MAPE is undefined at zero).
+	sumAbsRel float64
+	relN      int64
+	// within[i] counts observations inside the predicted central
+	// interval at CoverageLevels[i].
+	within [len(CoverageLevels)]int64
+}
+
+// Observe folds one (predicted, observed) pair into the aggregate.
+func (a *Accumulator) Observe(predMean, predSigma, observed float64) {
+	a.n++
+	n := float64(a.n)
+	dP := predMean - a.meanP
+	dO := observed - a.meanO
+	a.meanP += dP / n
+	a.meanO += dO / n
+	a.m2P += dP * (predMean - a.meanP)
+	a.m2O += dO * (observed - a.meanO)
+	a.cPO += dP * (observed - a.meanO)
+	a.sumErr += predMean - observed
+	if observed > 0 {
+		a.sumAbsRel += math.Abs(predMean-observed) / observed
+		a.relN++
+	}
+	if predSigma > 0 {
+		a.sumZ += (observed - predMean) / predSigma
+	}
+	dist := stats.Normal{Mu: predMean, Sigma: predSigma}
+	for i, level := range CoverageLevels {
+		lo, hi := dist.Interval(level)
+		if observed >= lo && observed <= hi {
+			a.within[i]++
+		}
+	}
+}
+
+// N returns the number of observations folded in.
+func (a *Accumulator) N() int64 { return a.n }
+
+// Merge folds b into a using Chan's parallel update formulas; the
+// result aggregates both observation streams. Merging the same set of
+// disjoint accumulators in a fixed order is deterministic; different
+// merge orders agree to floating-point accuracy.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	na, nb := float64(a.n), float64(b.n)
+	n := na + nb
+	dP := b.meanP - a.meanP
+	dO := b.meanO - a.meanO
+	a.m2P += b.m2P + dP*dP*na*nb/n
+	a.m2O += b.m2O + dO*dO*na*nb/n
+	a.cPO += b.cPO + dP*dO*na*nb/n
+	a.meanP += dP * nb / n
+	a.meanO += dO * nb / n
+	a.n += b.n
+	a.sumZ += b.sumZ
+	a.sumErr += b.sumErr
+	a.sumAbsRel += b.sumAbsRel
+	a.relN += b.relN
+	for i := range a.within {
+		a.within[i] += b.within[i]
+	}
+}
+
+// CoveragePoint compares one nominal central-interval mass against the
+// fraction of observations that actually fell inside the predicted
+// interval. Drift = observed - nominal: negative means the intervals
+// are too narrow (overconfident predictions).
+type CoveragePoint struct {
+	Nominal  float64 `json:"nominal"`
+	Observed float64 `json:"observed"`
+	Drift    float64 `json:"drift"`
+}
+
+// Metrics is the point-in-time summary of an Accumulator. Every field
+// is finite for any observation count, including zero and one.
+type Metrics struct {
+	// N is the observation count.
+	N int64 `json:"n"`
+	// MAPE is mean |predicted-observed|/observed over observations with
+	// observed > 0; zero when none qualify.
+	MAPE float64 `json:"mape"`
+	// Bias is the mean signed error predicted-observed in seconds
+	// (positive = the predictor overestimates).
+	Bias float64 `json:"bias"`
+	// MeanZ is the mean standardized residual (observed-mean)/sigma; a
+	// calibrated predictor keeps it near zero.
+	MeanZ float64 `json:"mean_z"`
+	// PearsonR is the correlation between predicted means and observed
+	// times; zero when fewer than two observations or either side is
+	// constant.
+	PearsonR float64 `json:"pearson_r"`
+	// Coverage holds one point per CoverageLevels entry, in order.
+	Coverage []CoveragePoint `json:"coverage"`
+}
+
+// Metrics summarizes the accumulator.
+func (a *Accumulator) Metrics() Metrics {
+	m := Metrics{N: a.n, Coverage: make([]CoveragePoint, len(CoverageLevels))}
+	for i, level := range CoverageLevels {
+		m.Coverage[i].Nominal = level
+	}
+	if a.n == 0 {
+		return m
+	}
+	n := float64(a.n)
+	if a.relN > 0 {
+		m.MAPE = a.sumAbsRel / float64(a.relN)
+	}
+	m.Bias = a.sumErr / n
+	m.MeanZ = a.sumZ / n
+	if a.n >= 2 && a.m2P > 0 && a.m2O > 0 {
+		r := a.cPO / math.Sqrt(a.m2P*a.m2O)
+		m.PearsonR = math.Max(-1, math.Min(1, r))
+	}
+	for i := range CoverageLevels {
+		m.Coverage[i].Observed = float64(a.within[i]) / n
+		m.Coverage[i].Drift = m.Coverage[i].Observed - m.Coverage[i].Nominal
+	}
+	return m
+}

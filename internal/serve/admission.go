@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	uaqetp "repro"
+	"repro/internal/calib"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -357,6 +358,16 @@ func (s *Server) stepOneLocked(out *Outcome) (bool, error) {
 		})
 	}
 	it.tenant.feedback.record(it.pred, elapsed, it.plansig)
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.Observe(&calib.Observation{
+			At:        out.Finish,
+			Tenant:    it.tenant.name,
+			Unit:      it.pred.DominantUnit(),
+			PredMean:  it.pred.Mean(),
+			PredSigma: it.pred.Sigma(),
+			Observed:  elapsed,
+		})
+	}
 	releaseQueued(it)
 	return true, nil
 }

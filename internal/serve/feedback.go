@@ -5,13 +5,14 @@ import (
 	"sync"
 
 	uaqetp "repro"
+	"repro/internal/calib"
 	"repro/internal/hardware"
 )
 
-// coverageLevels are the nominal central-interval masses the feedback
-// loop tracks: a well-calibrated predictor sees ~50%, ~90%, and ~95% of
-// observations inside the corresponding predicted intervals.
-var coverageLevels = []float64{0.5, 0.9, 0.95}
+// The feedback loop tracks the calibration observatory's coverage
+// levels (calib.CoverageLevels): a well-calibrated predictor sees
+// ~50%, ~90%, and ~95% of observations inside the corresponding
+// predicted central intervals.
 
 const (
 	// driftMinSamples is the minimum number of observations in a cost
@@ -33,17 +34,13 @@ const (
 // distributions. Each observation is attributed to the cost unit that
 // dominates the query's predicted mean, so persistent mis-coverage in a
 // bucket points at the unit whose calibration (internal/calibrate)
-// drifted.
+// drifted. The per-unit buckets are calib.Accumulators, so every drift
+// report carries the observatory's full metric set (MAPE, Pearson r,
+// bias, coverage) alongside the advisory verdict.
 type feedback struct {
 	mu    sync.Mutex
-	units [hardware.NumUnits]unitAgg
+	units [hardware.NumUnits]calib.Accumulator
 	sigs  map[string]*sigAgg
-}
-
-type unitAgg struct {
-	n      int
-	within [3]int // per coverageLevels entry
-	sumZ   float64
 }
 
 // sigAgg tracks per-plan-signature observations.
@@ -62,28 +59,16 @@ func newFeedback() *feedback {
 func (f *feedback) reset() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.units = [hardware.NumUnits]unitAgg{}
+	f.units = [hardware.NumUnits]calib.Accumulator{}
 	f.sigs = make(map[string]*sigAgg)
 }
 
 // record adds one (prediction, observation) pair for a plan signature.
 func (f *feedback) record(pred *uaqetp.Prediction, observed float64, plansig string) {
 	unit := pred.DominantUnit()
-	var z float64
-	if s := pred.Sigma(); s > 0 {
-		z = (observed - pred.Mean()) / s
-	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	u := &f.units[unit]
-	u.n++
-	u.sumZ += z
-	for i, level := range coverageLevels {
-		lo, hi := pred.Dist.Interval(level)
-		if observed >= lo && observed <= hi {
-			u.within[i]++
-		}
-	}
+	f.units[unit].Observe(pred.Mean(), pred.Sigma(), observed)
 	sg := f.sigs[plansig]
 	if sg == nil {
 		if len(f.sigs) >= maxTrackedSignatures {
@@ -97,12 +82,10 @@ func (f *feedback) record(pred *uaqetp.Prediction, observed float64, plansig str
 	sg.sumPred += pred.Mean()
 }
 
-// CoveragePoint compares nominal and observed central-interval coverage.
-type CoveragePoint struct {
-	Nominal  float64 `json:"nominal"`
-	Observed float64 `json:"observed"`
-	Drift    float64 `json:"drift"` // Observed - Nominal
-}
+// CoveragePoint compares nominal and observed central-interval
+// coverage; it is the calibration observatory's point type, so sim
+// reports, /metrics, and drift reports share one definition.
+type CoveragePoint = calib.CoveragePoint
 
 // UnitDrift is the calibration-drift summary for one cost unit's bucket
 // (queries whose predicted mean that unit dominates).
@@ -113,6 +96,13 @@ type UnitDrift struct {
 	// MeanZ is the mean standardized residual (observed - mean)/sigma; a
 	// well-calibrated bucket sits near 0.
 	MeanZ float64 `json:"mean_z"`
+	// MAPE is the bucket's mean absolute percentage error
+	// |predicted-observed|/observed; Bias its mean signed error
+	// predicted-observed in seconds; PearsonR the correlation between
+	// predicted means and observed times (calib.Metrics definitions).
+	MAPE     float64 `json:"mape"`
+	Bias     float64 `json:"bias"`
+	PearsonR float64 `json:"pearson_r"`
 	// RecalibrationAdvised is set once the bucket has enough samples and
 	// any coverage level drifts beyond tolerance.
 	RecalibrationAdvised bool `json:"recalibration_advised"`
@@ -152,20 +142,22 @@ func (f *feedback) report() DriftReport {
 	rep := DriftReport{PlanSignatures: len(f.sigs)}
 	for ui := range f.units {
 		u := &f.units[ui]
-		if u.n == 0 {
+		if u.N() == 0 {
 			continue
 		}
-		rep.Observations += u.n
+		m := u.Metrics()
+		rep.Observations += int(m.N)
 		ud := UnitDrift{
-			Unit:  hardware.Unit(ui).String(),
-			N:     u.n,
-			MeanZ: u.sumZ / float64(u.n),
+			Unit:     hardware.Unit(ui).String(),
+			N:        int(m.N),
+			Coverage: m.Coverage,
+			MeanZ:    m.MeanZ,
+			MAPE:     m.MAPE,
+			Bias:     m.Bias,
+			PearsonR: m.PearsonR,
 		}
-		for i, level := range coverageLevels {
-			obs := float64(u.within[i]) / float64(u.n)
-			drift := obs - level
-			ud.Coverage = append(ud.Coverage, CoveragePoint{Nominal: level, Observed: obs, Drift: drift})
-			if u.n >= driftMinSamples && (drift > driftTolerance || drift < -driftTolerance) {
+		for _, cp := range m.Coverage {
+			if m.N >= driftMinSamples && (cp.Drift > driftTolerance || cp.Drift < -driftTolerance) {
 				ud.RecalibrationAdvised = true
 			}
 		}
@@ -195,4 +187,24 @@ func (f *feedback) report() DriftReport {
 		rep.TopSignatures = rep.TopSignatures[:reportTopSignatures]
 	}
 	return rep
+}
+
+// worstCoverageDrift returns the unit name and signed drift of the
+// coverage point with the largest absolute drift in the report (empty
+// name when the report has no units).
+func worstCoverageDrift(rep *DriftReport) (unit string, drift float64) {
+	best := -1.0
+	for i := range rep.PerUnit {
+		ud := &rep.PerUnit[i]
+		for _, cp := range ud.Coverage {
+			a := cp.Drift
+			if a < 0 {
+				a = -a
+			}
+			if a > best {
+				best, unit, drift = a, ud.Unit, cp.Drift
+			}
+		}
+	}
+	return unit, drift
 }

@@ -93,6 +93,38 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 			mw.labeled(m.metric, "tenant", t.Name, m.value(t))
 		}
 	}
+
+	// Calibration observatory: per-(tenant, cost-unit) drift metrics from
+	// the feedback accumulators (only units with observations appear).
+	// Tenants are sorted by name and units by declaration order inside
+	// each drift report, so scrapes stay byte-stable.
+	perUnit := []struct {
+		metric, help string
+		value        func(UnitDrift) float64
+	}{
+		{"uaqp_calibration_observations", "Observed (prediction, running time) pairs per tenant and dominant cost unit.", func(u UnitDrift) float64 { return float64(u.N) }},
+		{"uaqp_calibration_mape", "Mean absolute percentage error of predicted vs. observed running time.", func(u UnitDrift) float64 { return u.MAPE }},
+		{"uaqp_calibration_bias_seconds", "Mean signed error predicted-observed in seconds.", func(u UnitDrift) float64 { return u.Bias }},
+		{"uaqp_calibration_pearson_r", "Correlation between predicted means and observed running times.", func(u UnitDrift) float64 { return u.PearsonR }},
+		{"uaqp_calibration_mean_z", "Mean standardized residual (observed-mean)/sigma.", func(u UnitDrift) float64 { return u.MeanZ }},
+	}
+	for _, m := range perUnit {
+		mw.head(m.metric, m.help, "gauge")
+		for _, t := range st.Tenants {
+			for _, u := range t.Drift.PerUnit {
+				mw.labeled2(m.metric, "tenant", t.Name, "unit", u.Unit, m.value(u))
+			}
+		}
+	}
+	mw.head("uaqp_calibration_coverage_drift", "Observed minus nominal central-interval coverage per nominal level.", "gauge")
+	for _, t := range st.Tenants {
+		for _, u := range t.Drift.PerUnit {
+			for _, cp := range u.Coverage {
+				mw.printf("uaqp_calibration_coverage_drift{tenant=%q,unit=%q,level=%q} %s\n",
+					t.Name, u.Unit, formatValue(cp.Nominal), formatValue(cp.Drift))
+			}
+		}
+	}
 	return mw.err
 }
 
@@ -125,6 +157,10 @@ func (m *metricsWriter) gaugeInt(name, help string, v int) {
 
 func (m *metricsWriter) labeled(name, label, lv string, v float64) {
 	m.printf("%s{%s=%q} %s\n", name, label, lv, formatValue(v))
+}
+
+func (m *metricsWriter) labeled2(name, l1, v1, l2, v2 string, v float64) {
+	m.printf("%s{%s=%q,%s=%q} %s\n", name, l1, v1, l2, v2, formatValue(v))
 }
 
 // formatValue renders floats the way Prometheus clients do: shortest

@@ -82,6 +82,12 @@ func (s *Server) Recalibrate(ctx context.Context, req RecalibrateRequest) (Recal
 		return resp, fmt.Errorf("serve: recalibrate %q: %w", t.name, err)
 	}
 	t.recalibrations.Add(1)
+	// Snapshot the drift window the verdict was based on BEFORE it is
+	// reset: post-hoc analysis (Stats, the recalibration trace event)
+	// must be able to see why this recal fired, and the reset below
+	// discards the evidence.
+	snap := rep
+	t.lastRecalDrift.Store(&snap)
 	t.feedback.reset()
 	resp.Recalibrated = true
 	resp.Seed = seed
@@ -92,14 +98,21 @@ func (s *Server) Recalibrate(ctx context.Context, req RecalibrateRequest) (Recal
 
 // traceRecal emits a recalibration event (Full level): a cadence check
 // that declined records Advised/Recalibrated false, so the trace shows
-// when the feedback loop looked, not only when it acted.
+// when the feedback loop looked, not only when it acted. The event
+// snapshots the drift window the verdict was based on — observation
+// count plus the worst-drifting unit and its signed coverage drift —
+// because a successful recalibration resets that window immediately.
 func (s *Server) traceRecal(t *Tenant, resp *RecalibrateResponse) {
 	rec := s.cfg.Trace
 	if rec == nil || !rec.Enabled(trace.Full) {
 		return
 	}
+	unit, drift := worstCoverageDrift(&resp.Drift)
 	rec.Record(&trace.Event{
 		Kind: trace.KindRecalibration, At: s.Clock(), Tenant: t.name,
 		Advised: resp.Advised, Recalibrated: resp.Recalibrated,
+		DriftObservations: resp.Drift.Observations,
+		DriftUnit:         unit,
+		MaxCoverageDrift:  drift,
 	})
 }

@@ -59,6 +59,7 @@ import (
 	"time"
 
 	uaqetp "repro"
+	"repro/internal/calib"
 	"repro/internal/trace"
 )
 
@@ -132,6 +133,14 @@ type Config struct {
 	// cluster simulator instead hands each machine its own recorder and
 	// merges in event order.
 	Trace trace.Recorder
+	// Observer, when non-nil, receives one calib.Observation per
+	// executed request on the outcome path — the calibration
+	// observatory's serving-layer feed (predicted distribution, dominant
+	// unit, observed time, finish time, tenant). Like Trace, a nil
+	// observer costs one branch per outcome; implementations shared by
+	// concurrent drains must be safe for concurrent use (the simulator
+	// hands each machine its own observer).
+	Observer calib.Observer
 }
 
 func (c Config) normalized() Config {
@@ -159,6 +168,10 @@ type Tenant struct {
 
 	// recalMu serializes recalibrations of this tenant.
 	recalMu sync.Mutex
+	// lastRecalDrift snapshots the drift report the most recent
+	// successful recalibration was decided on — the window feedback.reset
+	// discards; nil until the first recalibration.
+	lastRecalDrift atomic.Pointer[DriftReport]
 
 	predictions     atomic.Uint64
 	admitted        atomic.Uint64
@@ -219,6 +232,13 @@ type Server struct {
 	// nextRecal is the next virtual-clock instant the automatic
 	// recalibration policy wakes up at (when cfg.RecalEvery > 0).
 	nextRecal float64
+	// autoRecalMu guards the automatic-recalibration observables below:
+	// how many cadence-triggered recalibrations have fired and the
+	// virtual clock of the latest — the signal drift experiments read to
+	// measure time-to-detection.
+	autoRecalMu     sync.Mutex
+	autoRecalCount  uint64
+	lastAutoRecalAt float64
 }
 
 // New returns an empty server with a fresh shared estimate cache (or
@@ -401,6 +421,11 @@ type TenantStats struct {
 	// explicit Recalibrate call.
 	AutoRecalibrations uint64      `json:"auto_recalibrations"`
 	Drift              DriftReport `json:"drift"`
+	// LastRecalibrationDrift is the drift window the most recent
+	// successful recalibration was decided on, preserved across the
+	// feedback reset that recalibration performs; nil until the tenant
+	// has recalibrated.
+	LastRecalibrationDrift *DriftReport `json:"last_recalibration_drift,omitempty"`
 }
 
 // Stats is a point-in-time snapshot of the whole server.
@@ -431,17 +456,18 @@ func (s *Server) Stats() Stats {
 	s.mu.RLock()
 	for _, t := range s.tenants {
 		st.Tenants = append(st.Tenants, TenantStats{
-			Name:               t.name,
-			Predictions:        t.predictions.Load(),
-			Admitted:           t.admitted.Load(),
-			Rejected:           t.rejected.Load(),
-			Executed:           t.executed.Load(),
-			ExecFailed:         t.execFailed.Load(),
-			DeadlinesMet:       t.deadlinesMet.Load(),
-			DeadlinesMissed:    t.deadlinesMissed.Load(),
-			Recalibrations:     t.recalibrations.Load(),
-			AutoRecalibrations: t.autoRecals.Load(),
-			Drift:              t.feedback.report(),
+			Name:                   t.name,
+			Predictions:            t.predictions.Load(),
+			Admitted:               t.admitted.Load(),
+			Rejected:               t.rejected.Load(),
+			Executed:               t.executed.Load(),
+			ExecFailed:             t.execFailed.Load(),
+			DeadlinesMet:           t.deadlinesMet.Load(),
+			DeadlinesMissed:        t.deadlinesMissed.Load(),
+			Recalibrations:         t.recalibrations.Load(),
+			AutoRecalibrations:     t.autoRecals.Load(),
+			Drift:                  t.feedback.report(),
+			LastRecalibrationDrift: t.lastRecalDrift.Load(),
 		})
 	}
 	s.mu.RUnlock()
@@ -530,6 +556,7 @@ func (s *Server) maybeAutoRecalibrate() {
 	}
 	s.qmu.Lock()
 	due := s.clock >= s.nextRecal
+	now := s.clock
 	if due {
 		// Skip ahead past the current clock so an idle stretch does not
 		// replay every missed boundary.
@@ -559,8 +586,24 @@ func (s *Server) maybeAutoRecalibrate() {
 		}
 		if resp.Recalibrated {
 			t.autoRecals.Add(1)
+			s.autoRecalMu.Lock()
+			s.autoRecalCount++
+			s.lastAutoRecalAt = now
+			s.autoRecalMu.Unlock()
 		}
 	}
+}
+
+// LastAutoRecalibration reports how many automatic (cadence-triggered)
+// recalibrations have fired on this server and the virtual clock of the
+// latest. Drift experiments poll it to measure time-to-detection: the
+// returned instant is the exact cadence boundary the recalibration fired
+// at, so polling lag never skews the measurement. at is 0 until the
+// first automatic recalibration (n == 0).
+func (s *Server) LastAutoRecalibration() (at float64, n uint64) {
+	s.autoRecalMu.Lock()
+	defer s.autoRecalMu.Unlock()
+	return s.lastAutoRecalAt, s.autoRecalCount
 }
 
 // StartDispatcher launches a goroutine draining the queue every

@@ -8,6 +8,7 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -322,4 +323,13 @@ func (f *Front) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "uaqp_front_shed_total{class=%q,reason=\"predictive\"} %d\n", c, counters[c].ShedPredictive)
 		fmt.Fprintf(w, "uaqp_front_shed_total{class=%q,reason=\"throttle\"} %d\n", c, counters[c].ShedThrottled)
 	}
+	var rates []float64
+	for _, c := range classes {
+		ct := counters[c]
+		if total := ct.Admitted + ct.ShedPredictive + ct.ShedThrottled; total > 0 {
+			rates = append(rates, float64(ct.Admitted)/float64(total))
+		}
+	}
+	fmt.Fprintf(w, "# HELP uaqp_front_admission_fairness Jain fairness index over per-class admission rates.\n# TYPE uaqp_front_admission_fairness gauge\n")
+	fmt.Fprintf(w, "uaqp_front_admission_fairness %s\n", strconv.FormatFloat(stats.JainIndex(rates), 'g', -1, 64))
 }

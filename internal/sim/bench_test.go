@@ -140,6 +140,87 @@ func BenchmarkSimHeterogeneous(b *testing.B) {
 	b.ReportMetric(fitness, "fitness")
 }
 
+// BenchmarkSimDrift measures the calibration observatory end to end: a
+// two-machine fleet where one machine's truth flips mid-run
+// (WithDriftInjection rebuilt each iteration, like the fleet), every
+// executed request streaming through the per-machine accumulators, and
+// the drift window assembled at report time. Besides raw events/sec,
+// the trajectory records the observatory's quality numbers — fleet MAPE,
+// 90% coverage, and time-to-detection — so BENCH_batch.json catches a
+// change that speeds the simulator up by making its calibration
+// accounting wrong.
+func BenchmarkSimDrift(b *testing.B) {
+	sc := Scenario{
+		Name:    "bench-drift",
+		Seed:    3,
+		Horizon: 30,
+		Machines: FleetList(
+			MachineSpec{Profile: "PC1"},
+			MachineSpec{Profile: "PC1", Drift: 2.0, DriftAt: 10},
+		),
+		Router:      RouterLeastRisk,
+		QueuePolicy: "fifo",
+		DB:          "uniform-1G",
+		RecalEvery:  5,
+		Tenants: []TenantSpec{{
+			Name:     "alpha",
+			Bench:    "seljoin",
+			Queries:  8,
+			Deadline: 1.2,
+			SLO:      serve.SLO{Confidence: 0.9, DefaultDeadline: 1.2, Quantile: 0.9},
+			Arrivals: ArrivalSpec{Process: ProcessPoisson, Rate: 6},
+		}},
+	}
+	sc, err := sc.normalized()
+	if err != nil {
+		b.Fatal(err)
+	}
+	kind, err := parseDBKind(sc.DB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qpol, err := serve.QueuePolicyByName(sc.QueuePolicy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := uaqetp.NewEstimateCache(1024)
+	sys, err := uaqetp.Open(uaqetp.Config{
+		DB: kind, Machine: sc.MachineProfile, SamplingRatio: sc.SamplingRatio,
+		Seed: sc.Seed, Cache: cache,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events int
+	var rep *Report
+	for i := 0; i < b.N; i++ {
+		rep, err = runWith(sc, qpol, sys, cache)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += rep.Events
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	}
+	b.ReportMetric(rep.Fitness.Score, "fitness")
+	if cal := rep.Calibration; cal != nil {
+		b.ReportMetric(cal.Overall.MAPE, "mape")
+		for _, cp := range cal.Overall.Coverage {
+			if cp.Nominal == 0.9 {
+				b.ReportMetric(cp.Observed, "cov90")
+			}
+		}
+	}
+	if dw := rep.DriftWindow; dw != nil && dw.Detected {
+		b.ReportMetric(dw.TimeToDetection, "ttd_s")
+	}
+}
+
 // BenchmarkSimSharded measures the sharded topology end to end: 10k
 // tenants placed by the consistent-hash directory over 4 shards of 2
 // machines, every arrival passing the front door (token bucket plus

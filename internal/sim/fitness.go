@@ -1,5 +1,7 @@
 package sim
 
+import "repro/internal/stats"
+
 // Multi-objective fitness: one scalar (plus its components) summarizing
 // how well a policy configuration served a scenario, computed from any
 // Report — the objective function policy search (grids over routers,
@@ -66,23 +68,9 @@ type Fitness struct {
 }
 
 // JainIndex is (Σx)² / (n·Σx²): 1 for perfectly equal allocations,
-// 1/n when a single participant takes everything. An empty or all-zero
-// sample counts as perfectly fair (there is nothing unequal about
-// uniformly nothing).
-func JainIndex(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 1
-	}
-	var sum, sumSq float64
-	for _, x := range xs {
-		sum += x
-		sumSq += x * x
-	}
-	if sumSq == 0 {
-		return 1
-	}
-	return sum * sum / (float64(len(xs)) * sumSq)
-}
+// 1/n when a single participant takes everything. It delegates to
+// stats.JainIndex (kept exported here for policy-search callers).
+func JainIndex(xs []float64) float64 { return stats.JainIndex(xs) }
 
 // ComputeFitness scores a Report under the given weights. It reads
 // only Report fields, so recorded report JSON from any run — or a

@@ -21,6 +21,16 @@ type MachineSpec struct {
 	// truth; fleet-shared units do not — the gap per-machine routing
 	// exploits. Must be > -1.
 	Drift float64 `json:"drift,omitempty"`
+	// DriftAt, in virtual seconds, turns Drift into a mid-run event: the
+	// machine starts on its undrifted profile with matching calibration
+	// and flips to the drifted truth at this instant, while its units go
+	// stale — the calibration observatory's controlled drift experiment
+	// (uaqetp.WithDriftInjection). The report then carries a drift_window
+	// section with time-to-detection (drift onset to the first automatic
+	// recalibration) and per-phase attainment. 0 means the machine is
+	// drifted from the start, exactly as before. Requires Drift != 0 and
+	// the scenario's recal_every to be set for detection to ever happen.
+	DriftAt float64 `json:"drift_at,omitempty"`
 	// Count expands this spec into Count identical machines; 0 means 1.
 	Count int `json:"count,omitempty"`
 	// Spec inlines a full hardware profile (hardware.Spec JSON shape:
@@ -100,7 +110,7 @@ func (f *Fleet) UnmarshalJSON(b []byte) error {
 	dec.DisallowUnknownFields()
 	var specs []MachineSpec
 	if err := dec.Decode(&specs); err != nil {
-		return fmt.Errorf("machines must be a count or a list of {profile, drift, count, spec}: %w", err)
+		return fmt.Errorf("machines must be a count or a list of {profile, drift, drift_at, count, spec}: %w", err)
 	}
 	*f = Fleet{specs: specs}
 	return nil
@@ -158,11 +168,17 @@ func (f Fleet) resolve(defaultProfile string) ([]MachineSpec, error) {
 		if spec.Drift <= -1 {
 			return nil, fmt.Errorf("sim: machine %d: drift %g must be above -1", i, spec.Drift)
 		}
+		if spec.DriftAt < 0 {
+			return nil, fmt.Errorf("sim: machine %d: drift_at %g must not be negative", i, spec.DriftAt)
+		}
+		if spec.DriftAt > 0 && spec.Drift == 0 {
+			return nil, fmt.Errorf("sim: machine %d: drift_at %g without drift (nothing to flip to)", i, spec.DriftAt)
+		}
 		n := spec.Count
 		if n == 0 {
 			n = 1
 		}
-		one := MachineSpec{Profile: spec.Profile, Drift: spec.Drift, Count: 1, Spec: spec.Spec}
+		one := MachineSpec{Profile: spec.Profile, Drift: spec.Drift, DriftAt: spec.DriftAt, Count: 1, Spec: spec.Spec}
 		for k := 0; k < n; k++ {
 			out = append(out, one)
 		}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	uaqetp "repro"
+	"repro/internal/calib"
 )
 
 // Quantiles summarizes a sample of durations. Quantiles use the
@@ -88,15 +89,83 @@ type TenantReport struct {
 // count-shorthand fleets they are omitted, keeping the homogeneous
 // report byte-identical to the pre-heterogeneity schema.
 type MachineReport struct {
-	Machine  int     `json:"machine"`
-	Profile  string  `json:"profile,omitempty"`
-	Drift    float64 `json:"drift,omitempty"`
-	Executed int     `json:"executed"`
+	Machine int     `json:"machine"`
+	Profile string  `json:"profile,omitempty"`
+	Drift   float64 `json:"drift,omitempty"`
+	// DriftAt echoes a scheduled mid-run drift (MachineSpec.DriftAt);
+	// DriftDetectedAt is the virtual time this machine's feedback loop
+	// first auto-recalibrated after the onset, omitted while undetected.
+	DriftAt         float64 `json:"drift_at,omitempty"`
+	DriftDetectedAt float64 `json:"drift_detected_at,omitempty"`
+	Executed        int     `json:"executed"`
 	// Clock is the machine's final virtual time; BusyTime the virtual
 	// seconds it spent executing; Utilization BusyTime / Clock.
 	Clock       float64 `json:"clock"`
 	BusyTime    float64 `json:"busy_time"`
 	Utilization float64 `json:"utilization"`
+}
+
+// UnitCalibration is one cost unit's fleet-wide calibration metrics;
+// TenantCalibration one tenant group's; MachineCalibration one
+// machine's. The embedded calib.Metrics flattens into the JSON.
+type UnitCalibration struct {
+	Unit string `json:"unit"`
+	calib.Metrics
+}
+
+// TenantCalibration aggregates one tenant group's observations across
+// the fleet.
+type TenantCalibration struct {
+	Name string `json:"name"`
+	calib.Metrics
+}
+
+// MachineCalibration aggregates one machine's observations across its
+// tenants and units.
+type MachineCalibration struct {
+	Machine int `json:"machine"`
+	calib.Metrics
+}
+
+// CalibrationReport is the calibration observatory's section of a
+// Report: how honest the predicted distributions stayed against
+// observed running times, fleet-wide and broken out per cost unit,
+// tenant group, and machine. Only units/tenants/machines with
+// observations appear.
+type CalibrationReport struct {
+	Overall    calib.Metrics        `json:"overall"`
+	PerUnit    []UnitCalibration    `json:"per_unit,omitempty"`
+	PerTenant  []TenantCalibration  `json:"per_tenant,omitempty"`
+	PerMachine []MachineCalibration `json:"per_machine,omitempty"`
+}
+
+// PhaseAttainment is deadline attainment over the executed requests
+// that finished inside one phase of a drift experiment.
+type PhaseAttainment struct {
+	Executed   int     `json:"executed"`
+	Met        int     `json:"met"`
+	Attainment float64 `json:"attainment"`
+}
+
+// DriftWindow is the drift experiment's verdict, present when any
+// machine schedules a mid-run drift (MachineSpec.DriftAt). Detection is
+// the first automatic recalibration at or after the onset on every
+// drifting machine; TimeToDetection is virtual seconds from the
+// earliest onset to the last machine's detection. The three phases
+// split executed requests by finish time: before the onset, drifted but
+// undetected, and after detection — AttainmentDuringDrift (== During.
+// Attainment) is the headline cost of serving on stale units.
+type DriftWindow struct {
+	OnsetAt         float64 `json:"onset_at"`
+	Detected        bool    `json:"detected"`
+	DetectedAt      float64 `json:"detected_at,omitempty"`
+	TimeToDetection float64 `json:"time_to_detection,omitempty"`
+	// AttainmentDuringDrift is deadline attainment between drift onset
+	// and detection — the window where predictions are stalest.
+	AttainmentDuringDrift float64         `json:"attainment_during_drift"`
+	Before                PhaseAttainment `json:"before"`
+	During                PhaseAttainment `json:"during"`
+	After                 PhaseAttainment `json:"after"`
 }
 
 // Report is the simulator's structured outcome. For a fixed scenario
@@ -129,6 +198,13 @@ type Report struct {
 	Tenants    []TenantReport    `json:"tenants"`
 	PerMachine []MachineReport   `json:"per_machine"`
 	Cache      uaqetp.CacheStats `json:"cache"`
+	// Calibration is the calibration observatory's fleet-wide view:
+	// predicted-vs-observed MAPE, Pearson r, bias, and coverage per cost
+	// unit, tenant, and machine. Nil when nothing executed.
+	Calibration *CalibrationReport `json:"calibration,omitempty"`
+	// DriftWindow reports the drift experiment (machines with drift_at):
+	// time-to-detection and per-phase attainment. Nil otherwise.
+	DriftWindow *DriftWindow `json:"drift_window,omitempty"`
 	// Shards describes the sharded serving topology when the scenario
 	// has a shards block; nil — and omitted — otherwise, keeping
 	// unsharded reports byte-identical to the pre-sharding schema.
@@ -162,10 +238,15 @@ type ClassReport struct {
 // FrontDoorReport summarizes the fleet's intake valve: configuration
 // plus per-SLO-class verdict counters, classes sorted by name.
 type FrontDoorReport struct {
-	Rate       float64       `json:"rate"`
-	Burst      float64       `json:"burst"`
-	Predictive bool          `json:"predictive"`
-	Classes    []ClassReport `json:"classes"`
+	Rate       float64 `json:"rate"`
+	Burst      float64 `json:"burst"`
+	Predictive bool    `json:"predictive"`
+	// AdmissionFairness is the Jain fairness index over per-SLO-class
+	// admission rates admitted/(admitted+shed), classes with no traffic
+	// skipped: 1 means every class is admitted at the same rate, 1/n
+	// means one class monopolizes admission.
+	AdmissionFairness float64       `json:"admission_fairness"`
+	Classes           []ClassReport `json:"classes"`
 }
 
 // ShardsReport is the sharded-topology section of a Report.

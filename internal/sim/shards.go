@@ -261,13 +261,18 @@ func (s *simRun) shardsReport() *ShardsReport {
 			Predictive: sh.spec.FrontDoor.Predictive,
 		}
 		counters := fd.Counters()
+		var rates []float64
 		for _, class := range fd.Classes() {
 			c := counters[class]
 			fr.Classes = append(fr.Classes, ClassReport{
 				Class: class, Admitted: c.Admitted,
 				ShedPredictive: c.ShedPredictive, ShedThrottled: c.ShedThrottled,
 			})
+			if total := c.Admitted + c.ShedPredictive + c.ShedThrottled; total > 0 {
+				rates = append(rates, float64(c.Admitted)/float64(total))
+			}
 		}
+		fr.AdmissionFairness = stats.JainIndex(rates)
 		rep.FrontDoor = fr
 	}
 	if tc, ok := s.cache.(*uaqetp.TieredCache); ok {

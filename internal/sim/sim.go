@@ -64,11 +64,15 @@ type pendingArrival struct {
 
 // latRec is one executed request's latency sample, staged machine-side
 // during a (possibly parallel) service step and committed to the
-// tenant's series in deterministic batch order.
+// tenant's series in deterministic batch order. finish/met ride along
+// so drift experiments can attribute each outcome to a before/during/
+// after-detection phase at report time.
 type latRec struct {
 	tenant  int
 	latency float64
 	qwait   float64
+	finish  float64
+	met     bool
 }
 
 // machineState is one simulated execution server: a serve.Server over
@@ -107,6 +111,14 @@ type machineState struct {
 	// drained into the run's global event order by commitMachine. Nil
 	// when the run is untraced.
 	rec *machineRecorder
+
+	// obs is the machine's calibration observer (serve.Config.Observer):
+	// every executed request's (predicted distribution, observed time)
+	// pair folds into machine-local accumulators — merged in machine
+	// order into the report's calibration section — and, when the run
+	// streams calibration events, stages a KindCalibration event drained
+	// alongside rec's.
+	obs *machineObserver
 }
 
 // machineRecorder is the per-machine trace.Recorder the simulator
@@ -195,6 +207,42 @@ type simRun struct {
 	seq      uint64
 	cands    []trace.Candidate
 	tieBreak string
+
+	// Calibration streaming: when on, every executed request's
+	// observation becomes a KindCalibration event. The stream is
+	// sequence-numbered on its own counter (calibSeq) so enabling it
+	// never perturbs the decision stream's bytes.
+	calibStream bool
+	calibEvents []trace.Event
+	calibSeq    uint64
+
+	// Drift injection. flips are the pending truth switches in firing
+	// order (one per distinct drift-at spec); the event loop fires each
+	// before processing the first event at or past its instant.
+	// driftMachines lists machines with a scheduled drift; detectedAt is
+	// the per-machine virtual time the first post-onset automatic
+	// recalibration landed (-1 until then); phaseSamples records every
+	// executed request's (finish, met) so the report can split attainment
+	// into before/during/after-detection phases.
+	flips         []truthFlip
+	flipCursor    int
+	driftMachines []int
+	detectedAt    []float64
+	phaseSamples  []phaseSample
+}
+
+// truthFlip is one scheduled drift onset: the switch shared by every
+// machine of one drift-at spec, fired at its instant.
+type truthFlip struct {
+	at float64
+	sw *uaqetp.TruthSwitch
+}
+
+// phaseSample is one executed request's contribution to the drift
+// window's per-phase attainment.
+type phaseSample struct {
+	finish float64
+	met    bool
 }
 
 // Run executes the scenario to completion — every arrival routed,
@@ -205,7 +253,7 @@ type simRun struct {
 // and their shared-state effects are committed in deterministic event
 // order.
 func Run(sc Scenario) (*Report, error) {
-	rep, _, err := run(sc, trace.Off, false)
+	rep, _, _, err := run(sc, trace.Off, false, false)
 	return rep, err
 }
 
@@ -216,31 +264,43 @@ func Run(sc Scenario) (*Report, error) {
 // scenario's parallelism — serve-side events are staged per machine and
 // merged in deterministic event order, exactly like latency samples.
 func RunTraced(sc Scenario, level trace.Level) (*Report, []trace.Event, error) {
+	rep, events, _, err := RunInstrumented(sc, level, false)
+	return rep, events, err
+}
+
+// RunInstrumented is RunTraced additionally streaming the calibration
+// observatory's raw feed when calibStream is set: one KindCalibration
+// event per executed request (`uaqp sim -calib`), in deterministic
+// event order on its own sequence counter — so the decision stream's
+// bytes are identical whether or not calibration streaming is on, and
+// the calibration stream itself is byte-identical per (scenario, seed)
+// across GOMAXPROCS and parallelism.
+func RunInstrumented(sc Scenario, level trace.Level, calibStream bool) (*Report, []trace.Event, []trace.Event, error) {
 	if level == trace.Off {
 		var err error
 		if level, err = trace.ParseLevel(sc.TraceLevel); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
-	return run(sc, level, true)
+	return run(sc, level, true, calibStream)
 }
 
 // run normalizes the scenario, opens the fleet's base System, and
 // executes it; install selects whether per-machine trace recorders are
 // wired in at all (an installed recorder at level Off records nothing
 // but exercises the disabled-recorder path the allocation tests pin).
-func run(sc Scenario, level trace.Level, install bool) (*Report, []trace.Event, error) {
+func run(sc Scenario, level trace.Level, install, calibStream bool) (*Report, []trace.Event, []trace.Event, error) {
 	sc, err := sc.normalized()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	kind, err := parseDBKind(sc.DB)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	qpol, err := serve.QueuePolicyByName(sc.QueuePolicy)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	// One expensive Open for the whole fleet: machines with the default
@@ -266,43 +326,64 @@ func run(sc Scenario, level trace.Level, install bool) (*Report, []trace.Event, 
 		Seed: sc.Seed, Cache: cache,
 	})
 	if err != nil {
-		return nil, nil, fmt.Errorf("sim: open system: %w", err)
+		return nil, nil, nil, fmt.Errorf("sim: open system: %w", err)
 	}
 	if !install {
 		rep, err := runWith(sc, qpol, sys, cache)
-		return rep, nil, err
+		return rep, nil, nil, err
 	}
-	return runTraced(sc, qpol, sys, cache, level)
+	return runSim(sc, qpol, sys, cache, level, true, calibStream)
 }
 
 // machineSystems derives one System per machine from the base System:
 // the base itself for default machines, one WithMachine sibling per
-// distinct (profile, drift) otherwise — same machines share one
-// calibration, like same-config tenants share one Open.
-func machineSystems(sc Scenario, fleet []MachineSpec, base *uaqetp.System) ([]*uaqetp.System, error) {
-	derived := make(map[MachineSpec]*uaqetp.System, len(fleet))
+// distinct (profile, drift, drift_at) otherwise — same machines share
+// one calibration, like same-config tenants share one Open. Machines
+// with DriftAt > 0 get a drift-injected System (uaqetp.
+// WithDriftInjection): calibrated against the undrifted profile, with a
+// TruthSwitch the event loop fires at DriftAt; identical specs share
+// one switch, flipped once for all of them.
+func machineSystems(sc Scenario, fleet []MachineSpec, base *uaqetp.System) ([]*uaqetp.System, []*uaqetp.TruthSwitch, error) {
+	type derivation struct {
+		sys *uaqetp.System
+		sw  *uaqetp.TruthSwitch
+	}
+	derived := make(map[MachineSpec]derivation, len(fleet))
 	out := make([]*uaqetp.System, len(fleet))
+	sws := make([]*uaqetp.TruthSwitch, len(fleet))
 	for m, spec := range fleet {
 		if spec.Spec == nil && spec.Profile == sc.MachineProfile && spec.Drift == 0 {
 			out[m] = base
 			continue
 		}
-		if sys, ok := derived[spec]; ok {
-			out[m] = sys
+		if d, ok := derived[spec]; ok {
+			out[m], sws[m] = d.sys, d.sw
 			continue
 		}
 		prof, err := spec.profileFor()
 		if err != nil {
-			return nil, fmt.Errorf("sim: machine %d: %w", m, err)
+			return nil, nil, fmt.Errorf("sim: machine %d: %w", m, err)
 		}
 		sys, err := base.WithMachine(prof)
 		if err != nil {
-			return nil, fmt.Errorf("sim: machine %d: %w", m, err)
+			return nil, nil, fmt.Errorf("sim: machine %d: %w", m, err)
 		}
-		derived[spec] = sys
-		out[m] = sys
+		var sw *uaqetp.TruthSwitch
+		if spec.DriftAt > 0 {
+			pre := spec
+			pre.Drift, pre.DriftAt = 0, 0
+			preProf, err := pre.profileFor()
+			if err != nil {
+				return nil, nil, fmt.Errorf("sim: machine %d: %w", m, err)
+			}
+			if sys, sw, err = sys.WithDriftInjection(preProf); err != nil {
+				return nil, nil, fmt.Errorf("sim: machine %d: %w", m, err)
+			}
+		}
+		derived[spec] = derivation{sys, sw}
+		out[m], sws[m] = sys, sw
 	}
-	return out, nil
+	return out, sws, nil
 }
 
 // runWith executes an already normalized scenario against an existing
@@ -311,7 +392,7 @@ func machineSystems(sc Scenario, fleet []MachineSpec, base *uaqetp.System) ([]*u
 // (the nil-Recorder fast path). The fleet (servers, queues, clocks,
 // per-machine sibling Systems) is rebuilt fresh per call.
 func runWith(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache uaqetp.EstimateCache) (*Report, error) {
-	rep, _, err := runSim(sc, qpol, sys, cache, trace.Off, false)
+	rep, _, _, err := runSim(sc, qpol, sys, cache, trace.Off, false, false)
 	return rep, err
 }
 
@@ -320,23 +401,25 @@ func runWith(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache uaqe
 // record nothing, but the Enabled gates still run, which is exactly the
 // disabled-recorder overhead the allocation tests measure.
 func runTraced(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache uaqetp.EstimateCache, level trace.Level) (*Report, []trace.Event, error) {
-	return runSim(sc, qpol, sys, cache, level, true)
+	rep, events, _, err := runSim(sc, qpol, sys, cache, level, true, false)
+	return rep, events, err
 }
 
-func runSim(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache uaqetp.EstimateCache, level trace.Level, install bool) (*Report, []trace.Event, error) {
+func runSim(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache uaqetp.EstimateCache, level trace.Level, install, calibStream bool) (*Report, []trace.Event, []trace.Event, error) {
 	fleet, err := sc.Machines.resolve(sc.MachineProfile)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	msys, err := machineSystems(sc, fleet, sys)
+	msys, msws, err := machineSystems(sc, fleet, sys)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	s := &simRun{
 		sc: sc, ctx: context.Background(), router: sc.Router, cache: cache,
-		perMachine: sc.Machines.Labeled(),
-		par:        sc.Parallelism,
-		level:      level,
+		perMachine:  sc.Machines.Labeled(),
+		par:         sc.Parallelism,
+		level:       level,
+		calibStream: calibStream,
 	}
 	if s.par < 1 {
 		s.par = 1
@@ -346,7 +429,7 @@ func runSim(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache uaqet
 	if sc.Shards != nil {
 		sh, err := buildSharded(sc, len(fleet), s.tenants)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		s.sh = sh
 		for si, r := range sh.ranges {
@@ -358,9 +441,17 @@ func runSim(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache uaqet
 	} else {
 		s.rrNexts = make([]int, 1)
 	}
+	// The calibration observers attribute each member's observations to
+	// its tenant group, mirroring the report's per-tenant aggregation.
+	groupOf := make(map[string]int32, len(s.tenants))
+	for _, ts := range s.tenants {
+		groupOf[ts.name] = int32(ts.group)
+	}
 	for m := range fleet {
+		obs := newMachineObserver(m, len(sc.Tenants), groupOf, calibStream)
 		cfg := serve.Config{
 			Cache: cache, MaxQueue: sc.MaxQueue, Policy: qpol, RecalEvery: sc.RecalEvery,
+			Observer: obs,
 		}
 		var rec *machineRecorder
 		if install {
@@ -370,9 +461,12 @@ func runSim(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache uaqet
 			}
 			cfg.Trace = rec
 		}
+		if s.sh != nil {
+			obs.shard = s.sh.names[s.sidOf[m]]
+		}
 		srv := serve.New(cfg)
 		ms := &machineState{
-			srv: srv, sys: msys[m], pending: make(map[uint64]pendingArrival), rec: rec,
+			srv: srv, sys: msys[m], pending: make(map[uint64]pendingArrival), rec: rec, obs: obs,
 		}
 		if s.perMachine {
 			ms.spec = fleet[m]
@@ -388,15 +482,32 @@ func runSim(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache uaqet
 			}
 			t, err := srv.AddTenantSystem(ts.name, msys[m], ts.spec.SLO)
 			if err != nil {
-				return nil, nil, fmt.Errorf("sim: machine %d: %w", m, err)
+				return nil, nil, nil, fmt.Errorf("sim: machine %d: %w", m, err)
 			}
 			ms.tenants = append(ms.tenants, t)
 		}
 		s.machines = append(s.machines, ms)
 	}
 
+	// Scheduled drifts: remember which machines flip, and build the
+	// fleet's flip sequence — one entry per distinct switch, in firing
+	// order (machine order breaks ties, matching machineSystems' dedup).
+	s.detectedAt = make([]float64, len(fleet))
+	seenSw := make(map[*uaqetp.TruthSwitch]bool)
+	for m := range fleet {
+		s.detectedAt[m] = -1
+		if sw := msws[m]; sw != nil {
+			s.driftMachines = append(s.driftMachines, m)
+			if !seenSw[sw] {
+				seenSw[sw] = true
+				s.flips = append(s.flips, truthFlip{at: fleet[m].DriftAt, sw: sw})
+			}
+		}
+	}
+	sort.SliceStable(s.flips, func(i, j int) bool { return s.flips[i].at < s.flips[j].at })
+
 	if err := s.buildArrivals(sys); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	// Warm the shared cache's run section (and the plan memo and
 	// estimate sections with it) by executing each distinct template
@@ -409,9 +520,9 @@ func runSim(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache uaqet
 		_, _ = sys.Execute(q)
 	}
 	if err := s.loop(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return s.report(), s.events, nil
+	return s.report(), s.events, s.calibEvents, nil
 }
 
 // arrivalSeed derives one tenant's arrival RNG seed from the scenario
@@ -657,6 +768,23 @@ func (s *simRun) loop() error {
 		if !hasArr && !hasFree {
 			break
 		}
+		// Fire every scheduled drift whose instant the next event has
+		// reached: the flip happens on this goroutine, before any event at
+		// or past its time is processed, so executions at t >= drift_at
+		// measure on the drifted truth regardless of parallelism.
+		if s.flipCursor < len(s.flips) {
+			next := math.Inf(1)
+			if hasArr {
+				next = s.arrivals[s.cursor].at
+			}
+			if hasFree && s.frees[0].at < next {
+				next = s.frees[0].at
+			}
+			for s.flipCursor < len(s.flips) && next >= s.flips[s.flipCursor].at {
+				s.flips[s.flipCursor].sw.Switch()
+				s.flipCursor++
+			}
+		}
 		if hasArr && (!hasFree || s.arrivals[s.cursor].at <= s.frees[0].at) {
 			a := s.arrivals[s.cursor]
 			s.cursor++
@@ -668,10 +796,14 @@ func (s *simRun) loop() error {
 		}
 
 		// Batch consecutive completions on distinct machines that all
-		// precede the next arrival.
+		// precede the next arrival — and the next pending drift flip, so a
+		// batch never spans a truth switch.
 		nextArr := math.Inf(1)
 		if hasArr {
 			nextArr = s.arrivals[s.cursor].at
+		}
+		if s.flipCursor < len(s.flips) && s.flips[s.flipCursor].at < nextArr {
+			nextArr = s.flips[s.flipCursor].at
 		}
 		s.batch = s.batch[:0]
 	collect:
@@ -714,7 +846,9 @@ func (s *simRun) loop() error {
 		for _, ms := range s.machines {
 			ms.srv.AdvanceClock(last)
 			s.drainTrace(ms)
+			s.drainCalib(ms)
 		}
+		s.pollDetection()
 	}
 	return nil
 }
@@ -844,6 +978,8 @@ func (s *simRun) stepMachine(ms *machineState) {
 				tenant:  p.tenant,
 				latency: ms.out.Finish - p.at,
 				qwait:   ms.out.Start - p.at,
+				finish:  ms.out.Finish,
+				met:     ms.out.Met,
 			})
 		}
 		ms.freeAt = ms.out.Finish
@@ -861,9 +997,14 @@ func (s *simRun) commitMachine(m int) {
 		ts := s.tenants[lr.tenant]
 		ts.latencies = append(ts.latencies, lr.latency)
 		ts.queueWaits = append(ts.queueWaits, lr.qwait)
+		if len(s.driftMachines) > 0 {
+			s.phaseSamples = append(s.phaseSamples, phaseSample{finish: lr.finish, met: lr.met})
+		}
 	}
 	ms.staged = ms.staged[:0]
 	s.drainTrace(ms)
+	s.drainCalib(ms)
+	s.pollDetection()
 	if ms.freePending {
 		s.pushFree(ms.freeAt, m)
 		ms.freePending = false
@@ -884,6 +1025,42 @@ func (s *simRun) drainTrace(ms *machineState) {
 		s.events = append(s.events, ev)
 	}
 	ms.rec.events = ms.rec.events[:0]
+}
+
+// drainCalib moves the machine's staged calibration events into the
+// global calibration stream. The stream has its own sequence counter,
+// so decision-trace bytes are invariant to whether calibration
+// streaming is on. Called only on the event-loop goroutine.
+func (s *simRun) drainCalib(ms *machineState) {
+	o := ms.obs
+	if o == nil || len(o.events) == 0 {
+		return
+	}
+	for i := range o.events {
+		ev := o.events[i]
+		ev.Seq = s.calibSeq
+		s.calibSeq++
+		s.calibEvents = append(s.calibEvents, ev)
+	}
+	o.events = o.events[:0]
+}
+
+// pollDetection checks every drift machine whose truth has switched for
+// its first post-onset automatic recalibration — the feedback loop
+// noticing the drift. The server records the exact virtual instant the
+// recalibration fired, so reading it after the serial commit (instead
+// of inside the possibly-parallel step) loses no precision.
+func (s *simRun) pollDetection() {
+	for _, m := range s.driftMachines {
+		if s.detectedAt[m] >= 0 {
+			continue
+		}
+		ms := s.machines[m]
+		at, n := ms.srv.LastAutoRecalibration()
+		if n > 0 && at >= ms.spec.DriftAt {
+			s.detectedAt[m] = at
+		}
+	}
 }
 
 // report aggregates the fleet into the final Report.
@@ -911,9 +1088,13 @@ func (s *simRun) report() *Report {
 			Machine:  m,
 			Profile:  ms.spec.Profile,
 			Drift:    ms.spec.Drift,
+			DriftAt:  ms.spec.DriftAt,
 			Executed: ms.executed,
 			Clock:    st.Clock,
 			BusyTime: ms.busyTime,
+		}
+		if ms.spec.DriftAt > 0 && s.detectedAt[m] >= 0 {
+			mr.DriftDetectedAt = s.detectedAt[m]
 		}
 		if st.Clock > 0 {
 			mr.Utilization = ms.busyTime / st.Clock
@@ -985,6 +1166,8 @@ func (s *simRun) report() *Report {
 	}
 	rep.Latency = summarize(fleetLat)
 	sort.Slice(rep.Tenants, func(i, j int) bool { return rep.Tenants[i].Name < rep.Tenants[j].Name })
+	rep.Calibration = s.calibrationReport()
+	rep.DriftWindow = s.driftWindow()
 	if s.sh != nil {
 		rep.Shards = s.shardsReport()
 	}

@@ -1,0 +1,26 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJainIndex(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 1},
+		{"all-zero", []float64{0, 0, 0}, 1},
+		{"equal", []float64{0.5, 0.5, 0.5, 0.5}, 1},
+		{"one-takes-all", []float64{1, 0, 0, 0}, 0.25},
+		{"two-of-four", []float64{1, 1, 0, 0}, 0.5},
+		{"skewed", []float64{4, 1, 1}, 2.0 / 3}, // 36 / (3*18)
+	}
+	for _, c := range cases {
+		if got := JainIndex(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: JainIndex(%v) = %v, want %v", c.name, c.xs, got, c.want)
+		}
+	}
+}

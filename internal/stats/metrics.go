@@ -32,6 +32,26 @@ func Pearson(xs, ys []float64) float64 {
 	return sxy / math.Sqrt(sxx*syy)
 }
 
+// JainIndex is Jain's fairness index (Σx)² / (n·Σx²) over a
+// non-negative allocation vector: 1 for perfectly equal allocations,
+// 1/n when a single participant takes everything. An empty or all-zero
+// sample counts as perfectly fair (there is nothing unequal about
+// uniformly nothing).
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
 // Ranks returns the fractional (average-tie) ranks of xs, 1-based: the
 // smallest value gets rank 1, and tied values share the average of the
 // ranks they span.

@@ -1,0 +1,109 @@
+package trace
+
+import "sort"
+
+// counterfactualEps matches the router's risk-comparison tolerance:
+// probability differences below it are ties, not regret.
+const counterfactualEps = 1e-9
+
+// CounterfactualSummary tallies, over the placement decisions of one
+// trace, how the router's k-th choice (ranked by recorded P(meet))
+// compared against the machine actually chosen.
+type CounterfactualSummary struct {
+	// K is the 1-based rank inspected (K=2 asks "what about the
+	// router's second choice?").
+	K int `json:"k"`
+	// Placements is the number of placement events seen; Scored is how
+	// many carried a candidate vector with P(meet) data and at least K
+	// candidates (load-only routers record no probabilities and are
+	// never scored).
+	Placements int `json:"placements"`
+	Scored     int `json:"scored"`
+	// KthBetter counts scored placements where the k-th ranked
+	// candidate's P(meet) strictly exceeded the chosen machine's —
+	// decisions where the recorded scoring vector says a different
+	// machine looked strictly safer than the one taken.
+	KthBetter int `json:"kth_better"`
+}
+
+// Rate is KthBetter over Scored; zero when nothing was scored.
+func (s CounterfactualSummary) Rate() float64 {
+	if s.Scored == 0 {
+		return 0
+	}
+	return float64(s.KthBetter) / float64(s.Scored)
+}
+
+// CounterfactualK replays every recorded placement decision against
+// its own candidate scoring vector: candidates are ranked by P(meet)
+// descending (ties broken toward less expected wait, then lower
+// machine index — the router's own preference order), and the k-th
+// ranked candidate is compared against the machine the router actually
+// chose. For a pure risk router the count measures how often
+// tie-breaking and CDF saturation conceded strict risk; for replayed
+// or hybrid policies it measures forgone probability mass — BLIS-style
+// counterfactual-K analysis from the trace alone, no re-simulation.
+//
+// k is 1-based. Placements without probability data (round-robin,
+// least-queue) or with fewer than k candidates are counted in
+// Placements but not Scored.
+func CounterfactualK(events []Event, k int) CounterfactualSummary {
+	s := CounterfactualSummary{K: k}
+	if k < 1 {
+		return s
+	}
+	var ranked []int
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind != KindPlacement {
+			continue
+		}
+		s.Placements++
+		cands := ev.Candidates
+		if len(cands) < k {
+			continue
+		}
+		// Load-only routers leave every PMeet zero; skip those vectors —
+		// there is no recorded probability to rank by.
+		scored := false
+		for j := range cands {
+			if cands[j].PMeet != 0 {
+				scored = true
+				break
+			}
+		}
+		if !scored {
+			continue
+		}
+		chosen := -1
+		for j := range cands {
+			if cands[j].Machine == ev.Machine {
+				chosen = j
+				break
+			}
+		}
+		if chosen < 0 {
+			continue
+		}
+		s.Scored++
+		ranked = ranked[:0]
+		for j := range cands {
+			ranked = append(ranked, j)
+		}
+		sort.SliceStable(ranked, func(a, b int) bool {
+			ca, cb := &cands[ranked[a]], &cands[ranked[b]]
+			if ca.PMeet != cb.PMeet {
+				return ca.PMeet > cb.PMeet
+			}
+			if ca.WaitMean != cb.WaitMean {
+				return ca.WaitMean < cb.WaitMean
+			}
+			return ca.Machine < cb.Machine
+		})
+		kth := &cands[ranked[k-1]]
+		if kth.PMeet > cands[chosen].PMeet+counterfactualEps {
+			s.KthBetter++
+		}
+	}
+	return s
+}

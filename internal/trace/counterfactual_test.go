@@ -1,0 +1,61 @@
+package trace
+
+import "testing"
+
+func placement(chosen int, cands ...Candidate) Event {
+	return Event{Kind: KindPlacement, Machine: chosen, Candidates: cands}
+}
+
+func TestCounterfactualK(t *testing.T) {
+	events := []Event{
+		// Router took the strictly best machine: no regret at any k.
+		placement(0,
+			Candidate{Machine: 0, PMeet: 0.95},
+			Candidate{Machine: 1, PMeet: 0.80},
+			Candidate{Machine: 2, PMeet: 0.60}),
+		// Router conceded strict risk (tie-break took machine 2): the
+		// rank-1 AND rank-2 candidates both beat the chosen machine.
+		placement(2,
+			Candidate{Machine: 0, PMeet: 0.90},
+			Candidate{Machine: 1, PMeet: 0.85},
+			Candidate{Machine: 2, PMeet: 0.70}),
+		// Load-only router: no probabilities recorded — never scored.
+		placement(1,
+			Candidate{Machine: 0, QueueLen: 3},
+			Candidate{Machine: 1, QueueLen: 1}),
+		// Non-placement events are ignored entirely.
+		{Kind: KindAdmission, Verdict: "admit"},
+	}
+
+	s1 := CounterfactualK(events, 1)
+	if s1.Placements != 3 || s1.Scored != 2 || s1.KthBetter != 1 {
+		t.Fatalf("k=1: %+v", s1)
+	}
+	s2 := CounterfactualK(events, 2)
+	if s2.Scored != 2 || s2.KthBetter != 1 {
+		t.Fatalf("k=2: %+v", s2)
+	}
+	if got := s2.Rate(); got != 0.5 {
+		t.Fatalf("k=2 rate = %v, want 0.5", got)
+	}
+	// k beyond the candidate count: placements counted, nothing scored.
+	s9 := CounterfactualK(events, 9)
+	if s9.Placements != 3 || s9.Scored != 0 || s9.Rate() != 0 {
+		t.Fatalf("k=9: %+v", s9)
+	}
+}
+
+// Ties within the router's epsilon are not regret: equal probabilities
+// rank by wait then machine index, and the comparison requires a
+// strict improvement beyond the epsilon.
+func TestCounterfactualKTies(t *testing.T) {
+	events := []Event{
+		placement(1,
+			Candidate{Machine: 0, PMeet: 0.9, WaitMean: 0.5},
+			Candidate{Machine: 1, PMeet: 0.9, WaitMean: 0.1}),
+	}
+	s := CounterfactualK(events, 1)
+	if s.Scored != 1 || s.KthBetter != 0 {
+		t.Fatalf("tie must not count as regret: %+v", s)
+	}
+}

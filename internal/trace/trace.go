@@ -87,6 +87,13 @@ const (
 	// KindRecalibration is one tenant's units being recalibrated (or a
 	// cadence check declining to). Recorded at Full.
 	KindRecalibration Kind = "recalibration"
+	// KindCalibration is one (predicted distribution, observed time)
+	// pair from an executed request — the calibration observatory's raw
+	// stream. Recorded only when calibration streaming is requested
+	// (`uaqp sim -calib`), independent of the decision trace level, and
+	// sequence-numbered on its own counter so enabling it never
+	// perturbs the decision stream's bytes.
+	KindCalibration Kind = "calibration"
 )
 
 // Candidate is one machine's score in a placement decision, in machine
@@ -155,9 +162,23 @@ type Event struct {
 	Elapsed float64 `json:"elapsed,omitempty"`
 	Met     bool    `json:"met,omitempty"`
 
-	// Recalibration fields.
-	Advised      bool `json:"advised,omitempty"`
-	Recalibrated bool `json:"recalibrated,omitempty"`
+	// Recalibration fields. The Drift* fields snapshot the feedback
+	// window the verdict was based on — the window recalibration resets,
+	// preserved here so post-hoc analysis can see why a recal fired:
+	// DriftObservations is the window's observation count, DriftUnit the
+	// cost unit with the largest absolute coverage drift, and
+	// MaxCoverageDrift that unit's worst signed drift (observed -
+	// nominal coverage).
+	Advised           bool    `json:"advised,omitempty"`
+	Recalibrated      bool    `json:"recalibrated,omitempty"`
+	DriftObservations int     `json:"drift_observations,omitempty"`
+	DriftUnit         string  `json:"drift_unit,omitempty"`
+	MaxCoverageDrift  float64 `json:"max_coverage_drift,omitempty"`
+
+	// Calibration fields (KindCalibration reuses PredMean/PredSigma for
+	// the predicted distribution and Elapsed for the observed time).
+	// Unit is the cost unit dominating the predicted mean.
+	Unit string `json:"unit,omitempty"`
 }
 
 // Recorder receives decision events. Producers MUST guard every

@@ -469,7 +469,11 @@ func (s *System) Recalibrate(seed int64) ([hardware.NumUnits]stats.Normal, error
 		return [hardware.NumUnits]stats.Normal{}, fmt.Errorf(
 			"uaqetp: predictor stage is custom; swap it explicitly with SwapPredictor")
 	}
-	cal, err := calibrate.Run(s.profile, calibrate.DefaultConfig(seed))
+	prof := s.profile
+	if s.truth != nil {
+		prof = s.truth()
+	}
+	cal, err := calibrate.Run(prof, calibrate.DefaultConfig(seed))
 	if err != nil {
 		return [hardware.NumUnits]stats.Normal{}, err
 	}
