@@ -31,7 +31,11 @@ race:
 # 4-shard 10k-tenant sharded topology (front door + cache tier), and
 # the drift-injection experiment (mid-run truth flip, time-to-detection)
 # — twice each and fails on any nondeterminism: same config + seed must
-# produce byte-identical reports. The second run pins GOMAXPROCS=2 so
+# produce byte-identical reports. The scenarios also span both
+# measurement-stream versions: scenario.json carries no "rng" key (the
+# v1 compatibility gate — its report is further pinned byte-for-byte by
+# TestV1ReportGolden), while the other four declare "rng": "v2", the
+# counter-based fast path. The second run pins GOMAXPROCS=2 so
 # the comparison also covers the scheduler-independence half of the
 # contract. The heterogeneous scenario additionally runs with full
 # decision tracing on, and the drift scenario with the calibration

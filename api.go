@@ -98,7 +98,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sort"
 
 	"repro/internal/calib"
@@ -109,6 +108,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/hardware"
 	"repro/internal/plan"
+	"repro/internal/rng"
 	"repro/internal/sample"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -133,6 +133,17 @@ type (
 	Variant = core.Variant
 	// DBKind names one of the four evaluation databases.
 	DBKind = datagen.DBKind
+	// RNGVersion selects the measurement-stream generation (see
+	// internal/rng): RNGv1 is the historical math/rand stream, RNGv2 the
+	// zero-allocation counter-based stream. The zero value is RNGv1, so
+	// existing Configs keep their byte-identical measured times.
+	RNGVersion = rng.Version
+)
+
+// Measurement-stream versions.
+const (
+	RNGv1 = rng.V1
+	RNGv2 = rng.V2
 )
 
 // Comparison operators for predicates.
@@ -188,6 +199,14 @@ type Config struct {
 	Variant Variant
 	// Seed drives all randomness deterministically.
 	Seed int64
+	// RNG selects the measurement-stream version (internal/rng). The
+	// zero value is RNGv1 — the historical math/rand stream, so every
+	// measured time pinned before the seam existed stays byte-identical.
+	// RNGv2 draws statistically equivalent times from a counter-based
+	// stream at a fraction of the cost (no per-execution seeding ritual,
+	// zero allocation). Like every other field it participates in Config
+	// comparability, so internal/serve dedups tenants per version.
+	RNG RNGVersion
 	// Cache, when non-nil, is a shared sampling-pass cache backing this
 	// System instead of a private per-System memo. Multiple Systems may
 	// share one cache: keys are namespaced by everything that determines
@@ -320,7 +339,7 @@ func Open(cfg Config) (*System, error) {
 	}
 	s.executor = cfg.Executor
 	if s.executor == nil {
-		s.executor = simExecutor{db: db, profile: profile, seed: cfg.Seed, cache: estCache, runNS: s.runNS}
+		s.executor = simExecutor{db: db, profile: profile, seed: cfg.Seed, cache: estCache, runNS: s.runNS, ver: cfg.RNG}
 	}
 	if cfg.Predictor != nil {
 		s.pred = newPredictorHandle(&predictorState{stage: cfg.Predictor})
@@ -426,7 +445,7 @@ func (s *System) WithMachine(p *hardware.Profile) (*System, error) {
 	derived.pred = newPredictorHandle(defaultPredictorState(s.cat, cal.Units, s.cfg.Variant))
 	if _, ok := s.executor.(simExecutor); ok {
 		derived.executor = simExecutor{
-			db: s.db, profile: &prof, seed: s.cfg.Seed, cache: s.estCache, runNS: s.runNS,
+			db: s.db, profile: &prof, seed: s.cfg.Seed, cache: s.estCache, runNS: s.runNS, ver: s.cfg.RNG,
 		}
 	}
 	return derived, nil
@@ -435,22 +454,6 @@ func (s *System) WithMachine(p *hardware.Profile) (*System, error) {
 // Machine returns the profile of the machine this System predicts for
 // and executes on (a copy; profiles are values).
 func (s *System) Machine() hardware.Profile { return *s.profile }
-
-// execSeed derives the deterministic per-call RNG seed for Execute from
-// the configured master seed and a fingerprint of the query and its
-// plan. Two Systems with the same Config measure the same time for the
-// same query; distinct queries get well-separated streams.
-func execSeed(seed int64, qname, plansig string) int64 {
-	h := fnv.New64a()
-	h.Write([]byte(qname))
-	h.Write([]byte{0})
-	h.Write([]byte(plansig))
-	z := uint64(seed+3) ^ h.Sum64()
-	z ^= z >> 30
-	z *= 0xbf58476d1ce4e5b9
-	z ^= z >> 27
-	return int64(z)
-}
 
 // resolvePlan picks the plan a call operates on: the planner's default
 // plan, or — under WithPlanHint — the enumerated alternative whose
@@ -687,7 +690,7 @@ func (s *System) ChoosePlan(q *Query, quantile float64, maxAlts int) (best PlanC
 // deterministic per-call stream (see runSimulated); Measure uses it so
 // its Actual equals the default Executor's Execute.
 func (s *System) runMeasured(q *Query, p *Plan) (*engine.OpResult, float64, error) {
-	return runSimulated(context.Background(), s.estCache, s.runNS, s.db, s.profile, s.cfg.Seed, q, p.root, p.sig)
+	return runSimulated(context.Background(), s.estCache, s.runNS, s.db, s.profile, s.cfg.Seed, s.cfg.RNG, q, p.root, p.sig)
 }
 
 // UnitDists returns the cost-unit distributions behind the current

@@ -37,6 +37,8 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -91,7 +93,7 @@ func usage() {
   uaqp batch [-bench B] [-db D] [-machine M] [-sr R] [-queries N] [-seed S] [-workers W]
   uaqp serve [-addr A] [-db D] [-machine M] [-sr R] [-seed S] [-tenants T] [-confidence C] [-deadline D] [-shard NAME -dir FILE]
   uaqp front -dir FILE [-addr A] [-rate R] [-burst B] [-predictive] [-confidence C]
-  uaqp sim -config FILE [-seed S] [-router R] [-o FILE] [-trace FILE] [-trace-level L] [-calib FILE]`)
+  uaqp sim -config FILE [-seed S] [-router R] [-o FILE] [-trace FILE] [-trace-level L] [-calib FILE] [-cpuprofile FILE] [-memprofile FILE]`)
 }
 
 // simCmd runs a discrete-event cluster-simulation scenario and prints
@@ -108,11 +110,40 @@ func simCmd(args []string) error {
 	traceOut := fs.String("trace", "", "write the decision trace as JSONL to a file")
 	traceLevel := fs.String("trace-level", "", "decision trace detail: off | decisions | full (default: the scenario's trace_level, or decisions when -trace is set)")
 	calibOut := fs.String("calib", "", "write the calibration stream (one observed-vs-predicted event per executed request) as JSONL to a file")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the simulation to a file (inspect with go tool pprof)")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken after the simulation to a file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *config == "" {
 		return fmt.Errorf("sim: -config is required")
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// Snapshot after the run (and after a final GC) so the profile
+		// shows the simulation's allocation sites, not startup noise.
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "sim: memprofile:", err)
+			}
+		}()
 	}
 	sc, err := sim.Load(*config)
 	if err != nil {

@@ -81,7 +81,7 @@ func (s *System) WithDriftInjection(before *hardware.Profile) (*System, *TruthSw
 		return nil, nil, fmt.Errorf("uaqetp: calibrate pre-drift %q: %w", prof.Name, err)
 	}
 	sw := &TruthSwitch{}
-	preExec := simExecutor{db: s.db, profile: &prof, seed: s.cfg.Seed, cache: s.estCache, runNS: s.runNS}
+	preExec := simExecutor{db: s.db, profile: &prof, seed: s.cfg.Seed, cache: s.estCache, runNS: s.runNS, ver: s.cfg.RNG}
 	derived := s.With(WithExecutor(&switchExecutor{sw: sw, before: preExec, after: after}))
 	derived.pred = newPredictorHandle(defaultPredictorState(s.cat, cal.Units, s.cfg.Variant))
 	derived.truth = func() *hardware.Profile {

@@ -60,6 +60,25 @@ type Stages struct {
 	Estimator func(*uaqetp.System) uaqetp.Estimator
 	Predictor func(*uaqetp.System) uaqetp.Predictor
 	Executor  func(*uaqetp.System) uaqetp.Executor
+	// Config, when non-nil, edits the base Config before Open — the seam
+	// for Config-level knobs stage constructors can't reach (e.g. the
+	// measurement-stream version, Config.RNG). Unlike the constructors
+	// above, a Config hook changes the base environment itself, so
+	// settings carrying one get their own base System (own database
+	// generation and calibration) and never share bases — or memoized
+	// measurements — with the defaults or with other hooks.
+	Config func(*uaqetp.Config)
+}
+
+// configStages returns st when it carries a Config hook — the part of a
+// stage set that changes the base environment and therefore must key
+// base memoization — and nil otherwise, preserving base sharing for
+// constructor-only stage sets.
+func (st *Stages) configStages() *Stages {
+	if st != nil && st.Config != nil {
+		return st
+	}
+	return nil
 }
 
 func (st *Stages) name() string {
@@ -164,6 +183,10 @@ type baseKey struct {
 	DB      datagen.DBKind
 	Machine string
 	Seed    int64
+	// Stages is non-nil (pointer identity) only for stage sets carrying
+	// a Config hook, which alters the base environment; constructor-only
+	// sets keep it nil and share the default base.
+	Stages *Stages
 }
 
 // sysKey identifies one fully-sampled System, including any custom
@@ -257,10 +280,14 @@ func (l *Lab) baseFor(k baseKey, sr float64) (*uaqetp.System, error) {
 	}
 	l.mu.Unlock()
 	e.once.Do(func() {
-		e.sys, e.err = uaqetp.Open(uaqetp.Config{
+		cfg := uaqetp.Config{
 			DB: k.DB, Machine: k.Machine, SamplingRatio: sr,
 			Variant: core.All, Seed: k.Seed, Cache: l.cache,
-		})
+		}
+		if k.Stages != nil && k.Stages.Config != nil {
+			k.Stages.Config(&cfg)
+		}
+		e.sys, e.err = uaqetp.Open(cfg)
 	})
 	return e.sys, e.err
 }
@@ -269,7 +296,7 @@ func (l *Lab) baseFor(k baseKey, sr float64) (*uaqetp.System, error) {
 // and sampling ratio, with the complete predictor; variants are derived
 // by the caller via WithVariant.
 func (l *Lab) systemFor(s Setting) (*uaqetp.System, error) {
-	k := sysKey{baseKey{s.DB, s.Machine, s.Seed}, s.SR, s.Stages}
+	k := sysKey{baseKey{s.DB, s.Machine, s.Seed, s.Stages.configStages()}, s.SR, s.Stages}
 	l.mu.Lock()
 	e, ok := l.systems[k]
 	if !ok {
@@ -370,7 +397,7 @@ func (l *Lab) run(s Setting) (*RunResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("exper: %w", err)
 	}
-	sk := sysKey{baseKey{s.DB, s.Machine, s.Seed}, s.SR, s.Stages}
+	sk := sysKey{baseKey{s.DB, s.Machine, s.Seed, s.Stages.configStages()}, s.SR, s.Stages}
 	ms := make([]*uaqetp.Measurement, len(queries))
 	err = fanOut(len(queries), 0, func(i int) error {
 		m, err := l.measureFor(sys, measKey{sk, s.Bench, s.NumQueries, queries[i].Name}, queries[i])

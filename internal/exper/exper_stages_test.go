@@ -90,6 +90,81 @@ func TestSettingStagesInstallCustomEstimator(t *testing.T) {
 	}
 }
 
+// TestSettingConfigHookMemoizationIsolation exercises the Config-level
+// stage seam with the measurement-stream version: a Config hook flips
+// the cell to the v2 stream, which must (a) actually change the
+// measured times, (b) give the cell its own base System rather than
+// mutating the shared default base, and (c) leave every default cell's
+// memoized results untouched. Constructor-only stage sets, by
+// contrast, must keep sharing the default base.
+func TestSettingConfigHookMemoizationIsolation(t *testing.T) {
+	lab := NewLab()
+	base := smallSetting(workload.Micro, core.All, 0.05)
+	ref, err := lab.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v2 := base
+	v2.Stages = &Stages{
+		Name:   "rng-v2",
+		Config: func(cfg *uaqetp.Config) { cfg.RNG = uaqetp.RNGv2 },
+	}
+	res, err := lab.Run(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same workload, same query generation — but the measurement draws
+	// come from a different stream, so at least some actuals move.
+	changed := 0
+	for i, o := range res.Outcomes {
+		if o.Name != ref.Outcomes[i].Name {
+			t.Fatalf("workload diverged: %s vs %s", o.Name, ref.Outcomes[i].Name)
+		}
+		if o.Actual != ref.Outcomes[i].Actual {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("v2 cell's measurements identical to v1 — Config hook never reached Open")
+	}
+
+	// The hooked cell got its own base; the default base is unperturbed.
+	lab.mu.Lock()
+	numBases := len(lab.bases)
+	lab.mu.Unlock()
+	if numBases != 2 {
+		t.Errorf("lab holds %d bases, want 2 (default + Config-hooked)", numBases)
+	}
+	again, err := lab.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range again.Outcomes {
+		if o.Actual != ref.Outcomes[i].Actual || o.PredMean != ref.Outcomes[i].PredMean {
+			t.Errorf("%s: default cell perturbed by Config-hooked cell", o.Name)
+		}
+	}
+
+	// A constructor-only stage set still shares the default base.
+	counted := base
+	counted.Stages = &Stages{
+		Name: "counted",
+		Estimator: func(sys *uaqetp.System) uaqetp.Estimator {
+			return &countingEstimator{inner: sys.Estimator(), calls: new(atomic.Int64)}
+		},
+	}
+	if _, err := lab.Run(counted); err != nil {
+		t.Fatal(err)
+	}
+	lab.mu.Lock()
+	numBases = len(lab.bases)
+	lab.mu.Unlock()
+	if numBases != 2 {
+		t.Errorf("constructor-only stages opened a new base: %d bases, want 2", numBases)
+	}
+}
+
 func TestSettingStagesSeparateMemoization(t *testing.T) {
 	lab := NewLab()
 	base := smallSetting(workload.Micro, core.All, 0.05)

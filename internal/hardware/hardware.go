@@ -157,18 +157,31 @@ func (p *Profile) PlanTime(res *engine.OpResult, r *rand.Rand) float64 {
 	for i := 0; i < NumUnits; i++ {
 		units[i] = p.drawUnit(Unit(i), r)
 	}
-	var t float64
-	for _, op := range res.Results() {
-		var ot float64
-		for i := 0; i < NumUnits; i++ {
-			if n := op.Counts.Get(i); n > 0 {
-				ot += n * units[i]
-			}
+	return p.opTreeTime(res, &units, r, 0)
+}
+
+// opTreeTime realizes the subtree rooted at op in preorder — the same
+// order Results flattens in — folding each operator's time into the
+// running total t left to right, so both the model-error draw sequence
+// and the floating-point summation order (and thus every pinned
+// measured time, bit for bit) are unchanged, without materializing the
+// result slice per run.
+func (p *Profile) opTreeTime(op *engine.OpResult, units *[NumUnits]float64, r *rand.Rand, t float64) float64 {
+	var ot float64
+	for i := 0; i < NumUnits; i++ {
+		if n := op.Counts.Get(i); n > 0 {
+			ot += n * units[i]
 		}
-		if p.ModelErrSigma > 0 {
-			ot *= math.Exp(p.ModelErrSigma * r.NormFloat64())
-		}
-		t += ot
+	}
+	if p.ModelErrSigma > 0 {
+		ot *= math.Exp(p.ModelErrSigma * r.NormFloat64())
+	}
+	t += ot
+	if op.Left != nil {
+		t = p.opTreeTime(op.Left, units, r, t)
+	}
+	if op.Right != nil {
+		t = p.opTreeTime(op.Right, units, r, t)
 	}
 	return t
 }

@@ -1,0 +1,89 @@
+package hardware
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/rng"
+)
+
+// MeasurePlanSeeded returns the "actual running time" of an executed
+// plan under measurement-stream version v, seeding the stream from key
+// (an rng.ExecKey). It is the versioned entry point the execution
+// pipeline uses:
+//
+//   - rng.V1 constructs the historical math/rand source — bit-for-bit
+//     the stream MeasurePlan has always consumed, so every pinned
+//     golden survives — at the historical cost (the ~607-word
+//     lagged-Fibonacci seeding ritual plus a heap-allocated generator
+//     per execution).
+//   - rng.V2 runs a counter-based splitmix64 stream on the stack
+//     through concrete-typed mirrors of the draw path: no seeding loop,
+//     no interface boxing, zero heap allocation per measurement
+//     (pinned by TestMeasurePlanSeededV2Allocs).
+//
+// Both versions implement the same measurement protocol: AverageRuns
+// realizations of PlanTime, cost units drawn once per run, per-operator
+// lognormal model error.
+func (p *Profile) MeasurePlanSeeded(res *engine.OpResult, v rng.Version, key int64) float64 {
+	if v == rng.V2 {
+		s := rng.NewStream(key)
+		return p.measurePlanStream(res, &s)
+	}
+	return p.MeasurePlan(res, rand.New(rand.NewSource(key)))
+}
+
+// drawUnitStream mirrors drawUnit on the concrete V2 stream.
+func (p *Profile) drawUnitStream(u Unit, s *rng.Stream) float64 {
+	d := p.True[u]
+	v := d.Mu + d.Sigma*s.NormFloat64()
+	// Cost units are physically positive; resample the rare negative tail.
+	for v <= 0 {
+		v = d.Mu + d.Sigma*s.NormFloat64()
+	}
+	return v
+}
+
+// planTimeStream mirrors PlanTime on the concrete V2 stream, walking
+// the result tree directly (same preorder as Results, no slice).
+func (p *Profile) planTimeStream(res *engine.OpResult, s *rng.Stream) float64 {
+	var units [NumUnits]float64
+	for i := 0; i < NumUnits; i++ {
+		units[i] = p.drawUnitStream(Unit(i), s)
+	}
+	return p.opTreeTimeStream(res, &units, s, 0)
+}
+
+// opTreeTimeStream realizes the subtree rooted at op in preorder,
+// folding into the running total t left to right — the same draw and
+// summation order as the v1 path, so v1 and v2 differ only in
+// generator, never in arithmetic.
+func (p *Profile) opTreeTimeStream(op *engine.OpResult, units *[NumUnits]float64, s *rng.Stream, t float64) float64 {
+	var ot float64
+	for i := 0; i < NumUnits; i++ {
+		if n := op.Counts.Get(i); n > 0 {
+			ot += n * units[i]
+		}
+	}
+	if p.ModelErrSigma > 0 {
+		ot *= math.Exp(p.ModelErrSigma * s.NormFloat64())
+	}
+	t += ot
+	if op.Left != nil {
+		t = p.opTreeTimeStream(op.Left, units, s, t)
+	}
+	if op.Right != nil {
+		t = p.opTreeTimeStream(op.Right, units, s, t)
+	}
+	return t
+}
+
+// measurePlanStream mirrors MeasurePlan on the concrete V2 stream.
+func (p *Profile) measurePlanStream(res *engine.OpResult, s *rng.Stream) float64 {
+	var sum float64
+	for i := 0; i < AverageRuns; i++ {
+		sum += p.planTimeStream(res, s)
+	}
+	return sum / AverageRuns
+}

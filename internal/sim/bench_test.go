@@ -20,6 +20,7 @@ func BenchmarkSimPoisson(b *testing.B) {
 		Machines: FleetOf(2),
 		Router:   RouterLeastRisk,
 		DB:       "uniform-1G",
+		RNG:      "v2",
 		Tenants: []TenantSpec{{
 			Name:     "alpha",
 			Bench:    "seljoin",
@@ -44,7 +45,7 @@ func BenchmarkSimPoisson(b *testing.B) {
 	cache := uaqetp.NewEstimateCache(1024)
 	sys, err := uaqetp.Open(uaqetp.Config{
 		DB: kind, Machine: sc.MachineProfile, SamplingRatio: sc.SamplingRatio,
-		Seed: sc.Seed, Cache: cache,
+		Seed: sc.Seed, RNG: uaqetp.RNGv2, Cache: cache,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -91,6 +92,7 @@ func BenchmarkSimHeterogeneous(b *testing.B) {
 		Router:      RouterLeastRisk,
 		QueuePolicy: "fifo",
 		DB:          "uniform-1G",
+		RNG:         "v2",
 		Tenants: []TenantSpec{{
 			Name:     "alpha",
 			Bench:    "seljoin",
@@ -115,7 +117,7 @@ func BenchmarkSimHeterogeneous(b *testing.B) {
 	cache := uaqetp.NewEstimateCache(1024)
 	sys, err := uaqetp.Open(uaqetp.Config{
 		DB: kind, Machine: sc.MachineProfile, SamplingRatio: sc.SamplingRatio,
-		Seed: sc.Seed, Cache: cache,
+		Seed: sc.Seed, RNG: uaqetp.RNGv2, Cache: cache,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -161,6 +163,7 @@ func BenchmarkSimDrift(b *testing.B) {
 		Router:      RouterLeastRisk,
 		QueuePolicy: "fifo",
 		DB:          "uniform-1G",
+		RNG:         "v2",
 		RecalEvery:  5,
 		Tenants: []TenantSpec{{
 			Name:     "alpha",
@@ -186,7 +189,7 @@ func BenchmarkSimDrift(b *testing.B) {
 	cache := uaqetp.NewEstimateCache(1024)
 	sys, err := uaqetp.Open(uaqetp.Config{
 		DB: kind, Machine: sc.MachineProfile, SamplingRatio: sc.SamplingRatio,
-		Seed: sc.Seed, Cache: cache,
+		Seed: sc.Seed, RNG: uaqetp.RNGv2, Cache: cache,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -237,6 +240,7 @@ func BenchmarkSimSharded(b *testing.B) {
 		Machines: FleetOf(8),
 		Router:   RouterLeastRisk,
 		DB:       "uniform-1G",
+		RNG:      "v2",
 		Shards: &ShardsSpec{
 			Count:     4,
 			VNodes:    64,
@@ -273,7 +277,74 @@ func BenchmarkSimSharded(b *testing.B) {
 	})
 	sys, err := uaqetp.Open(uaqetp.Config{
 		DB: kind, Machine: sc.MachineProfile, SamplingRatio: sc.SamplingRatio,
-		Seed: sc.Seed, Cache: cache,
+		Seed: sc.Seed, RNG: uaqetp.RNGv2, Cache: cache,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events int
+	var fitness float64
+	for i := 0; i < b.N; i++ {
+		rep, err := runWith(sc, qpol, sys, cache)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += rep.Events
+		fitness = rep.Fitness.Score
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	}
+	b.ReportMetric(fitness, "fitness")
+}
+
+// BenchmarkSimCluster is the million-event shape in miniature: the
+// scenario-cluster.json proportions (round-robin over a large
+// homogeneous fleet, fifo queues, one high-rate poisson tenant,
+// parallel machine stepping) scaled so one iteration is ~60k events —
+// big enough that the per-event hot path (measurement stream included)
+// dominates, small enough to iterate. Under rng v2 the events/s here
+// tracks exactly what scenario-cluster.json's wall clock tracks.
+func BenchmarkSimCluster(b *testing.B) {
+	sc := Scenario{
+		Name:        "bench-cluster",
+		Seed:        7,
+		Horizon:     20,
+		Machines:    FleetOf(100),
+		Router:      RouterRoundRobin,
+		QueuePolicy: "fifo",
+		DB:          "uniform-1G",
+		RNG:         "v2",
+		Parallelism: 4,
+		Tenants: []TenantSpec{{
+			Name:     "fleet",
+			Bench:    "seljoin",
+			Queries:  16,
+			Deadline: 2.0,
+			SLO:      serve.SLO{Confidence: 0.9, DefaultDeadline: 2.0, Quantile: 0.9},
+			Arrivals: ArrivalSpec{Process: ProcessPoisson, Rate: 1500},
+		}},
+	}
+	sc, err := sc.normalized()
+	if err != nil {
+		b.Fatal(err)
+	}
+	kind, err := parseDBKind(sc.DB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qpol, err := serve.QueuePolicyByName(sc.QueuePolicy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := uaqetp.NewEstimateCache(1024)
+	sys, err := uaqetp.Open(uaqetp.Config{
+		DB: kind, Machine: sc.MachineProfile, SamplingRatio: sc.SamplingRatio,
+		Seed: sc.Seed, RNG: uaqetp.RNGv2, Cache: cache,
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -49,6 +49,7 @@ import (
 
 	"repro/internal/datagen"
 	"repro/internal/hardware"
+	"repro/internal/rng"
 	"repro/internal/serve"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -88,6 +89,13 @@ type Scenario struct {
 	MachineProfile string `json:"machine_profile,omitempty"`
 	// SamplingRatio is the offline sample fraction; default 0.05.
 	SamplingRatio float64 `json:"sampling_ratio,omitempty"`
+	// RNG selects the measurement-stream version: "v1" (default; the
+	// historical math/rand stream, byte-compatible with every report
+	// pinned before the seam existed) or "v2" (counter-based stream,
+	// statistically equivalent measured times at a fraction of the
+	// per-execution cost). It seeds both the measurement path of every
+	// executed plan and the per-tenant arrival streams.
+	RNG string `json:"rng,omitempty"`
 	// CacheCapacity bounds the fleet-wide shared estimate cache; 0
 	// selects the serve default.
 	CacheCapacity int `json:"cache_capacity,omitempty"`
@@ -258,6 +266,9 @@ func (sc Scenario) normalized() (Scenario, error) {
 	}
 	if sc.SamplingRatio == 0 {
 		sc.SamplingRatio = 0.05
+	}
+	if _, err := rng.ParseVersion(sc.RNG); err != nil {
+		return sc, fmt.Errorf("sim: rng: %w", err)
 	}
 	if sc.Parallelism < 0 {
 		return sc, fmt.Errorf("sim: parallelism %d must not be negative", sc.Parallelism)

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// These tests pin the shipped scenarios' outputs to committed goldens,
+// byte for byte. The v1 golden was recorded before the versioned
+// measurement stream existed: scenario.json carries no "rng" key, so it
+// is the standing proof that unversioned scenarios still produce
+// exactly the pre-seam bytes. The v2 goldens pin the migrated
+// scenarios' streams so a generator or hot-path change can never
+// silently shift the shipped findings. Small reports live as files in
+// testdata/; the megabyte-scale artifacts (the 1000-machine cluster
+// report, the drift decision trace and calibration stream) are pinned
+// by SHA-256 instead.
+
+// reportBytes renders a report exactly as `uaqp sim -o` writes it
+// (stable indentation plus trailing newline), which is how the goldens
+// were recorded.
+func reportBytes(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(data, '\n')
+}
+
+func runShipped(t *testing.T, name string) *Report {
+	t.Helper()
+	sc, err := Load("../../examples/sim/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func compareGolden(t *testing.T, got []byte, golden string) {
+	t.Helper()
+	want, err := os.ReadFile("testdata/" + golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("report differs from testdata/%s (%d vs %d bytes); the shipped scenario's bytes are pinned — "+
+			"if the change is intentional, re-record the golden", golden, len(got), len(want))
+	}
+}
+
+// TestV1ReportGolden is the compatibility gate: scenario.json has no
+// "rng" key, so its report must be byte-identical to the golden
+// recorded before the measurement-stream seam existed. If this fails,
+// the v1 path is no longer the historical stream.
+func TestV1ReportGolden(t *testing.T) {
+	rep := runShipped(t, "scenario.json")
+	compareGolden(t, reportBytes(t, rep), "report-v1-bursty.json")
+}
+
+// TestV2ReportGoldens pins the migrated scenarios' freshly recorded v2
+// reports.
+func TestV2ReportGoldens(t *testing.T) {
+	for scenario, golden := range map[string]string{
+		"scenario-hetero.json":  "report-v2-hetero.json",
+		"scenario-sharded.json": "report-v2-sharded.json",
+		"scenario-drift.json":   "report-v2-drift.json",
+	} {
+		rep := runShipped(t, scenario)
+		compareGolden(t, reportBytes(t, rep), golden)
+	}
+}
+
+// Megabyte-scale goldens, pinned by hash: the 1000-machine cluster
+// report and the drift scenario's decision trace and calibration
+// stream (recorded at trace-level "decisions" with calibration
+// streaming on, exactly as `uaqp sim -trace -calib` writes them).
+const (
+	clusterReportSHA256 = "816f131d5bd5ceb8edf9cce8c98f2136aa20f848a07911b545e0ed7faa889338"
+	driftTraceSHA256    = "a865ce0587f43423f9ce1928d0677dd6fc80793983b8254302ba83680b9fdc64"
+	driftCalibSHA256    = "6812c24d0a9fd75c9c4a4c207c37ae15c43a0bde8fbb6de3bcd2382ca61a09cd"
+)
+
+func sha256hex(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// TestV2DriftStreamHashes pins the drift scenario's instrumented
+// streams: report bytes must be unperturbed by instrumentation, and the
+// decision trace and calibration stream must match their recorded
+// hashes.
+func TestV2DriftStreamHashes(t *testing.T) {
+	sc, err := Load("../../examples/sim/scenario-drift.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, events, calibEvents, err := RunInstrumented(sc, trace.Decisions, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, reportBytes(t, rep), "report-v2-drift.json")
+
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	if got := sha256hex(buf.Bytes()); got != driftTraceSHA256 {
+		t.Errorf("drift decision trace hash %s, want %s", got, driftTraceSHA256)
+	}
+	buf.Reset()
+	if err := trace.WriteJSONL(&buf, calibEvents); err != nil {
+		t.Fatal(err)
+	}
+	if got := sha256hex(buf.Bytes()); got != driftCalibSHA256 {
+		t.Errorf("drift calibration stream hash %s, want %s", got, driftCalibSHA256)
+	}
+}
+
+// TestV2ClusterReportHash pins the million-event cluster scenario's
+// report. ~8 s of single-core virtual cluster; skipped under -short.
+func TestV2ClusterReportHash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster scenario is ~8s; skipped under -short")
+	}
+	rep := runShipped(t, "scenario-cluster.json")
+	if got := sha256hex(reportBytes(t, rep)); got != clusterReportSHA256 {
+		t.Errorf("cluster report hash %s, want %s", got, clusterReportSHA256)
+	}
+}

@@ -69,7 +69,7 @@ func parseRouter(name string) (string, error) {
 // candidate scoring vector in s.cands (machine order) and the reason
 // the winner won in s.tieBreak; capturing is pure observation — the
 // comparisons and the chosen machine are identical with tracing off.
-func (s *simRun) route(ts *tenantState, ti int, q *uaqetp.Query, deadline, now float64, lo, hi, sid int) (int, error) {
+func (s *simRun) route(ts *tenantState, ti int, q, tmpl *uaqetp.Query, deadline, now float64, lo, hi, sid int) (int, error) {
 	capture := s.level >= trace.Decisions
 	if capture {
 		s.cands = s.cands[:0]
@@ -107,10 +107,10 @@ func (s *simRun) route(ts *tenantState, ti int, q *uaqetp.Query, deadline, now f
 		if s.perMachine {
 			return s.routeLeastRiskPerMachine(ti, q, deadline, now, lo, hi)
 		}
-		return s.routeLeastRiskShared(ts, q, deadline, now, lo, hi)
+		return s.routeLeastRiskShared(ts, q, tmpl, deadline, now, lo, hi)
 
 	case RouterLeastRiskShared:
-		return s.routeLeastRiskShared(ts, q, deadline, now, lo, hi)
+		return s.routeLeastRiskShared(ts, q, tmpl, deadline, now, lo, hi)
 	}
 	return 0, fmt.Errorf("sim: unknown router %q", s.router)
 }
@@ -119,12 +119,13 @@ func (s *simRun) route(ts *tenantState, ti int, q *uaqetp.Query, deadline, now f
 // fleet-shared prediction of T_q: correct on homogeneous fleets (and
 // byte-identical to the pre-heterogeneity router there), an ablation on
 // labeled ones.
-func (s *simRun) routeLeastRiskShared(ts *tenantState, q *uaqetp.Query, deadline, now float64, lo, hi int) (int, error) {
-	// The subsequent Submit on the chosen machine predicts again; both
-	// calls resolve through the planner's structural memo and the
-	// predictor stage's pointer-keyed memo, so the duplication costs a
-	// couple of map probes per arrival.
-	pred, err := ts.sys.PredictContext(s.ctx, q)
+func (s *simRun) routeLeastRiskShared(ts *tenantState, q, tmpl *uaqetp.Query, deadline, now float64, lo, hi int) (int, error) {
+	// The prediction resolves by template through the run-level memo
+	// (sharedPred): the base System's predictor never swaps mid-run and
+	// clones share their template's plan, so one map probe replaces the
+	// per-arrival fingerprint-and-memo walk. The subsequent Submit on
+	// the chosen machine still predicts through the stage memos.
+	pred, err := s.sharedPred(ts, q, tmpl)
 	if err != nil {
 		return 0, fmt.Errorf("sim: route predict %q: %w", q.Name, err)
 	}

@@ -206,11 +206,14 @@ func (sh *shardedRun) onShard(ti, sidx int) bool {
 // bestPIn is the front door's predictive bound: the best
 // P(T_wait + T_q <= d) across the shard's machines, with the
 // fleet-shared prediction of T_q and each machine's own queue state —
-// the same arithmetic as the least-risk-shared router. A prediction
-// failure returns 1 (the request is forwarded; admission will tally
-// the failure exactly as on unsharded runs).
-func (s *simRun) bestPIn(ts *tenantState, q *uaqetp.Query, deadline, now float64, lo, hi int) float64 {
-	pred, err := ts.sys.PredictContext(s.ctx, q)
+// the same arithmetic as the least-risk-shared router. The prediction
+// resolves by template through the run-level memo (sharedPred): clones
+// share their template's plan, so the bound is identical while the
+// per-arrival cost drops to one map probe. A prediction failure
+// returns 1 (the request is forwarded; admission will tally the
+// failure exactly as on unsharded runs).
+func (s *simRun) bestPIn(ts *tenantState, q, tmpl *uaqetp.Query, deadline, now float64, lo, hi int) float64 {
+	pred, err := s.sharedPred(ts, q, tmpl)
 	if err != nil {
 		return 1
 	}

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	uaqetp "repro"
+	"repro/internal/rng"
 	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/trace"
@@ -184,6 +185,18 @@ type simRun struct {
 	// in first-appearance order; their plans are executed once up front
 	// so the run cache is warm before any (possibly parallel) stepping.
 	templates []*uaqetp.Query
+	// ver is the scenario's measurement-stream version (internal/rng),
+	// parsed once from sc.RNG.
+	ver rng.Version
+	// predMemo caches the base System's prediction per template: every
+	// tenant's façade-free prediction path (the front door's bestP
+	// bound, the shared-units router) resolves through the base System,
+	// whose predictor never swaps mid-run, and clones share their
+	// template's plan fingerprint — so one probe of this map replaces
+	// re-deriving fingerprints and memo keys per arrival. Failures are
+	// memoized too (a template that cannot be predicted never will be).
+	// Touched only on the event-loop goroutine.
+	predMemo map[*uaqetp.Query]sharedPredEntry
 
 	par       int
 	batch     []freeEvent
@@ -321,9 +334,13 @@ func run(sc Scenario, level trace.Level, install, calibStream bool) (*Report, []
 			Seed: sc.Seed, Capacity: cacheCap,
 		})
 	}
+	ver, err := rng.ParseVersion(sc.RNG)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("sim: rng: %w", err)
+	}
 	sys, err := uaqetp.Open(uaqetp.Config{
 		DB: kind, Machine: sc.MachineProfile, SamplingRatio: sc.SamplingRatio,
-		Seed: sc.Seed, Cache: cache,
+		Seed: sc.Seed, RNG: ver, Cache: cache,
 	})
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("sim: open system: %w", err)
@@ -414,12 +431,18 @@ func runSim(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache uaqet
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	ver, err := rng.ParseVersion(sc.RNG)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("sim: rng: %w", err)
+	}
 	s := &simRun{
 		sc: sc, ctx: context.Background(), router: sc.Router, cache: cache,
 		perMachine:  sc.Machines.Labeled(),
 		par:         sc.Parallelism,
 		level:       level,
 		calibStream: calibStream,
+		ver:         ver,
+		predMemo:    make(map[*uaqetp.Query]sharedPredEntry, 64),
 	}
 	if s.par < 1 {
 		s.par = 1
@@ -523,6 +546,33 @@ func runSim(sc Scenario, qpol serve.QueuePolicy, sys *uaqetp.System, cache uaqet
 		return nil, nil, nil, err
 	}
 	return s.report(), s.events, s.calibEvents, nil
+}
+
+// sharedPredEntry is one memoized base-System prediction (or its
+// sticky failure).
+type sharedPredEntry struct {
+	pred *uaqetp.Prediction
+	err  error
+}
+
+// sharedPred resolves the base System's prediction for an arrival: on
+// v2 scenarios through the run-level memo keyed by the arrival's
+// template (see the predMemo field for why one map probe is equivalent
+// to predicting the clone); on v1 scenarios through the full
+// per-arrival PredictContext the simulator has always issued — the memo
+// changes the shared cache's hit/miss counters (and with them the
+// report's cache-economy figure), so the v1 compatibility gate must not
+// take it.
+func (s *simRun) sharedPred(ts *tenantState, q, tmpl *uaqetp.Query) (*uaqetp.Prediction, error) {
+	if s.ver != rng.V2 {
+		return ts.sys.PredictContext(s.ctx, q)
+	}
+	if e, ok := s.predMemo[tmpl]; ok {
+		return e.pred, e.err
+	}
+	pred, err := ts.sys.PredictContext(s.ctx, tmpl)
+	s.predMemo[tmpl] = sharedPredEntry{pred, err}
+	return pred, err
 }
 
 // arrivalSeed derives one tenant's arrival RNG seed from the scenario
@@ -657,7 +707,18 @@ func (s *simRun) buildArrivals(sys *uaqetp.System) error {
 			}
 			continue
 		}
-		rng := rand.New(rand.NewSource(arrivalSeed(s.sc.Seed, ti)))
+		// The arrival stream rides the scenario's measurement-stream
+		// version: v1 keeps the historical math/rand source, v2 skips
+		// its per-tenant seeding ritual — at 10k tenants the seeding
+		// alone is measurable. Both satisfy rng.Source; the boxing costs
+		// once per tenant, not per draw.
+		var src rng.Source
+		if s.ver == rng.V2 {
+			st := rng.NewStream(arrivalSeed(s.sc.Seed, ti))
+			src = &st
+		} else {
+			src = rand.New(rand.NewSource(arrivalSeed(s.sc.Seed, ti)))
+		}
 		pool := pools[ts.group]
 		if pool == nil {
 			pool, err = sys.GenerateWorkload(bench, spec.Queries)
@@ -666,9 +727,9 @@ func (s *simRun) buildArrivals(sys *uaqetp.System) error {
 			}
 			pools[ts.group] = pool
 		}
-		for k, at := range spec.Arrivals.times(rng, s.sc.Horizon) {
+		for k, at := range spec.Arrivals.times(src, s.sc.Horizon) {
 			s.arrivals = append(s.arrivals, arrival{
-				at: at, tenant: int32(ti), ord: int32(k), tmpl: note(pool[rng.Intn(len(pool))]),
+				at: at, tenant: int32(ti), ord: int32(k), tmpl: note(pool[src.Intn(len(pool))]),
 			})
 		}
 	}
@@ -878,7 +939,7 @@ func (s *simRun) handleArrival(a arrival) error {
 			// unsharded).
 			bestP := 1.0
 			if fd.Predictive() && ts.effDeadline > 0 {
-				bestP = s.bestPIn(ts, q, ts.effDeadline, a.at, lo, hi)
+				bestP = s.bestPIn(ts, q, a.tmpl, ts.effDeadline, a.at, lo, hi)
 			}
 			if v := fd.Admit(ts.class, a.at, bestP, ts.confidence); v != shard.VerdictAdmit {
 				ts.shed++
@@ -897,7 +958,7 @@ func (s *simRun) handleArrival(a arrival) error {
 			}
 		}
 	}
-	m, err := s.route(ts, int(a.tenant), q, ts.effDeadline, a.at, lo, hi, sid)
+	m, err := s.route(ts, int(a.tenant), q, a.tmpl, ts.effDeadline, a.at, lo, hi, sid)
 	if err != nil {
 		return err
 	}

@@ -101,10 +101,17 @@ func main() {
 		len(results), 100**threshold, *compare)
 }
 
+// eventsMetric is the simulator benchmarks' domain-throughput column
+// (b.ReportMetric unit): simulated events processed per wall second.
+const eventsMetric = "events/s"
+
 // regressions compares current against baseline by name and returns a
 // description of every benchmark whose throughput dropped by more than
 // threshold: throughput is 1/ns_per_op, so a drop beyond threshold
-// means newNs > oldNs / (1 - threshold).
+// means newNs > oldNs / (1 - threshold). Benchmarks reporting the
+// events/s metric on both sides get a second floor on that number —
+// the simulator benchmarks' real figure of merit, which ns/op alone
+// misses when an op spans a whole scenario whose event count shifts.
 func regressions(baseline, current []Result, threshold float64) []string {
 	if threshold <= 0 || threshold >= 1 {
 		return []string{fmt.Sprintf("invalid threshold %v (want 0 < t < 1)", threshold)}
@@ -124,6 +131,12 @@ func regressions(baseline, current []Result, threshold float64) []string {
 			drop := 1 - o.NsPerOp/r.NsPerOp
 			regs = append(regs, fmt.Sprintf("%s: %.0f -> %.0f ns/op (throughput -%.1f%%, limit -%.0f%%)",
 				r.Name, o.NsPerOp, r.NsPerOp, 100*drop, 100*threshold))
+		}
+		oldEv, newEv := o.Metrics[eventsMetric], r.Metrics[eventsMetric]
+		if oldEv > 0 && newEv > 0 && newEv < oldEv*(1-threshold) {
+			drop := 1 - newEv/oldEv
+			regs = append(regs, fmt.Sprintf("%s: %.0f -> %.0f events/s (-%.1f%%, limit -%.0f%%)",
+				r.Name, oldEv, newEv, 100*drop, 100*threshold))
 		}
 	}
 	return regs

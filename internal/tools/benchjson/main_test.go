@@ -67,6 +67,39 @@ func TestRegressions(t *testing.T) {
 	}
 }
 
+func TestRegressionsEventsPerSecondFloor(t *testing.T) {
+	base := []Result{
+		{Name: "BenchmarkSim-8", NsPerOp: 1000, Metrics: map[string]float64{"events/s": 100000, "fitness": 1.1}},
+		{Name: "BenchmarkNoEvents-8", NsPerOp: 1000},
+	}
+	// ns/op healthy but events/s down 40%: the floor catches what the
+	// timing column misses.
+	cur := []Result{
+		{Name: "BenchmarkSim-8", NsPerOp: 1000, Metrics: map[string]float64{"events/s": 60000, "fitness": 1.1}},
+		{Name: "BenchmarkNoEvents-8", NsPerOp: 1000},
+	}
+	regs := regressions(base, cur, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "events/s") {
+		t.Fatalf("regressions = %v, want exactly one events/s regression", regs)
+	}
+	// Inside the budget: -20% is allowed.
+	ok := []Result{
+		{Name: "BenchmarkSim-8", NsPerOp: 1000, Metrics: map[string]float64{"events/s": 80000}},
+	}
+	if regs := regressions(base, ok, 0.25); len(regs) != 0 {
+		t.Fatalf("in-budget events/s drop flagged: %v", regs)
+	}
+	// The metric missing on either side is not a regression (other
+	// custom metrics, e.g. fitness, never trip the throughput floor).
+	gone := []Result{
+		{Name: "BenchmarkSim-8", NsPerOp: 1000, Metrics: map[string]float64{"fitness": 0.1}},
+		{Name: "BenchmarkNoEvents-8", NsPerOp: 1000, Metrics: map[string]float64{"events/s": 1}},
+	}
+	if regs := regressions(base, gone, 0.25); len(regs) != 0 {
+		t.Fatalf("one-sided events/s flagged: %v", regs)
+	}
+}
+
 func TestAllocGrowth(t *testing.T) {
 	base := []Result{
 		{Name: "BenchmarkA-8", NsPerOp: 1000, AllocsPerOp: 100},

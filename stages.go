@@ -9,7 +9,6 @@ package uaqetp
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"strconv"
 	"strings"
 	"sync"
@@ -22,6 +21,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/hardware"
 	"repro/internal/plan"
+	"repro/internal/rng"
 	"repro/internal/sample"
 	"repro/internal/stats"
 )
@@ -310,6 +310,7 @@ type simExecutor struct {
 	seed    int64
 	cache   EstimateCache
 	runNS   string
+	ver     rng.Version
 }
 
 func (x simExecutor) Execute(ctx context.Context, q *Query, p *Plan) (float64, error) {
@@ -319,15 +320,16 @@ func (x simExecutor) Execute(ctx context.Context, q *Query, p *Plan) (float64, e
 	if err := p.valid(); err != nil {
 		return 0, err
 	}
-	_, actual, err := runSimulated(ctx, x.cache, x.runNS, x.db, x.profile, x.seed, q, p.root, p.sig)
+	_, actual, err := runSimulated(ctx, x.cache, x.runNS, x.db, x.profile, x.seed, x.ver, q, p.root, p.sig)
 	return actual, err
 }
 
 // runSimulated executes a built plan — memoized in the cache's run
-// section — and measures it with the deterministic per-call stream. It
-// is the single implementation behind the default Executor and
-// System.Measure, so their measured times cannot diverge.
-func runSimulated(ctx context.Context, c EstimateCache, ns string, db *engine.DB, profile *hardware.Profile, seed int64, q *Query, root *engine.Node, sig string) (*engine.OpResult, float64, error) {
+// section — and measures it with the deterministic per-call stream of
+// the configured version (see internal/rng). It is the single
+// implementation behind the default Executor and System.Measure, so
+// their measured times cannot diverge.
+func runSimulated(ctx context.Context, c EstimateCache, ns string, db *engine.DB, profile *hardware.Profile, seed int64, ver rng.Version, q *Query, root *engine.Node, sig string) (*engine.OpResult, float64, error) {
 	res, err := c.getOrComputeRun(ctx, ns+"\x00"+sig, func() (*engine.OpResult, error) {
 		r, err := engine.Run(db, root)
 		if err != nil {
@@ -338,8 +340,7 @@ func runSimulated(ctx context.Context, c EstimateCache, ns string, db *engine.DB
 	if err != nil {
 		return nil, 0, err
 	}
-	rng := rand.New(rand.NewSource(execSeed(seed, q.Name, sig)))
-	return res, profile.MeasurePlan(res, rng), nil
+	return res, profile.MeasurePlanSeeded(res, ver, rng.ExecKey(seed, q.Name, sig)), nil
 }
 
 // stripRows drops the materialized relations from a freshly executed
